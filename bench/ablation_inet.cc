@@ -1,0 +1,80 @@
+// Internet-scale ablation: which part of the Section VII result comes from
+// which mechanism. Runs the localized f-root scenario with FLoc variants:
+//   quotas-only  — per-path fair allocation, no per-flow preferential filter
+//   no-spare-pref — spare capacity served uniformly instead of conformant-first
+//   full (NA)    — per-path quotas + preferential filter
+//   full (A)     — plus conformance-driven aggregation
+#include <cmath>
+
+#include "bench/bench_common.h"
+#include "inetsim/inet_experiment.h"
+#include "topology/bot_distribution.h"
+
+using namespace floc;
+using namespace floc::bench;
+
+int main(int argc, char** argv) {
+  BenchArgs a = BenchArgs::parse(argc, argv);
+  header("Internet-scale ablation (f-root, localized attack)",
+         "path quotas alone localize the flood; the preferential filter "
+         "squeezes bots inside their quotas; aggregation returns the "
+         "contaminated domains' shares to legitimate ones",
+         a);
+
+  const double scale = a.paper ? 1.0 : 0.05;
+  SkitterConfig scfg;
+  scfg.as_count = std::max(300, static_cast<int>(2000 * std::sqrt(scale)));
+  scfg.seed = a.seed + 4;
+  const AsGraph graph = generate_skitter_tree(scfg);
+  PlacementConfig pcfg;
+  pcfg.legit_sources = std::max(100, static_cast<int>(10000 * scale));
+  pcfg.legit_ases = std::max(20, static_cast<int>(200 * std::sqrt(scale)));
+  pcfg.attack_sources = std::max(1000, static_cast<int>(100000 * scale));
+  pcfg.attack_ases = std::max(10, static_cast<int>(100 * std::sqrt(scale)));
+  pcfg.seed = (a.seed + 4) ^ 0xB07;
+  const SourcePlacement placement = place_sources(graph, pcfg);
+
+  TickConfig base;
+  base.bottleneck_capacity = std::max(200, static_cast<int>(16000 * scale));
+  base.internal_capacity = 4 * base.bottleneck_capacity;
+  base.ticks = a.paper ? 6000 : 3000;
+  base.warmup_ticks = base.ticks / 3;
+  base.seed = (a.seed + 4) ^ 0x51;
+
+  struct Variant {
+    const char* label;
+    TickConfig cfg;
+  };
+  std::vector<Variant> variants;
+  {
+    TickConfig c = base;
+    c.policy = TickPolicy::kFloc;
+    c.attack_over_rate = 1e9;  // filter never triggers: quotas only
+    variants.push_back({"quotas-only", c});
+  }
+  {
+    TickConfig c = base;
+    c.policy = TickPolicy::kFloc;
+    variants.push_back({"full (NA)", c});
+  }
+  {
+    TickConfig c = base;
+    c.policy = TickPolicy::kFloc;
+    c.guaranteed_paths =
+        std::max(4, static_cast<int>((pcfg.legit_ases + pcfg.attack_ases) * 0.6));
+    variants.push_back({"full (A)", c});
+  }
+
+  std::printf("%-14s %16s %17s %10s %8s\n", "variant", "legit(legitAS)%",
+              "legit(attackAS)%", "attack%", "paths");
+  for (const auto& v : variants) {
+    TickSim sim(graph, placement, v.cfg);
+    const TickResults r = sim.run();
+    std::printf("%-14s %15.1f%% %16.1f%% %9.1f%% %8d\n", v.label,
+                100.0 * r.legit_legit_frac, 100.0 * r.legit_attack_frac,
+                100.0 * r.attack_frac, r.aggregate_count);
+  }
+  std::printf("\n(each mechanism should add legitimate-path bandwidth on top "
+              "of the previous row)\n");
+  return 0;
+}

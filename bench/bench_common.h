@@ -1,0 +1,80 @@
+// Shared plumbing for the figure-reproduction harnesses: flag parsing
+// (--scale / --paper / --quick), table printing, and the common Section VI
+// scenario defaults.
+//
+// Every bench prints (a) the paper's qualitative expectation for the figure
+// and (b) the measured rows, in a layout mirroring the original table/plot,
+// so EXPERIMENTS.md can record paper-vs-measured side by side.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "topology/tree_scenario.h"
+
+namespace floc::bench {
+
+struct BenchArgs {
+  double scale = 0.12;   // default: quick (minutes for the whole suite)
+  bool paper = false;    // --paper: publication-scale parameters
+  TimeSec duration = 60.0;
+  TimeSec measure_start = 20.0;
+  std::uint64_t seed = 1;
+
+  static BenchArgs parse(int argc, char** argv) {
+    BenchArgs a;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--paper") == 0) {
+        a.paper = true;
+        a.scale = 1.0;
+        a.duration = 80.0;
+      } else if (std::strcmp(argv[i], "--quick") == 0) {
+        a.scale = 0.08;
+        a.duration = 40.0;
+        a.measure_start = 15.0;
+      } else if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc) {
+        a.scale = std::atof(argv[++i]);
+      } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+        a.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+      } else {
+        std::fprintf(stderr,
+                     "usage: %s [--paper|--quick] [--scale F] [--seed N]\n",
+                     argv[0]);
+        std::exit(2);
+      }
+    }
+    return a;
+  }
+};
+
+// The Fig. 5 scenario with the bench's scale applied.
+inline TreeScenarioConfig fig5_config(const BenchArgs& a) {
+  TreeScenarioConfig cfg;
+  cfg.scale = a.scale;
+  cfg.duration = a.duration;
+  cfg.measure_start = a.measure_start;
+  cfg.measure_end = a.duration;
+  cfg.seed = a.seed;
+  return cfg;
+}
+
+inline void header(const std::string& title, const std::string& paper_claim,
+                   const BenchArgs& a) {
+  std::printf("==== %s ====\n", title.c_str());
+  std::printf("paper: %s\n", paper_claim.c_str());
+  std::printf("run:   scale=%.2f duration=%.0fs (measured from %.0fs)%s\n\n",
+              a.scale, a.duration, a.measure_start,
+              a.paper ? " [PAPER SCALE]" : "");
+}
+
+inline void row(const char* label, const std::vector<double>& values,
+                const char* unit = "") {
+  std::printf("%-26s", label);
+  for (double v : values) std::printf(" %9.3f", v);
+  std::printf(" %s\n", unit);
+}
+
+}  // namespace floc::bench

@@ -1,0 +1,107 @@
+// Fig. 4 (Section IV-A): token consumption under unsynchronized, partially
+// synchronized, and fully synchronized TCP flows.
+//
+// Analytic-simulation harness: n sawtooth sources (the idealized AIMD window
+// process) request tokens from a per-path bucket sized by Eqs. IV.1-IV.3.
+//   * unsynchronized: sawtooth phases uniform -> ~full token consumption;
+//   * synchronized:   identical phases -> only ~3/4 of tokens usable with
+//                     the base bucket N, recovered by the increased N';
+//   * partial:        in between.
+#include <cmath>
+
+#include "bench/bench_common.h"
+#include "core/model.h"
+#include "core/token_bucket.h"
+#include "util/rng.h"
+
+using namespace floc;
+using namespace floc::bench;
+
+namespace {
+
+// Fraction of offered demand admitted over `T_total`, where each of n flows
+// follows a W/2..W sawtooth and the bucket is refilled per Eq. IV.1/IV.2.
+struct SyncResult {
+  double utilization;       // admitted / link capacity
+  double demand_peak_ratio; // peak demand / mean demand
+};
+
+SyncResult run_sync(int n, double sync_degree, bool increased_bucket,
+                    std::uint64_t seed) {
+  const BitsPerSec c = mbps(100);
+  const TimeSec rtt = 0.08;
+  const int pkt = 1500;
+  const auto params = model::compute_params(c, rtt, n, pkt);
+  PathTokenBucket bucket;
+  bucket.configure(params, pkt);
+
+  Rng rng(seed);
+  // Phase of each flow's sawtooth: sync_degree=1 -> all equal, 0 -> uniform.
+  std::vector<double> phase(static_cast<std::size_t>(n));
+  for (auto& ph : phase) ph = (1.0 - sync_degree) * rng.uniform();
+
+  const double w_peak = params.peak_window;
+  const TimeSec epoch = (w_peak / 2.0) * rtt;  // one sawtooth period
+  const TimeSec dt = epoch / 200.0;
+  const TimeSec total = 60.0 * epoch;
+
+  double admitted_bytes = 0.0;
+  double offered_bytes = 0.0;
+  double peak_rate = 0.0;
+  std::vector<double> carry(static_cast<std::size_t>(n), 0.0);
+  for (TimeSec t = 0.0; t < total; t += dt) {
+    double rate_pkts = 0.0;  // aggregate instantaneous send rate in pkts/rtt
+    for (int i = 0; i < n; ++i) {
+      const double pos =
+          std::fmod(t / epoch + phase[static_cast<std::size_t>(i)], 1.0);
+      const double w = w_peak / 2.0 + pos * (w_peak / 2.0);  // sawtooth
+      rate_pkts += w / rtt;
+    }
+    peak_rate = std::max(peak_rate, rate_pkts);
+    const double demand_bytes = rate_pkts * pkt * dt;
+    offered_bytes += demand_bytes;
+    double want = demand_bytes + carry[0];
+    // Request in whole packets.
+    while (want >= pkt) {
+      if (bucket.try_consume(pkt, t, increased_bucket)) admitted_bytes += pkt;
+      want -= pkt;
+    }
+    carry[0] = want;
+  }
+  SyncResult out;
+  out.utilization = admitted_bytes * 8.0 / (c * total);
+  out.demand_peak_ratio = peak_rate / (offered_bytes * 8.0 / (pkt * 8.0) /
+                                       (total) /* mean pkts rate */);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchArgs a = BenchArgs::parse(argc, argv);
+  header("Fig. 4 - token consumption vs flow synchronization",
+         "unsynchronized flows consume ~all tokens; fully synchronized flows "
+         "consume ~3/4 with the base bucket; the increased bucket N' "
+         "(Eq. IV.3) restores utilization",
+         a);
+
+  const int n = 24;
+  std::printf("%-22s %14s %14s %18s\n", "synchronization", "util (base N)",
+              "util (incr N')", "tok-used@peak-N");
+  for (double sync : {0.0, 0.5, 1.0}) {
+    const SyncResult base = run_sync(n, sync, /*increased=*/false, a.seed);
+    const SyncResult incr = run_sync(n, sync, /*increased=*/true, a.seed);
+    char label[32];
+    std::snprintf(label, sizeof(label), "degree %.1f%s", sync,
+                  sync == 0.0 ? " (unsync)" : (sync == 1.0 ? " (sync)" : ""));
+    // The paper's "3/4 of generated tokens" statement sizes the bucket for
+    // the synchronized PEAK (4/3 of the mean): consumed fraction = util/(4/3).
+    std::printf("%-22s %14.3f %14.3f %18.3f\n", label, base.utilization,
+                incr.utilization, incr.utilization * 3.0 / 4.0);
+  }
+  std::printf("\nmodel constants: synchronized utilization = %.2f, "
+              "peak/trough request ratio = %.1f\n",
+              model::synchronized_utilization(),
+              model::synchronized_peak_to_trough());
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Fig. 13 (Section VII-C): Internet-scale bandwidth guarantees, localized
+// attack (bots in 100 ASes, 30% of legitimate sources inside attack ASes).
+#include "bench/inet_bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace floc::bench;
+  const BenchArgs a = BenchArgs::parse(argc, argv);
+  run_inet_figure(
+      "Fig. 13 - Internet-scale, localized attack (100 attack ASes)",
+      "ND: legit denied (~0%); FF: legit ~20% (above its ~9% fair share via "
+      "priority); FLoc NA: legit-path flows ~70-75%; aggregation (A-*) "
+      "raises legit-path bandwidth further and trims legit flows inside "
+      "attack ASes; per-flow, legit >> attack",
+      /*attack_ases=*/100, /*overlap=*/0.3, a);
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Fig. 14 (Section VII-C): Internet-scale bandwidth guarantees with widely
+// dispersed bots (300 attack ASes).
+#include "bench/inet_bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace floc::bench;
+  const BenchArgs a = BenchArgs::parse(argc, argv);
+  run_inet_figure(
+      "Fig. 14 - Internet-scale, wide attack dispersion (300 attack ASes)",
+      "vs Fig. 13: legit-path bandwidth under NA decreases (more active "
+      "paths dilute each share, more ASes turn attack) while legit flows in "
+      "attack ASes gain; aggregation is MORE effective against dispersed "
+      "attacks",
+      /*attack_ases=*/300, /*overlap=*/0.3, a);
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Shared driver for the Fig. 13/14/15 Internet-scale harnesses.
+#pragma once
+
+#include "bench/bench_common.h"
+#include "inetsim/inet_experiment.h"
+
+namespace floc::bench {
+
+inline void run_inet_figure(const char* title, const char* claim,
+                            int attack_ases, double overlap,
+                            const BenchArgs& a) {
+  BenchArgs args = a;
+  header(title, claim, args);
+  const double scale = a.paper ? 1.0 : 0.05;
+  for (SkitterPreset preset :
+       {SkitterPreset::kFRoot, SkitterPreset::kHRoot, SkitterPreset::kJpn}) {
+    InetExperimentConfig cfg;
+    cfg.preset = preset;
+    cfg.attack_ases = attack_ases;
+    cfg.legit_overlap = overlap;
+    cfg.scale = scale;
+    cfg.ticks = a.paper ? 6000 : 3000;
+    cfg.seed = a.seed + 4;
+    std::printf("--- topology %s ---\n", to_string(preset));
+    std::printf("%-8s %16s %17s %10s %8s %7s\n", "policy", "legit(legitAS)%",
+                "legit(attackAS)%", "attack%", "util%", "paths");
+    for (const auto& row : run_inet_experiment(cfg)) {
+      std::printf("%-8s %15.1f%% %16.1f%% %9.1f%% %7.1f%% %7d\n",
+                  row.label.c_str(), 100.0 * row.results.legit_legit_frac,
+                  100.0 * row.results.legit_attack_frac,
+                  100.0 * row.results.attack_frac,
+                  100.0 * row.results.utilization,
+                  row.results.aggregate_count);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace floc::bench

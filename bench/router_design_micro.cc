@@ -1,0 +1,146 @@
+// Section V router-design micro-benchmarks (google-benchmark).
+//
+// The paper argues FLoc scales to backbone routers (OC-192) because the
+// per-packet work is a few hash computations plus O(1) counter updates, and
+// attack state lives in a fixed-size filter (128 MB for m=4, b=24). These
+// benchmarks measure the per-operation costs of every data-path component:
+// capability issue/verify, token-bucket admission, drop-filter update/query,
+// the FLoc queue end-to-end enqueue path, and the control-plane aggregation.
+#include <benchmark/benchmark.h>
+
+#include "core/aggregation.h"
+#include "core/capability.h"
+#include "core/drop_filter.h"
+#include "core/floc_queue.h"
+#include "core/token_bucket.h"
+#include "util/siphash.h"
+
+namespace floc {
+namespace {
+
+void BM_SipHashWords(benchmark::State& state) {
+  SipKey key{0x123, 0x456};
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(siphash24_words(key, {i++, 42, 7}));
+  }
+}
+BENCHMARK(BM_SipHashWords);
+
+void BM_CapabilityIssue(benchmark::State& state) {
+  CapabilityIssuer issuer(0x5EC, 2);
+  const PathId path = PathId::of({1, 2, 3});
+  HostAddr src = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(issuer.issue(src++, 99, path));
+  }
+}
+BENCHMARK(BM_CapabilityIssue);
+
+void BM_CapabilityVerify(benchmark::State& state) {
+  CapabilityIssuer issuer(0x5EC, 2);
+  Packet p;
+  p.src = 1;
+  p.dst = 99;
+  p.path = PathId::of({1, 2, 3});
+  const auto caps = issuer.issue(p.src, p.dst, p.path);
+  p.cap0 = caps.cap0;
+  p.cap1 = caps.cap1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(issuer.verify(p));
+  }
+}
+BENCHMARK(BM_CapabilityVerify);
+
+void BM_TokenBucketConsume(benchmark::State& state) {
+  PathTokenBucket bucket;
+  bucket.configure(model::compute_params(mbps(100), 0.05, 30, 1500), 1500);
+  double t = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bucket.try_consume(1500, t, true));
+    t += 1e-4;
+  }
+}
+BENCHMARK(BM_TokenBucketConsume);
+
+void BM_DropFilterRecord(benchmark::State& state) {
+  DropFilterConfig cfg;
+  cfg.bits = static_cast<int>(state.range(0));
+  ScalableDropFilter filter(cfg);
+  double t = 0.0;
+  std::uint64_t key = 0;
+  for (auto _ : state) {
+    filter.record_drop(key++ % 100000, t, 0.1);
+    t += 1e-5;
+  }
+}
+BENCHMARK(BM_DropFilterRecord)->Arg(16)->Arg(20)->Arg(24);
+
+void BM_DropFilterQuery(benchmark::State& state) {
+  DropFilterConfig cfg;
+  cfg.bits = 20;
+  ScalableDropFilter filter(cfg);
+  for (std::uint64_t k = 0; k < 100000; ++k) filter.record_drop(k, 1.0, 0.1);
+  std::uint64_t key = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter.preferential_drop_prob(key++ % 100000, 2.0, 0.1));
+  }
+}
+BENCHMARK(BM_DropFilterQuery);
+
+void BM_FlocEnqueueDequeue(benchmark::State& state) {
+  FlocConfig cfg;
+  cfg.link_bandwidth = gbps(10);
+  cfg.buffer_packets = 4096;
+  FlocQueue q(cfg);
+  const int paths = static_cast<int>(state.range(0));
+  std::vector<PathId> ids;
+  for (int i = 0; i < paths; ++i)
+    ids.push_back(PathId::of({static_cast<AsNumber>(i + 1), static_cast<AsNumber>(100 + i)}));
+  double t = 0.0;
+  FlowId flow = 0;
+  for (auto _ : state) {
+    Packet p;
+    p.flow = flow % (static_cast<FlowId>(paths) * 50);
+    p.src = static_cast<HostAddr>(p.flow + 1);
+    p.dst = 9999;
+    p.path = ids[static_cast<std::size_t>(flow % static_cast<FlowId>(paths))];
+    ++flow;
+    q.enqueue(std::move(p), t);
+    q.dequeue(t);
+    t += 1.2e-6;  // ~10 Gbps of full-size packets
+  }
+}
+BENCHMARK(BM_FlocEnqueueDequeue)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_AggregationPlan(benchmark::State& state) {
+  const int paths = static_cast<int>(state.range(0));
+  std::vector<PathSnapshot> snaps;
+  Rng rng(7);
+  for (int i = 0; i < paths; ++i) {
+    snaps.push_back(PathSnapshot{
+        PathId::of({static_cast<AsNumber>(i % 16 + 1),
+                    static_cast<AsNumber>(i % 64 + 100),
+                    static_cast<AsNumber>(i + 1000)}),
+        rng.uniform(), rng.uniform(1.0, 100.0)});
+  }
+  AggregationConfig cfg;
+  cfg.s_max = paths / 2;
+  Aggregator agg(cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(agg.plan(snaps));
+  }
+}
+BENCHMARK(BM_AggregationPlan)->Arg(64)->Arg(512);
+
+void BM_FilterFalsePositiveMath(benchmark::State& state) {
+  double n = 1e5;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ScalableDropFilter::false_positive_ratio(n, 4, 24));
+    n += 1.0;
+  }
+}
+BENCHMARK(BM_FilterFalsePositiveMath);
+
+}  // namespace
+}  // namespace floc

@@ -1,0 +1,79 @@
+// Flooding-defense comparison on the paper's Fig. 5 topology.
+//
+// Runs the Section VI scenario (27 domains, 6 bot-contaminated) under a
+// selectable attack and defense scheme and prints per-path and per-class
+// bandwidth. Use it to reproduce any single cell of Figs. 6-8 interactively.
+//
+//   $ ./flooding_defense [scheme] [attack] [attack_mbps] [scale]
+//     scheme: floc | pushback | red-pd | red | droptail   (default floc)
+//     attack: cbr | shrew | tcp-population | covert | none (default cbr)
+//     attack_mbps: per-bot rate (default 2.0)
+//     scale: topology scale factor (default 0.15)
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "topology/tree_scenario.h"
+
+using namespace floc;
+
+namespace {
+
+AttackType attack_from(const std::string& s) {
+  if (s == "cbr") return AttackType::kCbr;
+  if (s == "shrew") return AttackType::kShrew;
+  if (s == "tcp-population") return AttackType::kTcpPopulation;
+  if (s == "covert") return AttackType::kCovert;
+  if (s == "none") return AttackType::kNone;
+  std::fprintf(stderr, "unknown attack '%s'\n", s.c_str());
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  TreeScenarioConfig cfg;
+  cfg.scheme = argc > 1 ? scheme_from_string(argv[1]) : DefenseScheme::kFloc;
+  cfg.attack = argc > 2 ? attack_from(argv[2]) : AttackType::kCbr;
+  cfg.attack_rate = mbps(argc > 3 ? std::atof(argv[3]) : 2.0);
+  cfg.scale = argc > 4 ? std::atof(argv[4]) : 0.15;
+  cfg.duration = 60.0;
+  cfg.measure_start = 20.0;
+  cfg.measure_end = 60.0;
+
+  std::printf("Fig. 5 topology: %d paths, scheme=%s attack=%s rate=%.1f Mbps "
+              "scale=%.2f\n\n",
+              27, to_string(cfg.scheme), to_string(cfg.attack),
+              cfg.attack_rate / 1e6, cfg.scale);
+
+  TreeScenario scenario(cfg);
+  scenario.run();
+
+  const double fair_path =
+      scenario.scaled_target_bw() / scenario.leaf_count();
+  std::printf("%-6s %-8s %12s %10s\n", "path", "type", "Mbps", "vs fair");
+  const auto per_path = scenario.per_path_bps();
+  for (int leaf = 0; leaf < scenario.leaf_count(); ++leaf) {
+    const std::string name = "L" + std::to_string(leaf);
+    const auto it = per_path.find(name);
+    const double bps = it == per_path.end() ? 0.0 : it->second;
+    std::printf("%-6s %-8s %12.3f %9.2fx\n", name.c_str(),
+                scenario.leaf_is_attack(leaf) ? "attack" : "legit",
+                bps / 1e6, bps / fair_path);
+  }
+
+  const auto bw = scenario.class_bandwidth();
+  std::printf("\nclass bandwidth (Mbps):\n");
+  std::printf("  legit flows / legit paths  %8.3f\n", bw.legit_legit_bps / 1e6);
+  std::printf("  legit flows / attack paths %8.3f\n", bw.legit_attack_bps / 1e6);
+  std::printf("  attack flows               %8.3f\n", bw.attack_bps / 1e6);
+  std::printf("  link capacity              %8.3f\n",
+              scenario.scaled_target_bw() / 1e6);
+
+  const Cdf cdf = scenario.legit_path_flow_cdf();
+  std::printf("\nlegit-path per-flow bandwidth: p10=%.0f kbps  median=%.0f kbps"
+              "  p90=%.0f kbps\n",
+              cdf.quantile(0.1) / 1e3, cdf.quantile(0.5) / 1e3,
+              cdf.quantile(0.9) / 1e3);
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Internet-scale simulation demo (Section VII).
+//
+// Generates a skitter-like AS routing tree, places bots with CBL-like skew,
+// and compares link-access policies at the 16,000 packet/tick target link.
+//
+//   $ ./internet_scale [preset] [attack_ases] [scale]
+//     preset: f-root | h-root | jpn       (default f-root)
+//     attack_ases: 100 (localized) or 300 (wide)   (default 100)
+//     scale: population/capacity scale    (default 0.05)
+#include <cstdio>
+#include <cstdlib>
+
+#include "inetsim/inet_experiment.h"
+
+using namespace floc;
+
+int main(int argc, char** argv) {
+  InetExperimentConfig cfg;
+  cfg.preset = argc > 1 ? preset_from_string(argv[1]) : SkitterPreset::kFRoot;
+  cfg.attack_ases = argc > 2 ? std::atoi(argv[2]) : 100;
+  cfg.scale = argc > 3 ? std::atof(argv[3]) : 0.05;
+  cfg.ticks = 1500;
+
+  const TopologyStats st = topology_stats(cfg);
+  std::printf("topology %s: %d ASes, depth mean %.1f / max %d\n", st.preset.c_str(),
+              st.ases, st.mean_depth, st.max_depth);
+  std::printf("bots: %d attack ASes, top 17%% of them hold %.0f%% of bots, "
+              "%d legit sources inside attack ASes\n\n",
+              st.attack_ases, 100.0 * st.bot_concentration_top17pct,
+              st.legit_in_attack_ases);
+
+  std::printf("%-8s %18s %18s %12s %12s\n", "policy", "legit(legit-AS)%",
+              "legit(attack-AS)%", "attack%", "paths");
+  for (const auto& row : run_inet_experiment(cfg)) {
+    std::printf("%-8s %17.1f%% %17.1f%% %11.1f%% %12d\n", row.label.c_str(),
+                100.0 * row.results.legit_legit_frac,
+                100.0 * row.results.legit_attack_frac,
+                100.0 * row.results.attack_frac,
+                row.results.aggregate_count);
+  }
+  std::printf("\nND floods out legitimate traffic; FF caps it near its fair\n"
+              "share; FLoc (NA) localizes the attack to its domains, and\n"
+              "aggregation (A-*) returns contaminated domains' bandwidth to\n"
+              "legitimate ones.\n");
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Quickstart: protect a flooded link with FLoc in ~40 lines.
+//
+// Builds a tiny network — two client domains, one of them hosting a botnet —
+// sends TCP transfers and a CBR flood across a shared 10 Mbps link guarded
+// by a FlocQueue, and prints who got how much bandwidth.
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include "topology/tree_scenario.h"
+
+using namespace floc;
+
+int main() {
+  TreeScenarioConfig cfg;
+  cfg.tree_degree = 2;
+  cfg.tree_height = 1;            // two leaf domains
+  cfg.legit_per_leaf = 4;         // four TCP users per domain
+  cfg.attack_leaf_count = 1;      // one domain is bot-contaminated
+  cfg.attack_per_leaf = 8;        // eight bots there
+  cfg.attack = AttackType::kCbr;
+  cfg.attack_rate = mbps(2.0);    // each bot floods at 2 Mbps (16 Mbps total)
+  cfg.target_link = mbps(10);     // through a 10 Mbps link
+  cfg.scheme = DefenseScheme::kFloc;
+  cfg.duration = 30.0;
+  cfg.measure_start = 10.0;
+  cfg.measure_end = 30.0;
+
+  TreeScenario scenario(cfg);
+  scenario.run();
+
+  const auto bw = scenario.class_bandwidth();
+  std::printf("10 Mbps link under a 16 Mbps CBR flood, FLoc enabled:\n");
+  std::printf("  legitimate flows, clean domain     : %6.2f Mbps\n",
+              bw.legit_legit_bps / 1e6);
+  std::printf("  legitimate flows, bot-infested dom.: %6.2f Mbps\n",
+              bw.legit_attack_bps / 1e6);
+  std::printf("  attack flows                       : %6.2f Mbps\n",
+              bw.attack_bps / 1e6);
+  std::printf("\nThe clean domain keeps its guaranteed half of the link; the\n"
+              "flood is confined to (at most) the contaminated domain's share.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+#include "baselines/drr_queue.h"
+
+namespace floc {
+
+bool DrrQueue::enqueue(Packet&& p, TimeSec now) {
+  if (total_packets_ >= cfg_.buffer_packets) {
+    note_drop(p, DropReason::kQueueFull, now);
+    return false;
+  }
+  FlowQueue& fq = flows_[p.flow];
+  if (fq.q.size() >= cfg_.max_flow_queue) {
+    note_drop(p, DropReason::kQueueFull, now);
+    return false;
+  }
+  if (!fq.in_round) {
+    fq.in_round = true;
+    fq.deficit = 0;
+    round_.push_back(p.flow);
+  }
+  total_bytes_ += static_cast<std::size_t>(p.size_bytes);
+  ++total_packets_;
+  fq.q.push_back(std::move(p));
+  note_admit();
+  return true;
+}
+
+std::optional<Packet> DrrQueue::dequeue(TimeSec) {
+  // Round-robin over active flows; a flow whose deficit cannot cover its
+  // head packet is topped up by one quantum and moved to the back. The guard
+  // bounds the scan: a packet needs at most ceil(size/quantum) top-ups.
+  std::size_t guard =
+      (round_.size() + 1) *
+      (static_cast<std::size_t>(1500 / std::max(1, cfg_.quantum_bytes)) + 2);
+  while (!round_.empty() && guard-- > 0) {
+    const FlowId f = round_.front();
+    FlowQueue& fq = flows_[f];
+    if (fq.q.empty()) {
+      fq.in_round = false;
+      round_.pop_front();
+      flows_.erase(f);
+      continue;
+    }
+    if (fq.deficit < fq.q.front().size_bytes) {
+      fq.deficit += cfg_.quantum_bytes;
+      round_.splice(round_.end(), round_, round_.begin());
+      continue;
+    }
+    Packet p = std::move(fq.q.front());
+    fq.q.pop_front();
+    fq.deficit -= p.size_bytes;
+    total_bytes_ -= static_cast<std::size_t>(p.size_bytes);
+    --total_packets_;
+    if (fq.q.empty()) {
+      fq.in_round = false;
+      round_.pop_front();
+      flows_.erase(f);
+    }
+    return p;
+  }
+  return std::nullopt;
+}
+
+}  // namespace floc

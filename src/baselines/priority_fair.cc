@@ -1,0 +1,63 @@
+#include "baselines/priority_fair.h"
+
+#include <algorithm>
+
+namespace floc {
+
+PriorityFairQueue::PriorityFairQueue(PriorityFairConfig cfg,
+                                     LegitClassifier is_legit)
+    : cfg_(cfg), is_legit_(std::move(is_legit)) {}
+
+void PriorityFairQueue::roll_interval(TimeSec now) {
+  if (interval_end_ == 0.0) {
+    interval_end_ = now + cfg_.rate_interval;
+    return;
+  }
+  if (now < interval_end_) return;
+  interval_end_ = now + cfg_.rate_interval;
+  flows_seen_ = std::max<std::size_t>(1, bytes_this_interval_.size());
+  bytes_this_interval_.clear();
+}
+
+bool PriorityFairQueue::enqueue(Packet&& p, TimeSec now) {
+  roll_interval(now);
+
+  bool high_priority = true;
+  if (p.type == PacketType::kData) {
+    double& used = bytes_this_interval_[p.flow];
+    used += p.size_bytes;
+    if (!is_legit_(p.flow)) {
+      // Attack flows keep high priority only within their fair share.
+      const double fair_bytes = cfg_.link_bandwidth * cfg_.rate_interval /
+                                (kBitsPerByte * static_cast<double>(flows_seen_));
+      if (used > fair_bytes) high_priority = false;
+    }
+  }
+
+  if (high_.size() + low_.size() >= cfg_.buffer_packets) {
+    // Make room for a high-priority packet by shedding low-priority load.
+    if (high_priority && !low_.empty()) {
+      bytes_ -= static_cast<std::size_t>(low_.back().size_bytes);
+      note_drop(low_.back(), DropReason::kQueueFull, now);
+      low_.pop_back();
+    } else {
+      note_drop(p, DropReason::kQueueFull, now);
+      return false;
+    }
+  }
+  bytes_ += static_cast<std::size_t>(p.size_bytes);
+  (high_priority ? high_ : low_).push_back(std::move(p));
+  note_admit();
+  return true;
+}
+
+std::optional<Packet> PriorityFairQueue::dequeue(TimeSec) {
+  std::deque<Packet>* src = !high_.empty() ? &high_ : (!low_.empty() ? &low_ : nullptr);
+  if (src == nullptr) return std::nullopt;
+  Packet p = std::move(src->front());
+  src->pop_front();
+  bytes_ -= static_cast<std::size_t>(p.size_bytes);
+  return p;
+}
+
+}  // namespace floc

@@ -1,0 +1,73 @@
+#include "baselines/rate_limiter.h"
+
+#include <algorithm>
+
+namespace floc {
+
+void RateLimiterQueue::install_limit(const PathId& prefix, BitsPerSec rate,
+                                     TimeSec expires) {
+  auto it = limits_.find(prefix.key());
+  if (it == limits_.end()) {
+    limits_[prefix.key()] =
+        Limit{prefix, rate, rate * 0.1 / kBitsPerByte, 0.0, expires};
+  } else {
+    it->second.rate_bps = rate;
+    it->second.expires = expires;
+  }
+}
+
+void RateLimiterQueue::release_limit(const PathId& prefix) {
+  limits_.erase(prefix.key());
+}
+
+double RateLimiterQueue::take_shed_bytes(const PathId& prefix) {
+  auto it = limits_.find(prefix.key());
+  if (it == limits_.end()) return 0.0;
+  const double shed = it->second.shed_bytes;
+  it->second.shed_bytes = 0.0;
+  return shed;
+}
+
+bool RateLimiterQueue::enqueue(Packet&& p, TimeSec now) {
+  if (p.type == PacketType::kData && !limits_.empty()) {
+    for (auto it = limits_.begin(); it != limits_.end();) {
+      if (it->second.expires <= now) {
+        it = limits_.erase(it);
+        continue;
+      }
+      Limit& lim = it->second;
+      if (p.path.has_prefix(lim.prefix)) {
+        const double cap = lim.rate_bps * 0.1 / kBitsPerByte;  // 100 ms burst
+        lim.tokens_bytes = std::min(
+            cap, lim.tokens_bytes +
+                     lim.rate_bps * (now - lim.last_refill) / kBitsPerByte);
+        lim.last_refill = now;
+        if (lim.tokens_bytes < p.size_bytes) {
+          lim.shed_bytes += p.size_bytes;
+          note_drop(p, DropReason::kRateLimit, now);
+          return false;
+        }
+        lim.tokens_bytes -= p.size_bytes;
+      }
+      ++it;
+    }
+  }
+  if (q_.size() >= capacity_) {
+    note_drop(p, DropReason::kQueueFull, now);
+    return false;
+  }
+  bytes_ += static_cast<std::size_t>(p.size_bytes);
+  q_.push_back(std::move(p));
+  note_admit();
+  return true;
+}
+
+std::optional<Packet> RateLimiterQueue::dequeue(TimeSec) {
+  if (q_.empty()) return std::nullopt;
+  Packet p = std::move(q_.front());
+  q_.pop_front();
+  bytes_ -= static_cast<std::size_t>(p.size_bytes);
+  return p;
+}
+
+}  // namespace floc

@@ -1,0 +1,51 @@
+#include "core/capability.h"
+
+namespace floc {
+
+CapabilityIssuer::CapabilityIssuer(std::uint64_t secret, int n_max)
+    : k0_{secret, secret ^ 0xC0C0C0C0C0C0C0C0ULL},
+      k1_{secret ^ 0x1111111111111111ULL, secret ^ 0x2222222222222222ULL},
+      kf_{secret ^ 0xF0F0F0F0F0F0F0F0ULL, secret ^ 0x0F0F0F0F0F0F0F0FULL},
+      n_max_(n_max) {}
+
+std::uint64_t CapabilityIssuer::path_word(const PathId& path) const {
+  return path.key();
+}
+
+int CapabilityIssuer::slot_of(HostAddr dst) const {
+  if (n_max_ <= 0) return 0;
+  const std::uint64_t h = siphash24_words(kf_, {static_cast<std::uint64_t>(dst)});
+  return static_cast<int>(h % static_cast<std::uint64_t>(n_max_));
+}
+
+CapabilityIssuer::Caps CapabilityIssuer::issue(HostAddr src, HostAddr dst,
+                                               const PathId& path) const {
+  Caps c;
+  c.cap0 = siphash24_words(
+      k0_, {static_cast<std::uint64_t>(src), static_cast<std::uint64_t>(dst),
+            path_word(path)});
+  const std::uint64_t dest_binding =
+      n_max_ > 0 ? static_cast<std::uint64_t>(slot_of(dst))
+                 : static_cast<std::uint64_t>(dst);
+  c.cap1 = siphash24_words(
+      k1_, {static_cast<std::uint64_t>(src), dest_binding, path_word(path)});
+  // Hash output 0 is reserved to mean "no capability"; remap.
+  if (c.cap0 == 0) c.cap0 = 1;
+  if (c.cap1 == 0) c.cap1 = 1;
+  return c;
+}
+
+bool CapabilityIssuer::verify(const Packet& p) const {
+  const Caps expect = issue(p.src, p.dst, p.path);
+  return p.cap0 == expect.cap0 && p.cap1 == expect.cap1;
+}
+
+std::uint64_t CapabilityIssuer::accounting_key(const Packet& p) const {
+  if (n_max_ <= 0) return p.flow;
+  // Key on (source, slot): a high-fanout source shares n_max keys.
+  return siphash24_words(kf_, {static_cast<std::uint64_t>(p.src),
+                               static_cast<std::uint64_t>(slot_of(p.dst)),
+                               0xACC0ULL});
+}
+
+}  // namespace floc

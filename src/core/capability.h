@@ -1,0 +1,55 @@
+// Network-layer capabilities (Sections III-A, IV-B.3).
+//
+// A router issues, during connection setup, an authenticated flow identifier
+// verifiable only by itself:
+//     C0 = Hash(IP_s, IP_d, S_i, K0)          — identifier authenticity
+//     C1 = Hash(IP_s, F(IP_d), S_i, K1)       — covert-attack slot binding
+// where F(.) maps destinations uniformly onto [0, n_max). C1 restricts each
+// source to n_max concurrently usable capability "slots" through this router
+// and lets the router account the total bandwidth those slots consume: a
+// source fanning out many low-rate flows collapses onto few slots and is
+// handled as a single high-rate flow.
+#pragma once
+
+#include <cstdint>
+
+#include "netsim/packet.h"
+#include "util/siphash.h"
+
+namespace floc {
+
+class CapabilityIssuer {
+ public:
+  // `n_max` = 0 disables slot accounting (C1 binds the exact destination).
+  CapabilityIssuer(std::uint64_t secret, int n_max);
+
+  struct Caps {
+    std::uint64_t cap0 = 0;
+    std::uint64_t cap1 = 0;
+  };
+
+  // Issue capabilities for a connection request (stamped into the SYN).
+  Caps issue(HostAddr src, HostAddr dst, const PathId& path) const;
+
+  // Verify the capabilities carried by a data packet.
+  bool verify(const Packet& p) const;
+
+  // Capability slot F(IP_d) of a destination for the given source.
+  int slot_of(HostAddr dst) const;
+
+  // Accounting-flow key: with slots enabled, all flows of `src` whose
+  // destinations share a slot map to one key; otherwise the transport flow.
+  std::uint64_t accounting_key(const Packet& p) const;
+
+  int n_max() const { return n_max_; }
+
+ private:
+  std::uint64_t path_word(const PathId& path) const;
+
+  SipKey k0_;
+  SipKey k1_;
+  SipKey kf_;  // key of the slot-mapping function F
+  int n_max_;
+};
+
+}  // namespace floc

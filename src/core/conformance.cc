@@ -1,0 +1,16 @@
+#include "core/conformance.h"
+
+namespace floc {
+
+bool is_attack_mtd(TimeSec flow_mtd, TimeSec reference_mtd,
+                   double attack_factor) {
+  return flow_mtd < attack_factor * reference_mtd;
+}
+
+double legitimate_fraction(std::size_t n_attack, std::size_t n_total) {
+  if (n_total == 0) return 1.0;
+  if (n_attack > n_total) n_attack = n_total;
+  return 1.0 - static_cast<double>(n_attack) / static_cast<double>(n_total);
+}
+
+}  // namespace floc

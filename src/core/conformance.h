@@ -1,0 +1,26 @@
+// Path conformance (Eq. IV.6): the smoothed fraction of legitimate flows in
+// a path,  E(t_k) = beta*(1 - n_attack/n) + (1-beta)*E(t_{k-1}).
+//
+// The EWMA itself lives in OriginPathState; this header provides the attack
+// flow classifier shared by the conformance update and the preferential-drop
+// policy, plus a pure helper for the per-interval legitimate fraction.
+#pragma once
+
+#include <cstddef>
+
+#include "util/units.h"
+
+namespace floc {
+
+// A flow is classified as an attack flow when its measured MTD is below
+// `attack_factor` times the reference MTD n_i*T_Si (Section IV-B): legitimate
+// flows under congestion sit near the reference; attack flows fall below it
+// in proportion to their over-rate.
+bool is_attack_mtd(TimeSec flow_mtd, TimeSec reference_mtd,
+                   double attack_factor);
+
+// Legitimate fraction 1 - n_attack/n with the n = 0 edge handled (empty
+// paths count as fully conformant).
+double legitimate_fraction(std::size_t n_attack, std::size_t n_total);
+
+}  // namespace floc

@@ -1,0 +1,189 @@
+#include "core/drop_filter.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace floc {
+
+ScalableDropFilter::ScalableDropFilter(DropFilterConfig cfg)
+    : cfg_(cfg),
+      d_cap_(std::pow(2.0, cfg.drop_bits) - 1.0),
+      ts_cap_(std::pow(2.0, cfg.ts_bits) - 1.0),
+      rng_(cfg.seed),
+      attack_k_(cfg.arrays) {
+  const std::size_t size = std::size_t{1} << cfg_.bits;
+  tables_.resize(static_cast<std::size_t>(cfg_.arrays));
+  for (auto& t : tables_) t.assign(size, Entry{});
+  for (int i = 0; i < cfg_.arrays; ++i) {
+    hash_keys_.push_back(SipKey{0x9E3779B97F4A7C15ULL * (i + 1),
+                                0xD1B54A32D192ED03ULL ^ (cfg_.seed + i)});
+  }
+}
+
+std::size_t ScalableDropFilter::index(int array, std::uint64_t key) const {
+  const std::uint64_t h =
+      siphash24_words(hash_keys_[static_cast<std::size_t>(array)], {key});
+  return h & ((std::size_t{1} << cfg_.bits) - 1);
+}
+
+void ScalableDropFilter::update_entry(Entry& e, std::uint32_t now_ticks,
+                                      double epoch_ticks, double weight) {
+  if (!e.used) {
+    e.used = true;
+    e.t_created = now_ticks;
+    e.t_l = now_ticks;
+    e.d = static_cast<float>(std::min(weight, d_cap_));
+    return;
+  }
+  // Lazy decay: one conformant drop is forgiven per congestion epoch.
+  // (Guard against non-monotonic clocks: never decay into the future.)
+  const double elapsed_ticks =
+      now_ticks > e.t_l ? static_cast<double>(now_ticks - e.t_l) : 0.0;
+  const double elapsed_epochs = elapsed_ticks / std::max(epoch_ticks, 1.0);
+  double d = std::max(0.0, static_cast<double>(e.d) - elapsed_epochs);
+  if (d <= 0.0 && now_ticks - e.t_l > 8 * epoch_ticks) {
+    // Long quiet: restart the record (a legitimate flow's normal drops age
+    // out of the filter entirely).
+    e.t_created = now_ticks;
+  }
+  d = std::min(d + weight, d_cap_);
+  e.d = static_cast<float>(d);
+  e.t_l = now_ticks;
+}
+
+ScalableDropFilter::Estimate ScalableDropFilter::read_entry(
+    const Entry& e, std::uint32_t now_ticks, double epoch_ticks) const {
+  Estimate out;
+  if (!e.used) return out;
+  const double since_update =
+      now_ticks > e.t_l ? static_cast<double>(now_ticks - e.t_l) : 0.0;
+  const double elapsed_epochs = since_update / std::max(epoch_ticks, 1.0);
+  out.extra_drops = std::max(0.0, static_cast<double>(e.d) - elapsed_epochs);
+  const double since_created =
+      now_ticks > e.t_created ? static_cast<double>(now_ticks - e.t_created) : 0.0;
+  double t_s = std::max(1.0, since_created / std::max(epoch_ticks, 1.0));
+  t_s = std::min(t_s, ts_cap_);
+  // High-rate regime: freeze t_s while 2^k * t_s < d so the ratio keeps
+  // expressing the over-rate instead of washing out (Section V-B.3).
+  const double k_factor = std::pow(2.0, cfg_.drop_bits > 2 ? 2 : cfg_.drop_bits);
+  if (out.extra_drops > k_factor * t_s) t_s = std::max(1.0, out.extra_drops / k_factor);
+  out.epochs = t_s;
+  return out;
+}
+
+void ScalableDropFilter::record_impl(std::uint64_t key, TimeSec now,
+                                     TimeSec epoch, int k_arrays) {
+  const auto now_ticks = static_cast<std::uint32_t>(now / cfg_.tick);
+  const double epoch_ticks = std::max(1.0, epoch / cfg_.tick);
+
+  double weight = 1.0;
+  if (cfg_.probabilistic_update) {
+    // Update with probability 1/u and weight u, where u is the flow's
+    // estimated over-rate: expected counter value is preserved while memory
+    // accesses drop by a factor of u (Section V-B.4).
+    const double u = std::max(1.0, over_rate(key, now, epoch));
+    if (!rng_.chance(1.0 / u)) return;
+    weight = u;
+  }
+  if (k_arrays < cfg_.arrays) {
+    // V-B.5: flows of populous attack domains update the filter with
+    // probability k/m and compensating value m/k (expectation preserved,
+    // memory-access frequency bounded).
+    const double ratio = static_cast<double>(k_arrays) / cfg_.arrays;
+    if (!rng_.chance(ratio)) return;
+    weight /= ratio;
+  }
+
+  for (int a = 0; a < cfg_.arrays; ++a) {
+    if (!in_subset(key, a, k_arrays)) continue;
+    update_entry(tables_[static_cast<std::size_t>(a)][index(a, key)], now_ticks,
+                 epoch_ticks, weight);
+  }
+  ++updates_;
+}
+
+bool ScalableDropFilter::in_subset(std::uint64_t key, int array,
+                                   int k_arrays) const {
+  if (k_arrays >= cfg_.arrays) return true;
+  // Deterministic per-key rotation: arrays (r+0..r+k-1) mod m.
+  const std::uint64_t h = siphash24_words(hash_keys_[0], {key, 0xA55AULL});
+  const int r = static_cast<int>(h % static_cast<std::uint64_t>(cfg_.arrays));
+  const int rel = (array - r + cfg_.arrays) % cfg_.arrays;
+  return rel < k_arrays;
+}
+
+void ScalableDropFilter::record_drop(std::uint64_t key, TimeSec now,
+                                     TimeSec epoch) {
+  record_impl(key, now, epoch, cfg_.arrays);
+}
+
+void ScalableDropFilter::record_drop_attack_domain(std::uint64_t key,
+                                                   TimeSec now, TimeSec epoch) {
+  record_impl(key, now, epoch, attack_k_);
+}
+
+ScalableDropFilter::Estimate ScalableDropFilter::query_impl(
+    std::uint64_t key, TimeSec now, TimeSec epoch, int k_arrays) const {
+  const auto now_ticks = static_cast<std::uint32_t>(now / cfg_.tick);
+  const double epoch_ticks = std::max(1.0, epoch / cfg_.tick);
+  Estimate best;
+  bool first = true;
+  for (int a = 0; a < cfg_.arrays; ++a) {
+    if (!in_subset(key, a, k_arrays)) continue;
+    const Entry& e = tables_[static_cast<std::size_t>(a)][index(a, key)];
+    const Estimate est = read_entry(e, now_ticks, epoch_ticks);
+    if (first || est.extra_drops < best.extra_drops) {
+      best = est;
+      first = false;
+    }
+  }
+  return best;
+}
+
+ScalableDropFilter::Estimate ScalableDropFilter::query(std::uint64_t key,
+                                                       TimeSec now,
+                                                       TimeSec epoch) const {
+  return query_impl(key, now, epoch, cfg_.arrays);
+}
+
+ScalableDropFilter::Estimate ScalableDropFilter::query_attack_domain(
+    std::uint64_t key, TimeSec now, TimeSec epoch) const {
+  return query_impl(key, now, epoch, attack_k_);
+}
+
+double ScalableDropFilter::preferential_drop_prob(std::uint64_t key,
+                                                  TimeSec now,
+                                                  TimeSec epoch) const {
+  const Estimate e = query(key, now, epoch);
+  if (e.extra_drops <= 0.0) return 0.0;
+  return e.extra_drops / (e.epochs + e.extra_drops);
+}
+
+double ScalableDropFilter::over_rate(std::uint64_t key, TimeSec now,
+                                     TimeSec epoch) const {
+  const Estimate e = query(key, now, epoch);
+  return 1.0 + e.extra_drops / std::max(1.0, e.epochs);
+}
+
+int ScalableDropFilter::arrays_for_attack_domains(double n_total,
+                                                  double n_attack, int m,
+                                                  double n_threshold) {
+  const double n_legit = n_total - n_attack;
+  for (int k = 1; k <= m; ++k) {
+    const double effective = n_legit + n_attack * k / m;
+    if (effective <= n_threshold) return k;
+  }
+  return m;
+}
+
+double ScalableDropFilter::false_positive_ratio(double n_flows, int m, int b) {
+  const double cells = std::pow(2.0, b);
+  return std::pow(1.0 - std::exp(-n_flows / cells), m);
+}
+
+std::size_t ScalableDropFilter::memory_bytes() const {
+  return static_cast<std::size_t>(cfg_.arrays) * (std::size_t{1} << cfg_.bits) *
+         sizeof(Entry);
+}
+
+}  // namespace floc

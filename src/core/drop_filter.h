@@ -1,0 +1,117 @@
+// Scalable attack-flow accounting (Section V-B.2 – V-B.5).
+//
+// A router cannot keep exact per-flow state for millions of attack flows, so
+// packet drops are recorded in a count-min-style filter of m arrays x 2^b
+// entries. Each entry holds
+//   t_created — when the record was created (ticks of t_base granularity)
+//   t_l       — last update time (ticks)
+//   d         — number of *extra* packet drops (saturating counter)
+// The drop counter is decremented once per congestion epoch ((W/2)*RTT) since
+// a conformant flow takes exactly one drop per epoch; what remains counts the
+// flow's over-rate, because drops are proportional to send rate. The
+// sequence number t_s of the paper is derived as elapsed epochs since
+// creation, saturating at 2^ts_bits - 1 and frozen while 2^k * t_s < d (the
+// high-rate regime, Section V-B.3).
+//
+// Preferential drop ratio (Eq. V.1 as interpreted in DESIGN.md):
+//   a flow with d extra drops over t_s epochs sends (t_s + d)/t_s times its
+//   fair share, so dropping P = d/(t_s + d) of its packets caps it at fair.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/siphash.h"
+#include "util/units.h"
+
+namespace floc {
+
+struct DropFilterConfig {
+  int arrays = 4;      // m
+  int bits = 20;       // b: 2^b entries per array
+  int ts_bits = 4;     // sequence-number width (saturation 2^ts_bits - 1)
+  int drop_bits = 8;   // extra-drop counter width
+  double tick = 0.01;  // t_base time granularity (seconds)
+  // Probabilistic filter update (V-B.4): a flow estimated at u times its
+  // fair rate updates the filter with probability 1/u and weight u.
+  bool probabilistic_update = false;
+  std::uint64_t seed = 0x0DD5;
+};
+
+class ScalableDropFilter {
+ public:
+  explicit ScalableDropFilter(DropFilterConfig cfg);
+
+  // Record one packet drop of flow `key`; `epoch` = (W/2)*RTT of its path.
+  void record_drop(std::uint64_t key, TimeSec now, TimeSec epoch);
+
+  struct Estimate {
+    double epochs = 1.0;       // t_s: congestion epochs since record creation
+    double extra_drops = 0.0;  // d: drops beyond one per epoch
+  };
+  // Count-min query (minimum d across arrays), with lazy per-epoch decay.
+  Estimate query(std::uint64_t key, TimeSec now, TimeSec epoch) const;
+
+  // Query for a flow recorded via record_drop_attack_domain: the minimum is
+  // taken over the same deterministic k-array subset the updates used.
+  Estimate query_attack_domain(std::uint64_t key, TimeSec now,
+                               TimeSec epoch) const;
+
+  // P_pd = d / (t_s + d), in [0, 1).
+  double preferential_drop_prob(std::uint64_t key, TimeSec now,
+                                TimeSec epoch) const;
+
+  // Estimated over-rate multiple (send rate / fair rate) = 1 + d/t_s.
+  double over_rate(std::uint64_t key, TimeSec now, TimeSec epoch) const;
+
+  // V-B.5: flows of highly populated attack domains update only k of the m
+  // arrays to bound the false-positive ratio for everyone else. Returns the
+  // smallest k such that the *effective* load n - n_attack + n_attack*k/m
+  // stays below n_threshold (k = m when even k = 1 cannot achieve it).
+  static int arrays_for_attack_domains(double n_total, double n_attack,
+                                       int m, double n_threshold);
+
+  // Classic Bloom false-positive ratio for n flows: (1 - e^{-n/2^b})^m.
+  static double false_positive_ratio(double n_flows, int m, int b);
+
+  // Bytes of memory the configured filter occupies.
+  std::size_t memory_bytes() const;
+
+  // Restrict subsequent updates for `key`s flagged attack-domain to k arrays.
+  void set_attack_domain_arrays(int k) { attack_k_ = k; }
+  // Record a drop for a flow of a populous attack domain (uses k arrays and,
+  // with probabilistic update, compensating weight m/k).
+  void record_drop_attack_domain(std::uint64_t key, TimeSec now, TimeSec epoch);
+
+  std::uint64_t updates() const { return updates_; }
+
+ private:
+  struct Entry {
+    std::uint32_t t_created = 0;  // ticks
+    std::uint32_t t_l = 0;        // ticks
+    float d = 0.0f;               // extra drops (saturating)
+    bool used = false;
+  };
+
+  std::size_t index(int array, std::uint64_t key) const;
+  bool in_subset(std::uint64_t key, int array, int k_arrays) const;
+  Estimate query_impl(std::uint64_t key, TimeSec now, TimeSec epoch,
+                      int k_arrays) const;
+  void update_entry(Entry& e, std::uint32_t now_ticks, double epoch_ticks,
+                    double weight);
+  Estimate read_entry(const Entry& e, std::uint32_t now_ticks,
+                      double epoch_ticks) const;
+  void record_impl(std::uint64_t key, TimeSec now, TimeSec epoch, int k_arrays);
+
+  DropFilterConfig cfg_;
+  double d_cap_;
+  double ts_cap_;
+  std::vector<std::vector<Entry>> tables_;
+  std::vector<SipKey> hash_keys_;
+  mutable Rng rng_;
+  int attack_k_;
+  std::uint64_t updates_ = 0;
+};
+
+}  // namespace floc

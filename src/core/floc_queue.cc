@@ -1,0 +1,551 @@
+#include "core/floc_queue.h"
+
+#include "core/conformance.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace floc {
+
+FlocQueue::FlocQueue(FlocConfig cfg)
+    : cfg_(cfg),
+      issuer_(cfg.secret, cfg.n_max),
+      rng_(cfg.rng_seed),
+      q_min_(static_cast<std::size_t>(cfg.qmin_frac *
+                                      static_cast<double>(cfg.buffer_packets))),
+      q_max_(cfg.buffer_packets) {
+  if (cfg_.use_scalable_filter) {
+    filter_ = std::make_unique<ScalableDropFilter>(cfg_.filter);
+  }
+}
+
+FlocQueue::Mode FlocQueue::mode() const {
+  if (q_.size() > q_max_) return Mode::kFlooding;
+  if (q_.size() > q_min_) return Mode::kCongested;
+  return Mode::kUncongested;
+}
+
+OriginPathState& FlocQueue::origin_state(const PathId& path) {
+  const std::uint64_t key = path.key();
+  auto it = origins_.find(key);
+  if (it == origins_.end()) {
+    it = origins_.emplace(key, OriginPathState(path, cfg_.beta)).first;
+  }
+  return it->second;
+}
+
+FlocQueue::Aggregate& FlocQueue::aggregate_for(OriginPathState& op) {
+  const std::uint64_t okey = op.path().key();
+  auto pit = plan_map_.find(okey);
+  std::uint64_t akey;
+  if (pit == plan_map_.end()) {
+    // New origin since the last aggregation run: identity mapping.
+    akey = okey;
+    plan_map_[okey] = akey;
+  } else {
+    akey = pit->second;
+  }
+  op.aggregate_key = akey;
+  auto it = aggregates_.find(akey);
+  if (it == aggregates_.end()) {
+    Aggregate agg;
+    agg.id = op.path();
+    agg.weight = 1.0;
+    agg.rtt = cfg_.default_rtt * cfg_.rtt_damping;
+    agg.c = cfg_.link_bandwidth /
+            static_cast<double>(aggregates_.size() + 1);
+    agg.params = model::compute_params(agg.c, agg.rtt, 1.0, cfg_.pkt_bytes);
+    agg.bucket.configure(agg.params, cfg_.pkt_bytes);
+    agg.members.push_back(okey);
+    it = aggregates_.emplace(akey, std::move(agg)).first;
+  }
+  return it->second;
+}
+
+std::uint64_t FlocQueue::acct_key(const Packet& p) const {
+  if (cfg_.enable_capabilities && cfg_.n_max > 0)
+    return issuer_.accounting_key(p);
+  return p.flow;
+}
+
+TimeSec FlocQueue::measured_flow_mtd(const OriginPathState&, std::uint64_t key,
+                                     FlowRecord& fr, const Aggregate& agg,
+                                     TimeSec now) {
+  if (cfg_.use_scalable_filter) {
+    // Scalable mode: MTD approximated from the drop filter's over-rate
+    // estimate; a flow at u times its fair rate has MTD = ref / u.
+    const double u = filter_->over_rate(key, now, agg.params.ref_mtd);
+    return agg.params.ref_mtd / std::max(1.0, u);
+  }
+  fr.mtd.set_window(
+      std::max(cfg_.mtd_window_factor, 1.0) * agg.params.ref_mtd);
+  return fr.mtd.mtd(now);
+}
+
+void FlocQueue::on_drop(const Packet& p, DropReason r, OriginPathState& op,
+                        Aggregate& agg, FlowRecord* fr, TimeSec now) {
+  drop_counts_[static_cast<std::size_t>(r)]++;
+  op.drops++;
+  if (fr != nullptr) {
+    fr->drops++;
+    fr->total_drops++;
+    if (cfg_.use_scalable_filter) {
+      filter_->record_drop(acct_key(p), now, agg.params.ref_mtd);
+    } else {
+      fr->mtd.record_drop(now);
+    }
+  }
+  note_drop(p, r, now);
+}
+
+bool FlocQueue::enqueue(Packet&& p, TimeSec now) {
+  if (now >= next_control_) control(now);
+
+  switch (p.type) {
+    case PacketType::kSyn: {
+      OriginPathState& op = origin_state(p.path);
+      FlowRecord& fr = op.touch_flow(acct_key(p), now);
+      fr.syn_time = now;
+      fr.rtt_sampled = false;
+      if (cfg_.enable_capabilities) {
+        const auto caps = issuer_.issue(p.src, p.dst, p.path);
+        p.cap0 = caps.cap0;
+        p.cap1 = caps.cap1;
+      }
+      if (q_.size() >= cfg_.buffer_packets) {
+        drop_counts_[static_cast<std::size_t>(DropReason::kQueueFull)]++;
+        note_drop(p, DropReason::kQueueFull, now);
+        return false;
+      }
+      break;  // admit
+    }
+    case PacketType::kSynAck:
+    case PacketType::kAck: {
+      if (q_.size() >= cfg_.buffer_packets) {
+        drop_counts_[static_cast<std::size_t>(DropReason::kQueueFull)]++;
+        note_drop(p, DropReason::kQueueFull, now);
+        return false;
+      }
+      break;  // admit transit control traffic
+    }
+    case PacketType::kData: {
+      if (!admit_data(p, now)) return false;
+      break;
+    }
+  }
+
+  q_bytes_ += static_cast<std::size_t>(p.size_bytes);
+  q_.push_back(std::move(p));
+  note_admit();
+  return true;
+}
+
+bool FlocQueue::admit_data(Packet& p, TimeSec now) {
+  OriginPathState& op = origin_state(p.path);
+  Aggregate& agg = aggregate_for(op);
+  const std::uint64_t key = acct_key(p);
+  FlowRecord& fr = op.touch_flow(key, now);
+
+  // RTT sample: capability issue (SYN) to first use (Section V-A).
+  if (!fr.rtt_sampled && fr.syn_time >= 0.0) {
+    const TimeSec sample = now - fr.syn_time;
+    if (sample > 0.0) op.add_rtt_sample(sample);
+    fr.rtt_sampled = true;
+  }
+
+  op.bytes_arrived += p.size_bytes;
+  op.pkts_arrived++;
+  fr.bytes_arrived += p.size_bytes;
+
+  // Capability verification: forged identifiers are rejected outright.
+  if (cfg_.enable_capabilities && p.cap0 != 0 && !issuer_.verify(p)) {
+    ++cap_violations_;
+    drop_counts_[static_cast<std::size_t>(DropReason::kCapability)]++;
+    note_drop(p, DropReason::kCapability, now);
+    return false;
+  }
+
+  if (q_.size() >= cfg_.buffer_packets) {
+    on_drop(p, DropReason::kQueueFull, op, agg, &fr, now);
+    return false;
+  }
+
+  const std::size_t q_len = q_.size();
+  bool flooding = q_len > q_max_;
+  // An identified attack path stays under token control regardless of the
+  // queue: its fixed bucket limits the path's traffic even when the queue
+  // is momentarily empty (Fig. 6(b): "the fixed token-bucket sizes limit
+  // the traffic on these paths").
+  bool congested = q_len > q_min_ || agg.attack;
+  if (!congested) {
+    // Early congested-mode entry for over-subscribed paths:
+    // Q > Q_min * min{1, C_Si/lambda_Si} (Section V-A, uncongested mode).
+    const double ratio =
+        agg.lambda_bps > 0.0 ? std::min(1.0, agg.c / agg.lambda_bps) : 1.0;
+    congested = static_cast<double>(q_len) >
+                static_cast<double>(q_min_) * ratio;
+    if (!congested) {
+      // Uncongested: serviced regardless of token availability — but the
+      // token state is still accounted so attack-path identification keeps
+      // its signal through idle-queue periods.
+      if (!agg.bucket.try_consume(p.size_bytes, now,
+                                  !cfg_.force_base_bucket)) {
+        op.token_misses++;
+      }
+      return true;
+    }
+  }
+
+  // Preferential drop for identified attack flows (Eq. IV.5): only applied
+  // on attack paths, so legitimate-path flows are never penalized by it.
+  // Within an attack path, only flows sending ABOVE their fair share are
+  // candidates (the policy targets flows with over-rate alpha > 1); a
+  // misidentified flow that reduces its rate immediately regains service.
+  if (cfg_.enable_preferential_drop && agg.attack) {
+    const double fair_bps = agg.c / std::max(agg.n, 1.0);
+    if (fr.rate_bps > fair_bps) {
+      const TimeSec mtd = measured_flow_mtd(op, key, fr, agg, now);
+      const double p_serviced =
+          std::min(1.0, mtd / std::max(agg.params.ref_mtd, 1e-9));
+      if (!rng_.chance(p_serviced)) {
+        on_drop(p, DropReason::kPreferential, op, agg, &fr, now);
+        return false;
+      }
+    }
+  }
+
+  // Token-bucket admission. Over-subscribed paths (lambda > C — the attack
+  // paths whose token control activated early) are held to their bucket
+  // strictly, with the base size N once identified as attack paths: this is
+  // what confines CBR/Shrew floods to their path allocation (Fig. 6(b)
+  // discussion). The enlarged bucket N' applies in congested mode, the base
+  // bucket N in flooding mode (Section V-A).
+  const bool use_increased =
+      !flooding && !agg.attack && !cfg_.force_base_bucket;
+  bool token_ok;
+  if (agg.attack) {
+    // Identified attack path: a flow's access to the path's tokens is
+    // filtered to its fair rate — Eq. IV.5's I(f) ("a token is available to
+    // flow f") realized probabilistically so an aggressive flow cannot
+    // monopolize the bucket against conformant flows, while conformant
+    // (rate <= fair) flows pass unfiltered.
+    const double fair_bps = agg.c / std::max(agg.n, 1.0);
+    const bool fair_ok =
+        fr.rate_bps <= fair_bps ||
+        rng_.chance(fair_bps / std::max(fr.rate_bps, 1e-9));
+    token_ok =
+        fair_ok && agg.bucket.try_consume(p.size_bytes, now, use_increased);
+  } else {
+    token_ok = agg.bucket.try_consume(p.size_bytes, now, use_increased);
+  }
+  if (token_ok) return true;
+
+  if (flooding || agg.attack) {
+    on_drop(p, DropReason::kToken, op, agg, &fr, now);
+    return false;
+  }
+  // Congested mode, path within its allocation but momentarily out of
+  // tokens (the parameters are deliberately under-estimated): neutral
+  // random-threshold drop. A queue threshold is drawn uniformly from
+  // [Q_min, Q_max]; the packet is dropped only if the queue exceeds it
+  // (early-congestion-notification analogue, Section V-A).
+  const double q_th = rng_.uniform(static_cast<double>(q_min_),
+                                   static_cast<double>(q_max_));
+  if (static_cast<double>(q_len) > q_th) {
+    on_drop(p, DropReason::kRandomEarly, op, agg, &fr, now);
+    return false;
+  }
+  op.token_misses++;  // shortfall admitted neutrally: still an MTD signal
+  return true;
+}
+
+std::optional<Packet> FlocQueue::dequeue(TimeSec) {
+  if (q_.empty()) return std::nullopt;
+  Packet p = std::move(q_.front());
+  q_.pop_front();
+  q_bytes_ -= static_cast<std::size_t>(p.size_bytes);
+  return p;
+}
+
+void FlocQueue::control(TimeSec now) {
+  const TimeSec interval = cfg_.control_interval;
+  next_control_ = now + interval;
+  ++control_ticks_;
+
+  // --- Expire idle flows; drop empty origin paths ------------------------
+  for (auto it = origins_.begin(); it != origins_.end();) {
+    it->second.expire_flows(now, cfg_.flow_timeout);
+    if (it->second.flow_count() == 0) {
+      plan_map_.erase(it->first);
+      it = origins_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  // --- Rebuild aggregates from the current plan --------------------------
+  std::unordered_map<std::uint64_t, Aggregate> fresh;
+  for (auto& [okey, op] : origins_) {
+    auto pit = plan_map_.find(okey);
+    const std::uint64_t akey = (pit != plan_map_.end()) ? pit->second : okey;
+    plan_map_[okey] = akey;
+    op.aggregate_key = akey;
+
+    auto fit = fresh.find(akey);
+    if (fit == fresh.end()) {
+      Aggregate agg;
+      auto old = aggregates_.find(akey);
+      if (old != aggregates_.end()) {
+        agg.id = old->second.id;
+        agg.weight = old->second.weight;
+        agg.bucket = old->second.bucket;  // keep token state across ticks
+        agg.params = old->second.params;
+        agg.attack = old->second.attack;
+        agg.attack_streak = old->second.attack_streak;
+        agg.calm_streak = old->second.calm_streak;
+        agg.n_estimated = old->second.n_estimated;
+      } else {
+        agg.id = op.path();
+        agg.weight = 1.0;
+      }
+      agg.n = 0.0;
+      fit = fresh.emplace(akey, std::move(agg)).first;
+    }
+    Aggregate& agg = fit->second;
+    agg.members.push_back(okey);
+    agg.n += static_cast<double>(op.flow_count());
+    agg.lambda_bps += op.bytes_arrived * kBitsPerByte / interval;
+    agg.drops_interval += op.drops;
+    // Aggregate MTD signal: realized drops of the path plus token
+    // shortfalls that the neutral/uncongested policies admitted anyway.
+    agg.token_misses_interval += op.token_misses + op.drops;
+    agg.arrivals_interval += op.pkts_arrived;
+  }
+  aggregates_ = std::move(fresh);
+
+  // --- Per-aggregate parameters, attack-path detection --------------------
+  double total_weight = 0.0;
+  for (auto& [k, agg] : aggregates_) total_weight += agg.weight;
+  if (total_weight <= 0.0) total_weight = 1.0;
+
+  double q_max_extra = 0.0;
+  for (auto& [akey, agg] : aggregates_) {
+    // RTT: flow-weighted mean over member origins, damped (Section V-A).
+    double rtt_sum = 0.0, rtt_w = 0.0;
+    for (std::uint64_t okey : agg.members) {
+      const auto& op = origins_.at(okey);
+      const double w = std::max<double>(1.0, op.flow_count());
+      rtt_sum += op.mean_rtt(cfg_.default_rtt) * w;
+      rtt_w += w;
+    }
+    agg.rtt = (rtt_w > 0.0 ? rtt_sum / rtt_w : cfg_.default_rtt) *
+              cfg_.rtt_damping;
+    agg.c = cfg_.link_bandwidth * agg.weight / total_weight;
+    if (cfg_.estimate_flow_count) {
+      // Section V-B.1: n from the aggregate drop rate (inverting the Reno
+      // drop model), smoothed for stability. Works only while the path has
+      // drops; otherwise the previous estimate (or exact count) persists.
+      const double drop_rate =
+          static_cast<double>(agg.drops_interval) / interval;
+      if (drop_rate > 0.0) {
+        const double n_inst = model::estimate_flow_count(
+            agg.c, agg.rtt, drop_rate, cfg_.pkt_bytes);
+        agg.n_estimated = agg.n_estimated > 0.0
+                              ? 0.7 * agg.n_estimated + 0.3 * n_inst
+                              : n_inst;
+      }
+      if (agg.n_estimated > 0.0) agg.n = std::max(1.0, agg.n_estimated);
+    }
+    agg.params = model::compute_params(agg.c, agg.rtt, std::max(agg.n, 1.0),
+                                       cfg_.pkt_bytes);
+    agg.bucket.configure(agg.params, cfg_.pkt_bytes);
+
+    // Attack path (Section IV-B.1): aggregate MTD below the token period
+    // while the offered load exceeds the allocation plus the reference drop
+    // rate — lambda_Si > C_Si + 1/T_Si, all in packets per second. The MTD
+    // here is measured over token-shortfall events (requests the bucket
+    // could not cover): under the paper's strict admission these ARE the
+    // drops; counting shortfalls keeps the signal causal even while the
+    // neutral congested-mode policy admits some token-less packets.
+    const TimeSec agg_mtd =
+        agg.token_misses_interval > 0
+            ? interval / static_cast<double>(agg.token_misses_interval)
+            : std::numeric_limits<TimeSec>::infinity();
+    const double c_pkts = agg.c / (kBitsPerByte * cfg_.pkt_bytes);
+    const double lambda_pkts =
+        agg.lambda_bps / (kBitsPerByte * cfg_.pkt_bytes);
+    const bool condition = agg_mtd < agg.params.period &&
+                           lambda_pkts > c_pkts + 1.0 / agg.params.period;
+#ifdef FLOC_DEBUG_DETECT
+    std::fprintf(stderr,
+                 "detect t=%.2f agg=%s mtd=%.4f T=%.4f lam=%.0f thr=%.0f "
+                 "cond=%d streak=%d\n",
+                 now, agg.id.to_string().c_str(), agg_mtd, agg.params.period,
+                 lambda_pkts, c_pkts + 1.0 / agg.params.period, condition,
+                 agg.attack_streak);
+#endif
+    // Hysteresis: a flood holds the condition every interval; a legitimate
+    // path crossing it transiently (TCP probing) does not latch.
+    if (condition) {
+      agg.attack_streak++;
+      agg.calm_streak = 0;
+      if (agg.attack_streak >= cfg_.attack_latch) agg.attack = true;
+    } else {
+      agg.calm_streak++;
+      agg.attack_streak = 0;
+      if (agg.calm_streak >= cfg_.attack_release) agg.attack = false;
+    }
+
+    q_max_extra += std::sqrt(std::max(agg.n, 1.0)) * agg.params.peak_window;
+  }
+  // Q_max = Q_min + sum sqrt(n_i)*W_i, floored at 10% of the buffer above
+  // Q_min so a freshly started (or idle) queue is never stuck with
+  // Q_max == Q_min, and capped at the physical buffer.
+  const std::size_t headroom_floor =
+      std::max<std::size_t>(1, cfg_.buffer_packets / 10);
+  q_max_ = std::min(
+      cfg_.buffer_packets,
+      q_min_ + std::max(headroom_floor, static_cast<std::size_t>(q_max_extra)));
+
+  // --- Conformance update per origin path (Eq. IV.6) ----------------------
+  for (auto& [okey, op] : origins_) {
+    const Aggregate& agg = aggregates_.at(op.aggregate_key);
+    const double fair_bps = agg.c / std::max(agg.n, 1.0);
+    std::size_t n_attack = 0;
+    for (auto& [fkey, fr] : op.flows()) {
+      // Refresh the smoothed per-flow arrival-rate estimate.
+      const double inst = fr.bytes_arrived * kBitsPerByte / interval;
+      fr.rate_bps = fr.rate_bps > 0.0 ? 0.5 * fr.rate_bps + 0.5 * inst : inst;
+
+      if (fr.rate_bps <= fair_bps) continue;  // within fair share: legit
+      TimeSec mtd;
+      if (cfg_.use_scalable_filter) {
+        const double u = filter_->over_rate(fkey, now, agg.params.ref_mtd);
+        mtd = agg.params.ref_mtd / std::max(1.0, u);
+      } else {
+        fr.mtd.set_window(std::max(cfg_.mtd_window_factor, 1.0) *
+                          agg.params.ref_mtd);
+        mtd = fr.mtd.mtd(now);
+      }
+      if (is_attack_mtd(mtd, agg.params.ref_mtd, cfg_.attack_mtd_factor))
+        ++n_attack;
+    }
+    op.update_conformance(legitimate_fraction(n_attack, op.flow_count()));
+  }
+
+  // --- Aggregation run (Section IV-C) -------------------------------------
+  if (cfg_.enable_aggregation &&
+      control_ticks_ % std::max(1, cfg_.aggregation_every) == 0) {
+    run_aggregation(now);
+  }
+
+  // --- Reset interval counters --------------------------------------------
+  for (auto& [okey, op] : origins_) {
+    op.bytes_arrived = 0.0;
+    op.pkts_arrived = 0;
+    op.drops = 0;
+    op.token_misses = 0;
+    for (auto& [fkey, fr] : op.flows()) {
+      fr.bytes_arrived = 0.0;
+      fr.drops = 0;
+    }
+  }
+  // Aggregate counters are recomputed from origin sums at the next rebuild;
+  // lambda_bps intentionally persists as "last measured offered load" for
+  // the early congested-mode test.
+}
+
+void FlocQueue::run_aggregation(TimeSec) {
+  std::vector<PathSnapshot> snaps;
+  snaps.reserve(origins_.size());
+  for (const auto& [okey, op] : origins_) {
+    const auto ait = aggregates_.find(op.aggregate_key);
+    const bool suspect =
+        ait != aggregates_.end() &&
+        (ait->second.attack || ait->second.attack_streak > 0);
+    snaps.push_back(PathSnapshot{op.path(), op.conformance(),
+                                 static_cast<double>(op.flow_count()),
+                                 suspect});
+  }
+  AggregationConfig acfg;
+  acfg.s_max = cfg_.s_max;
+  acfg.e_th = cfg_.e_th;
+  acfg.legit_max_increase = cfg_.legit_max_increase;
+  Aggregator aggregator(acfg);
+  const AggregationPlan plan = aggregator.plan(snaps);
+
+  plan_map_.clear();
+  std::unordered_map<std::uint64_t, const AggregationPlan::Entry*> by_agg;
+  for (const auto& [okey, entry] : plan.mapping) {
+    const std::uint64_t akey = entry.group_key();
+    plan_map_[okey] = akey;
+    by_agg[akey] = &entry;
+  }
+  // Seed / update aggregate identities and weights so the next rebuild (and
+  // on-demand lookups until then) see the new plan.
+  for (const auto& [akey, entry] : by_agg) {
+    auto it = aggregates_.find(akey);
+    if (it == aggregates_.end()) {
+      Aggregate agg;
+      agg.id = entry->aggregate;
+      agg.weight = entry->share_weight;
+      agg.rtt = cfg_.default_rtt * cfg_.rtt_damping;
+      agg.c = cfg_.link_bandwidth /
+              static_cast<double>(std::max<std::size_t>(1, aggregates_.size()));
+      agg.params = model::compute_params(agg.c, agg.rtt, 1.0, cfg_.pkt_bytes);
+      agg.bucket.configure(agg.params, cfg_.pkt_bytes);
+      aggregates_.emplace(akey, std::move(agg));
+    } else {
+      it->second.weight = entry->share_weight;
+    }
+  }
+}
+
+// --- Introspection ---------------------------------------------------------
+
+bool FlocQueue::is_attack_path(const PathId& origin) const {
+  const auto oit = origins_.find(origin.key());
+  if (oit == origins_.end()) return false;
+  const auto ait = aggregates_.find(oit->second.aggregate_key);
+  return ait != aggregates_.end() && ait->second.attack;
+}
+
+bool FlocQueue::is_aggregated(const PathId& origin) const {
+  const auto oit = origins_.find(origin.key());
+  if (oit == origins_.end()) return false;
+  return oit->second.aggregate_key != origin.key();
+}
+
+double FlocQueue::conformance(const PathId& origin) const {
+  const auto oit = origins_.find(origin.key());
+  return oit == origins_.end() ? 1.0 : oit->second.conformance();
+}
+
+const model::TokenBucketParams* FlocQueue::params_for(
+    const PathId& origin) const {
+  const auto oit = origins_.find(origin.key());
+  if (oit == origins_.end()) return nullptr;
+  const auto ait = aggregates_.find(oit->second.aggregate_key);
+  return ait == aggregates_.end() ? nullptr : &ait->second.params;
+}
+
+double FlocQueue::flow_mtd(const PathId& origin, std::uint64_t key,
+                           TimeSec now) {
+  auto oit = origins_.find(origin.key());
+  if (oit == origins_.end()) return std::numeric_limits<double>::infinity();
+  auto ait = aggregates_.find(oit->second.aggregate_key);
+  if (ait == aggregates_.end()) return std::numeric_limits<double>::infinity();
+  FlowRecord* fr = oit->second.find_flow(key);
+  if (fr == nullptr) return std::numeric_limits<double>::infinity();
+  return measured_flow_mtd(oit->second, key, *fr, ait->second, now);
+}
+
+std::size_t FlocQueue::path_flow_count(const PathId& origin) const {
+  const auto oit = origins_.find(origin.key());
+  return oit == origins_.end() ? 0 : oit->second.flow_count();
+}
+
+}  // namespace floc

@@ -1,0 +1,180 @@
+// The FLoc router subsystem (Sections III–V) packaged as a queue discipline
+// for the congested link.
+//
+// Responsibilities:
+//  * per-path token buckets sized from (C_Si, RTT_i, n_i) — Eqs. IV.1–IV.3;
+//  * capability issuance on SYNs and verification on data (Section III-A);
+//  * RTT estimation from capability issue to first use (Section V-A);
+//  * three queue modes — uncongested / congested / flooding — with early
+//    congested-mode entry for over-subscribed paths and the random-threshold
+//    neutral drop policy (Section V-A);
+//  * per-flow MTD measurement and the preferential-drop admission policy
+//    Pr(serviced) = I_token * min{1, MTD/(n_i*T_Si)} — Eqs. IV.4–IV.5;
+//  * path conformance tracking (Eq. IV.6) and attack/legitimate path
+//    aggregation (Section IV-C) against the |S|_max budget;
+//  * covert-attack slot accounting via n_max capability slots (IV-B.3);
+//  * optional scalable mode where MTD state lives in a bloom-style drop
+//    filter instead of exact per-flow records (Section V-B).
+//
+// The control loop (parameter re-estimation, conformance update, aggregation)
+// runs lazily off packet arrivals every `control_interval`, so the queue
+// needs no timers and composes with any simulator driving enqueue/dequeue.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/aggregation.h"
+#include "core/capability.h"
+#include "core/drop_filter.h"
+#include "core/flow_table.h"
+#include "core/model.h"
+#include "core/token_bucket.h"
+#include "netsim/queue_disc.h"
+#include "util/rng.h"
+
+namespace floc {
+
+struct FlocConfig {
+  BitsPerSec link_bandwidth = mbps(500);
+  std::size_t buffer_packets = 1000;
+  double qmin_frac = 0.2;      // Q_min as a fraction of the buffer
+  int pkt_bytes = 1500;
+
+  // Bandwidth guarantees / aggregation.
+  int s_max = 1 << 30;         // |S|_max
+  double e_th = 0.5;           // attack-tree conformance threshold
+  double beta = 0.2;           // conformance smoothing (Eq. IV.6)
+  double legit_max_increase = 0.5;
+  bool enable_aggregation = true;
+
+  // Attack identification.
+  double attack_mtd_factor = 0.5;  // flow is attack if MTD < factor*refMTD
+  double mtd_window_factor = 2.0;  // k = factor*n_i periods (k >= n_i)
+  bool enable_preferential_drop = true;
+  // Hysteresis on the attack-path flag: latch after `attack_latch`
+  // consecutive positive intervals, release after `attack_release` calm ones.
+  int attack_latch = 4;
+  int attack_release = 4;
+  // Ablation knob: always use the base bucket N instead of the enlarged N'
+  // (Eq. IV.3) in congested mode — quantifies what the increase buys.
+  bool force_base_bucket = false;
+
+  // Estimation.
+  double rtt_damping = 0.5;    // divide measured path RTT (Section V-A)
+  TimeSec default_rtt = 0.1;   // before any sample exists
+  TimeSec flow_timeout = 2.0;  // active-flow expiry
+  TimeSec control_interval = 0.25;
+  int aggregation_every = 4;   // control ticks between aggregation runs
+
+  // Capabilities / covert defense.
+  bool enable_capabilities = true;
+  int n_max = 0;               // capability slots per source (0 = off)
+  std::uint64_t secret = 0xF10CF10CF10CULL;
+
+  // Scalable mode (Section V-B): MTD from the drop filter.
+  bool use_scalable_filter = false;
+  DropFilterConfig filter;
+  // Section V-B.1: estimate the number of competing flows per path from the
+  // observed drop rate instead of exact per-flow counting — the high-speed
+  // design where per-flow state is unaffordable. Blends with the previous
+  // estimate (EWMA) for stability; exact counting remains the default.
+  bool estimate_flow_count = false;
+
+  std::uint64_t rng_seed = 42;
+};
+
+class FlocQueue : public QueueDisc {
+ public:
+  explicit FlocQueue(FlocConfig cfg);
+
+  bool enqueue(Packet&& p, TimeSec now) override;
+  std::optional<Packet> dequeue(TimeSec now) override;
+  bool empty() const override { return q_.empty(); }
+  std::size_t packet_count() const override { return q_.size(); }
+  std::size_t byte_count() const override { return q_bytes_; }
+
+  // --- Introspection (tests, experiments) --------------------------------
+  enum class Mode { kUncongested, kCongested, kFlooding };
+  Mode mode() const;
+  std::size_t q_min() const { return q_min_; }
+  std::size_t q_max() const { return q_max_; }
+
+  int active_aggregate_count() const { return static_cast<int>(aggregates_.size()); }
+  int active_origin_path_count() const { return static_cast<int>(origins_.size()); }
+  bool is_attack_path(const PathId& origin) const;
+  bool is_aggregated(const PathId& origin) const;
+  double conformance(const PathId& origin) const;
+  // Token parameters of the aggregate serving `origin` (if active).
+  const model::TokenBucketParams* params_for(const PathId& origin) const;
+  double flow_mtd(const PathId& origin, std::uint64_t acct_key, TimeSec now);
+  std::size_t path_flow_count(const PathId& origin) const;
+  const CapabilityIssuer& issuer() const { return issuer_; }
+
+  std::uint64_t drops_by_reason(DropReason r) const {
+    return drop_counts_[static_cast<std::size_t>(r)];
+  }
+  std::uint64_t capability_violations() const { return cap_violations_; }
+
+  // Force a control-loop pass at `now` (tests).
+  void run_control(TimeSec now) { control(now); }
+
+ private:
+  struct Aggregate {
+    PathId id;
+    double weight = 1.0;            // bandwidth shares
+    bool attack = false;
+    PathTokenBucket bucket;
+    model::TokenBucketParams params;
+    // Cached per-control-interval values:
+    double n = 1.0;                 // accounting flows
+    TimeSec rtt = 0.1;              // damped estimate
+    BitsPerSec c = 0.0;             // guaranteed bandwidth
+    double lambda_bps = 0.0;        // offered load last interval
+    std::uint64_t drops_interval = 0;
+    std::uint64_t token_misses_interval = 0;
+    std::uint64_t arrivals_interval = 0;
+    int attack_streak = 0;          // consecutive intervals condition held
+    int calm_streak = 0;            // consecutive intervals condition clear
+    double n_estimated = 0.0;       // smoothed drop-rate-based flow estimate
+    std::vector<std::uint64_t> members;  // origin-path keys
+  };
+
+  OriginPathState& origin_state(const PathId& path);
+  Aggregate& aggregate_for(OriginPathState& op);
+  std::uint64_t acct_key(const Packet& p) const;
+
+  bool admit_data(Packet& p, TimeSec now);
+  void on_drop(const Packet& p, DropReason r, OriginPathState& op,
+               Aggregate& agg, FlowRecord* fr, TimeSec now);
+  void control(TimeSec now);
+  void run_aggregation(TimeSec now);
+  TimeSec measured_flow_mtd(const OriginPathState& op, std::uint64_t key,
+                            FlowRecord& fr, const Aggregate& agg, TimeSec now);
+
+  FlocConfig cfg_;
+  CapabilityIssuer issuer_;
+  Rng rng_;
+  std::unique_ptr<ScalableDropFilter> filter_;
+
+  std::deque<Packet> q_;
+  std::size_t q_bytes_ = 0;
+  std::size_t q_min_;
+  std::size_t q_max_;
+
+  // Origin-path states keyed by full PathId::key().
+  std::unordered_map<std::uint64_t, OriginPathState> origins_;
+  // Aggregates keyed by aggregate PathId::key().
+  std::unordered_map<std::uint64_t, Aggregate> aggregates_;
+  // Current plan mapping origin key -> aggregate key.
+  std::unordered_map<std::uint64_t, std::uint64_t> plan_map_;
+
+  TimeSec next_control_ = 0.0;
+  int control_ticks_ = 0;
+  std::uint64_t drop_counts_[6] = {};
+  std::uint64_t cap_violations_ = 0;
+};
+
+}  // namespace floc

@@ -1,0 +1,28 @@
+#include "core/flow_table.h"
+
+namespace floc {
+
+FlowRecord& OriginPathState::touch_flow(std::uint64_t acct_key, TimeSec now) {
+  auto [it, inserted] = flows_.try_emplace(acct_key);
+  if (inserted) it->second.first_seen = now;
+  it->second.last_seen = now;
+  return it->second;
+}
+
+FlowRecord* OriginPathState::find_flow(std::uint64_t acct_key) {
+  auto it = flows_.find(acct_key);
+  return it == flows_.end() ? nullptr : &it->second;
+}
+
+std::size_t OriginPathState::expire_flows(TimeSec now, TimeSec timeout) {
+  for (auto it = flows_.begin(); it != flows_.end();) {
+    if (it->second.last_seen < now - timeout) {
+      it = flows_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return flows_.size();
+}
+
+}  // namespace floc

@@ -1,0 +1,67 @@
+#include "core/model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace floc::model {
+
+double peak_window(BitsPerSec c_bps, TimeSec rtt, double n, int pkt_bytes) {
+  const double c_pkts = c_bps / (kBitsPerByte * pkt_bytes);
+  return 4.0 * c_pkts * rtt / (3.0 * n);
+}
+
+TimeSec flow_mtd(double w, TimeSec rtt) { return (w / 2.0) * rtt; }
+
+TimeSec token_period(double w, TimeSec rtt, double n) {
+  return flow_mtd(w, rtt) / n;
+}
+
+double bucket_packets(BitsPerSec c_bps, TimeSec period, int pkt_bytes) {
+  return c_bps * period / (kBitsPerByte * pkt_bytes);
+}
+
+double bucket_increase_factor(double n) {
+  return 1.0 + 2.0 / (3.0 * std::sqrt(std::max(n, 1.0)));
+}
+
+double drop_ratio(double w) {
+  return 8.0 / (3.0 * w * (w + 2.0));
+}
+
+double aggregate_drop_rate(double w, TimeSec rtt, double n) {
+  return n / flow_mtd(w, rtt);
+}
+
+double estimate_flow_count(BitsPerSec c_bps, TimeSec rtt, double drops_per_sec,
+                           int pkt_bytes) {
+  // With W = 4·c_pkts·RTT/(3n) and rate = n / ((W/2)·RTT):
+  //   rate = n² · 3 / (2·c_pkts·RTT²)  =>  n = sqrt(rate·2·c_pkts·RTT²/3).
+  const double c_pkts = c_bps / (kBitsPerByte * pkt_bytes);
+  return std::sqrt(std::max(0.0, drops_per_sec * 2.0 * c_pkts * rtt * rtt / 3.0));
+}
+
+double synchronized_utilization() { return 0.75; }
+double synchronized_peak_to_trough() { return 2.0; }
+
+TokenBucketParams compute_params(BitsPerSec c_bps, TimeSec rtt, double n,
+                                 int pkt_bytes, TimeSec min_period,
+                                 TimeSec max_period) {
+  TokenBucketParams p;
+  n = std::max(n, 1.0);
+  p.peak_window = std::max(2.0, peak_window(c_bps, rtt, n, pkt_bytes));
+  // The period must be long enough for at least two full packets of tokens
+  // to accumulate (N = C*T >= 2 packets): one-packet buckets would both
+  // over-serve the path through integer rounding and deterministically drop
+  // the second packet of every back-to-back TCP pair, and the reference
+  // drop rate 1/T would exceed the service rate itself.
+  const double c_pkts = c_bps / (kBitsPerByte * pkt_bytes);
+  const double two_packet_period = c_pkts > 0.0 ? 2.0 / c_pkts : max_period;
+  const double lo = std::max(min_period, std::min(two_packet_period, max_period));
+  p.period = std::clamp(token_period(p.peak_window, rtt, n), lo, max_period);
+  p.bucket_packets = std::max(1.0, bucket_packets(c_bps, p.period, pkt_bytes));
+  p.bucket_packets_incr = p.bucket_packets * bucket_increase_factor(n);
+  p.ref_mtd = n * p.period;
+  return p;
+}
+
+}  // namespace floc::model

@@ -1,0 +1,68 @@
+// Analytical model of dependable link access (Section IV-A, V-B.1).
+//
+// Pure functions relating guaranteed bandwidth, RTT, flow count, TCP window
+// size, token-bucket parameters and packet-drop statistics. Everything that
+// the router computes online is also expressible here, which makes the model
+// directly unit-testable and lets benches regenerate Figs. 2 and 4.
+#pragma once
+
+#include "util/units.h"
+
+namespace floc::model {
+
+// Peak congestion window (packets) of each of `n` fair-sharing Reno flows on
+// a path guaranteed `c_bps` with round-trip time `rtt`: mean window is 3W/4,
+// so  c/n = (3W/4)·pkt/RTT  =>  W = 4·c·RTT / (3·n·pkt·8).
+double peak_window(BitsPerSec c_bps, TimeSec rtt, double n, int pkt_bytes);
+
+// Mean time to drop of one flow: MTD = (W/2)·RTT  (one drop per half-window
+// of RTTs in the AIMD sawtooth).
+TimeSec flow_mtd(double peak_window, TimeSec rtt);
+
+// Token generation period T_Si = MTD / n = (W/2)·RTT/n (Eq. IV.1).
+TimeSec token_period(double peak_window, TimeSec rtt, double n);
+
+// Base bucket size in packets: N_Si = C·T (Eq. IV.2).
+double bucket_packets(BitsPerSec c_bps, TimeSec period, int pkt_bytes);
+
+// Increase factor for i.i.d. unsynchronized flows (Eq. IV.3 with ε = √12):
+// N' = (1 + 2/(3√n))·N.
+double bucket_increase_factor(double n);
+
+// Packet-drop *ratio* of a Reno flow with peak window W: one drop per
+// congestion epoch of (3/8)·W·(W+2) packets  =>  γ = 8 / (3·W·(W+2))
+// (Section V-B.1; the exact epoch length for W/2 -> W growth).
+double drop_ratio(double peak_window);
+
+// Packet-drop *rate* (drops/sec) of an n-flow aggregate: n drops per epoch of
+// (W/2)·RTT seconds.
+double aggregate_drop_rate(double peak_window, TimeSec rtt, double n);
+
+// Inverse problem used by the scalable router design: estimate the number of
+// flows sharing (c_bps, rtt) from the observed aggregate drop rate.
+double estimate_flow_count(BitsPerSec c_bps, TimeSec rtt, double drops_per_sec,
+                           int pkt_bytes);
+
+// Fraction of generated tokens consumable when all flows are synchronized in
+// phase: 3/4 (Fig. 4 discussion); 1.0 when fully unsynchronized.
+double synchronized_utilization();
+
+// Token-request rate multiplier at the synchronized peak (window at W vs the
+// post-drop trough at W/2): 2.0.
+double synchronized_peak_to_trough();
+
+struct TokenBucketParams {
+  TimeSec period = 0.01;          // T_Si
+  double bucket_packets = 1.0;    // N_Si
+  double bucket_packets_incr = 1.0;  // N'_Si
+  double peak_window = 2.0;       // W_i (packets)
+  double ref_mtd = 0.1;           // n_i * T_Si
+};
+
+// One-stop computation with the clamping the router applies (W >= 2 packets,
+// T in [min_period, max_period]).
+TokenBucketParams compute_params(BitsPerSec c_bps, TimeSec rtt, double n,
+                                 int pkt_bytes, TimeSec min_period = 1e-4,
+                                 TimeSec max_period = 1.0);
+
+}  // namespace floc::model

@@ -1,0 +1,27 @@
+#include "core/mtd_tracker.h"
+
+namespace floc {
+
+void MtdTracker::record_drop(TimeSec now) {
+  prune(now);
+  if (drops_.size() >= max_records_) drops_.pop_front();
+  drops_.push_back(now);
+  ++total_drops_;
+}
+
+void MtdTracker::prune(TimeSec now) {
+  while (!drops_.empty() && drops_.front() < now - window_) drops_.pop_front();
+}
+
+std::size_t MtdTracker::drops_in_window(TimeSec now) {
+  prune(now);
+  return drops_.size();
+}
+
+TimeSec MtdTracker::mtd(TimeSec now) {
+  prune(now);
+  if (drops_.empty()) return std::numeric_limits<TimeSec>::infinity();
+  return window_ / static_cast<TimeSec>(drops_.size());
+}
+
+}  // namespace floc

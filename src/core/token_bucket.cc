@@ -1,0 +1,49 @@
+#include "core/token_bucket.h"
+
+#include <cmath>
+
+namespace floc {
+
+void PathTokenBucket::configure(const model::TokenBucketParams& params,
+                                int pkt_bytes) {
+  params_ = params;
+  pkt_bytes_ = pkt_bytes;
+  if (!configured_) {
+    // First configuration: start with a full (increased) bucket so a path
+    // entering congestion is not instantly starved.
+    tokens_bytes_ = cap_bytes(true);
+    configured_ = true;
+  }
+}
+
+double PathTokenBucket::cap_bytes(bool use_increased) const {
+  const double pkts =
+      use_increased ? params_.bucket_packets_incr : params_.bucket_packets;
+  return pkts * pkt_bytes_;
+}
+
+void PathTokenBucket::refill(TimeSec now, bool use_increased) {
+  const auto period_idx = static_cast<std::int64_t>(now / params_.period);
+  if (period_idx != last_period_) {
+    tokens_bytes_ = cap_bytes(use_increased);
+    last_period_ = period_idx;
+    ++refills_;
+  }
+}
+
+bool PathTokenBucket::try_consume(double bytes, TimeSec now,
+                                  bool use_increased) {
+  refill(now, use_increased);
+  if (tokens_bytes_ + 1e-9 >= bytes) {
+    tokens_bytes_ -= bytes;
+    return true;
+  }
+  return false;
+}
+
+double PathTokenBucket::tokens(TimeSec now, bool use_increased) {
+  refill(now, use_increased);
+  return tokens_bytes_;
+}
+
+}  // namespace floc

@@ -1,0 +1,45 @@
+// Per-path token bucket (Section IV-A): N tokens are generated at the start
+// of each period T and unused tokens of the previous period are discarded.
+// Refills are computed lazily from the clock, so no timer events are needed.
+#pragma once
+
+#include <cstdint>
+
+#include "core/model.h"
+#include "util/units.h"
+
+namespace floc {
+
+class PathTokenBucket {
+ public:
+  PathTokenBucket() = default;
+
+  // Install new parameters; `pkt_bytes` converts packet-denominated bucket
+  // sizes into byte-denominated tokens. Takes effect at the next refill.
+  void configure(const model::TokenBucketParams& params, int pkt_bytes);
+
+  // Try to take `bytes` of tokens at time `now`. `use_increased` selects the
+  // enlarged bucket N' (congested mode) over the base bucket N (flooding
+  // mode). Returns true and consumes on success.
+  bool try_consume(double bytes, TimeSec now, bool use_increased);
+
+  // Tokens currently available (after lazy refill with the given bucket).
+  double tokens(TimeSec now, bool use_increased);
+
+  const model::TokenBucketParams& params() const { return params_; }
+  bool configured() const { return configured_; }
+  std::uint64_t refills() const { return refills_; }
+
+ private:
+  void refill(TimeSec now, bool use_increased);
+  double cap_bytes(bool use_increased) const;
+
+  model::TokenBucketParams params_;
+  int pkt_bytes_ = 1500;
+  bool configured_ = false;
+  double tokens_bytes_ = 0.0;
+  std::int64_t last_period_ = -1;
+  std::uint64_t refills_ = 0;
+};
+
+}  // namespace floc

@@ -1,0 +1,49 @@
+// One-call driver for a Section VII experiment: topology preset + source
+// placement + policy matrix, with a scale knob so the default bench suite
+// completes quickly while --paper reproduces the published scale
+// (10k legitimate sources / 200 ASes, 100k bots / 100 or 300 ASes,
+// 16,000 packets-per-tick bottleneck).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "inetsim/tick_sim.h"
+#include "topology/skitter_gen.h"
+
+namespace floc {
+
+struct InetExperimentConfig {
+  SkitterPreset preset = SkitterPreset::kFRoot;
+  int attack_ases = 100;       // 100 localized (Fig. 13) / 300 wide (Fig. 14)
+  double legit_overlap = 0.3;  // 0.0 for the separated topologies (Fig. 15)
+  double scale = 1.0;          // scales populations and capacity together
+  int ticks = 3000;
+  std::uint64_t seed = 5;
+};
+
+struct InetScenarioRow {
+  std::string label;  // ND / FF / NA / A-200 / A-100
+  TickResults results;
+};
+
+// Runs the paper's five-policy comparison (ND, FF, FLoc-NA, A-200, A-100)
+// on the configured topology. Aggregation budgets scale with `scale`.
+std::vector<InetScenarioRow> run_inet_experiment(const InetExperimentConfig& cfg);
+
+// Topology statistics used by the Fig. 11/12 harness.
+struct TopologyStats {
+  std::string preset;
+  int ases = 0;
+  int max_depth = 0;
+  double mean_depth = 0.0;
+  int attack_ases = 0;
+  double mean_attack_depth = 0.0;
+  double mean_legit_depth = 0.0;
+  double bot_concentration_top17pct = 0.0;  // CBL-skew check
+  int legit_in_attack_ases = 0;
+};
+
+TopologyStats topology_stats(const InetExperimentConfig& cfg);
+
+}  // namespace floc

@@ -1,0 +1,24 @@
+#include "netsim/drop_tail.h"
+
+namespace floc {
+
+bool DropTailQueue::enqueue(Packet&& p, TimeSec now) {
+  if (q_.size() >= capacity_) {
+    note_drop(p, DropReason::kQueueFull, now);
+    return false;
+  }
+  bytes_ += static_cast<std::size_t>(p.size_bytes);
+  q_.push_back(std::move(p));
+  note_admit();
+  return true;
+}
+
+std::optional<Packet> DropTailQueue::dequeue(TimeSec) {
+  if (q_.empty()) return std::nullopt;
+  Packet p = std::move(q_.front());
+  q_.pop_front();
+  bytes_ -= static_cast<std::size_t>(p.size_bytes);
+  return p;
+}
+
+}  // namespace floc

@@ -1,0 +1,53 @@
+#include "netsim/link.h"
+
+#include <cassert>
+#include <utility>
+
+#include "netsim/node.h"
+
+namespace floc {
+
+Link::Link(Simulator* sim, Node* to, BitsPerSec bandwidth, TimeSec delay,
+           std::unique_ptr<QueueDisc> queue)
+    : sim_(sim), to_(to), bandwidth_(bandwidth), delay_(delay),
+      queue_(std::move(queue)) {
+  assert(queue_ && "link requires a queue discipline");
+}
+
+void Link::set_queue(std::unique_ptr<QueueDisc> q) {
+  assert(q);
+  queue_ = std::move(q);
+}
+
+void Link::send(Packet&& p) {
+  if (queue_->enqueue(std::move(p), sim_->now())) {
+    try_transmit();
+  }
+}
+
+void Link::try_transmit() {
+  if (busy_) return;
+  auto pkt = queue_->dequeue(sim_->now());
+  if (!pkt) return;
+  busy_ = true;
+  const TimeSec tx = transmission_time(pkt->size_bytes, bandwidth_);
+  bytes_sent_ += static_cast<std::uint64_t>(pkt->size_bytes);
+  ++packets_sent_;
+  // Transmitter frees after serialization; the packet lands after the
+  // additional propagation delay.
+  sim_->schedule_in(tx, [this] {
+    busy_ = false;
+    try_transmit();
+  });
+  sim_->schedule_in(tx + delay_, [this, p = std::move(*pkt)]() mutable {
+    to_->receive(std::move(p));
+  });
+}
+
+double Link::utilization(TimeSec t0, TimeSec t1) const {
+  if (t1 <= t0) return 0.0;
+  return static_cast<double>(bytes_sent_) * kBitsPerByte /
+         ((t1 - t0) * bandwidth_);
+}
+
+}  // namespace floc

@@ -1,0 +1,53 @@
+// Unidirectional link: serialization at a fixed rate, propagation delay, and
+// an attached queue discipline at the egress port.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "netsim/queue_disc.h"
+#include "netsim/simulator.h"
+#include "util/units.h"
+
+namespace floc {
+
+class Node;
+
+class Link {
+ public:
+  Link(Simulator* sim, Node* to, BitsPerSec bandwidth, TimeSec delay,
+       std::unique_ptr<QueueDisc> queue);
+
+  // Offer a packet to the egress queue and start transmitting if idle.
+  void send(Packet&& p);
+
+  QueueDisc& queue() { return *queue_; }
+  const QueueDisc& queue() const { return *queue_; }
+  // Replace the queue discipline (must be done before traffic starts).
+  void set_queue(std::unique_ptr<QueueDisc> q);
+
+  BitsPerSec bandwidth() const { return bandwidth_; }
+  TimeSec delay() const { return delay_; }
+  Node* to() const { return to_; }
+
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+  std::uint64_t packets_sent() const { return packets_sent_; }
+
+  // Mean utilization of the link over [t0, t1] given recorded bytes; caller
+  // supplies the measurement window.
+  double utilization(TimeSec t0, TimeSec t1) const;
+
+ private:
+  void try_transmit();
+
+  Simulator* sim_;
+  Node* to_;
+  BitsPerSec bandwidth_;
+  TimeSec delay_;
+  std::unique_ptr<QueueDisc> queue_;
+  bool busy_ = false;
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t packets_sent_ = 0;
+};
+
+}  // namespace floc

@@ -1,0 +1,72 @@
+#include "netsim/packet.h"
+
+#include <cassert>
+
+#include "util/siphash.h"
+
+namespace floc {
+
+void PathId::push_origin(AsNumber as) {
+  assert(len_ < kMaxHops);
+  hops_[static_cast<std::size_t>(len_++)] = as;
+}
+
+void PathId::truncate_to(int new_len) {
+  assert(new_len >= 0 && new_len <= len_);
+  len_ = new_len;
+}
+
+bool PathId::has_prefix(const PathId& other) const {
+  if (other.len_ > len_) return false;
+  for (int i = 0; i < other.len_; ++i) {
+    if (hops_[static_cast<std::size_t>(i)] != other.hops_[static_cast<std::size_t>(i)])
+      return false;
+  }
+  return true;
+}
+
+bool PathId::operator==(const PathId& o) const {
+  if (len_ != o.len_) return false;
+  for (int i = 0; i < len_; ++i) {
+    if (hops_[static_cast<std::size_t>(i)] != o.hops_[static_cast<std::size_t>(i)])
+      return false;
+  }
+  return true;
+}
+
+std::uint64_t PathId::key() const {
+  static constexpr SipKey kKey{0x464c6f63, 0x50617468};  // fixed, non-secret
+  std::array<std::uint64_t, kMaxHops> words{};
+  for (int i = 0; i < len_; ++i)
+    words[static_cast<std::size_t>(i)] = hops_[static_cast<std::size_t>(i)];
+  return siphash24_words(
+      kKey, std::span<const std::uint64_t>(words.data(), static_cast<std::size_t>(len_)));
+}
+
+std::string PathId::to_string() const {
+  std::string out = "{";
+  for (int i = 0; i < len_; ++i) {
+    if (i) out += ",";
+    out += std::to_string(hops_[static_cast<std::size_t>(i)]);
+  }
+  out += "}";
+  return out;
+}
+
+PathId PathId::of(std::initializer_list<AsNumber> as) {
+  PathId p;
+  for (AsNumber a : as) p.push_origin(a);
+  return p;
+}
+
+const char* to_string(PacketType t) {
+  switch (t) {
+    case PacketType::kSyn: return "SYN";
+    case PacketType::kSynAck: return "SYN-ACK";
+    case PacketType::kData: return "DATA";
+    case PacketType::kAck: return "ACK";
+  }
+  return "?";
+}
+
+}  // namespace floc

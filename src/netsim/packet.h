@@ -1,0 +1,79 @@
+// Packet and header types shared across the event-driven simulator.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace floc {
+
+using HostAddr = std::uint32_t;  // simulator-wide unique host address ("IP")
+using AsNumber = std::uint32_t;  // autonomous-system number
+using FlowId = std::uint64_t;    // simulator-wide unique flow identifier
+
+// Domain-path identifier S_i = {AS_i, AS_{i-1}, ..., AS_1}: the sequence of
+// domains from the packet's origin towards the destination (Section III-A).
+// In FLoc the BGP speaker of the origin domain writes it; here the scenario
+// builder fills it in when creating a source. Fixed inline capacity keeps
+// packets cheap to copy per hop.
+class PathId {
+ public:
+  static constexpr int kMaxHops = 12;
+
+  PathId() = default;
+
+  void push_origin(AsNumber as);       // append at the origin end
+  void truncate_to(int new_len);       // keep the first new_len entries
+
+  int length() const { return len_; }
+  bool empty() const { return len_ == 0; }
+  AsNumber at(int i) const { return hops_[static_cast<std::size_t>(i)]; }
+  // The domain of origin (last element of S_i in paper notation).
+  AsNumber origin() const { return len_ ? hops_[static_cast<std::size_t>(len_ - 1)] : 0; }
+
+  // True if `other` is a (weak) prefix of this path, router-side first.
+  bool has_prefix(const PathId& other) const;
+
+  bool operator==(const PathId& o) const;
+
+  // Canonical 64-bit key for use in hash maps (not security sensitive).
+  std::uint64_t key() const;
+
+  std::string to_string() const;
+
+  // Convenience builder: path {as.front(), ..., as.back()} in router->origin order.
+  static PathId of(std::initializer_list<AsNumber> as);
+
+ private:
+  std::array<AsNumber, kMaxHops> hops_{};
+  int len_ = 0;
+};
+
+enum class PacketType : std::uint8_t {
+  kSyn,      // connection/capability request
+  kSynAck,   // handshake reply
+  kData,     // full-sized data segment
+  kAck,      // transport acknowledgement
+};
+
+const char* to_string(PacketType t);
+
+struct Packet {
+  FlowId flow = 0;
+  HostAddr src = 0;
+  HostAddr dst = 0;
+  PathId path;             // domain-path identifier written at the origin
+  PacketType type = PacketType::kData;
+  int size_bytes = 1500;
+  std::uint64_t seq = 0;   // data sequence number (packets, not bytes)
+  std::uint64_t ack = 0;   // cumulative ack (next expected seq)
+
+  // Capability carried by the packet (written by routers into SYNs, echoed
+  // by the source on subsequent packets). Zero means "no capability".
+  std::uint64_t cap0 = 0;
+  std::uint64_t cap1 = 0;
+
+  double sent_time = 0.0;  // origin timestamp (for RTT sampling)
+};
+
+}  // namespace floc

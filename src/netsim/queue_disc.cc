@@ -1,0 +1,17 @@
+#include "netsim/queue_disc.h"
+
+namespace floc {
+
+const char* to_string(DropReason r) {
+  switch (r) {
+    case DropReason::kQueueFull: return "queue-full";
+    case DropReason::kToken: return "token";
+    case DropReason::kPreferential: return "preferential";
+    case DropReason::kRandomEarly: return "random-early";
+    case DropReason::kRateLimit: return "rate-limit";
+    case DropReason::kCapability: return "capability";
+  }
+  return "?";
+}
+
+}  // namespace floc

@@ -1,0 +1,65 @@
+// Queue-discipline interface: the pluggable policy at a link's egress port.
+//
+// FLoc, RED, RED-PD, Pushback and drop-tail all implement this interface, so
+// an experiment swaps defense schemes by swapping the queue attached to the
+// flooded link.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "netsim/packet.h"
+#include "util/units.h"
+
+namespace floc {
+
+// Reasons a queue discipline may drop a packet; recorded for diagnostics.
+enum class DropReason : std::uint8_t {
+  kQueueFull,       // buffer exhausted
+  kToken,           // token-bucket admission failure (FLoc)
+  kPreferential,    // identified attack flow penalized (FLoc / RED-PD)
+  kRandomEarly,     // probabilistic early drop (RED / FLoc congested mode)
+  kRateLimit,       // aggregate rate limiter (Pushback)
+  kCapability,      // invalid / over-limit capability (FLoc covert defense)
+};
+
+const char* to_string(DropReason r);
+
+class QueueDisc {
+ public:
+  using DropHandler = std::function<void(const Packet&, DropReason, TimeSec)>;
+
+  virtual ~QueueDisc() = default;
+
+  // Offer a packet at time `now`; returns true if buffered, false if dropped.
+  // Implementations must invoke the drop handler (if set) on every drop.
+  virtual bool enqueue(Packet&& p, TimeSec now) = 0;
+
+  // Next packet to transmit, or nullopt if empty.
+  virtual std::optional<Packet> dequeue(TimeSec now) = 0;
+
+  virtual bool empty() const = 0;
+  virtual std::size_t packet_count() const = 0;
+  virtual std::size_t byte_count() const = 0;
+
+  void set_drop_handler(DropHandler h) { drop_handler_ = std::move(h); }
+
+  std::uint64_t drops() const { return drops_; }
+  std::uint64_t admissions() const { return admissions_; }
+
+ protected:
+  void note_drop(const Packet& p, DropReason r, TimeSec now) {
+    ++drops_;
+    if (drop_handler_) drop_handler_(p, r, now);
+  }
+  void note_admit() { ++admissions_; }
+
+ private:
+  DropHandler drop_handler_;
+  std::uint64_t drops_ = 0;
+  std::uint64_t admissions_ = 0;
+};
+
+}  // namespace floc

@@ -1,0 +1,35 @@
+#include "netsim/simulator.h"
+
+#include <cassert>
+
+namespace floc {
+
+void Simulator::schedule_at(TimeSec t, Callback cb) {
+  assert(t >= now_ && "cannot schedule into the past");
+  queue_.push(Event{t, next_seq_++, std::move(cb)});
+}
+
+void Simulator::run_until(TimeSec t_end) {
+  while (!queue_.empty() && queue_.top().time <= t_end) {
+    // priority_queue::top() is const; move out via const_cast is UB-adjacent,
+    // so copy the callback handle (std::function copy) then pop.
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.time;
+    ++processed_;
+    ev.cb();
+  }
+  if (queue_.empty() && now_ < t_end) now_ = t_end;
+}
+
+void Simulator::run() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.time;
+    ++processed_;
+    ev.cb();
+  }
+}
+
+}  // namespace floc

@@ -1,0 +1,56 @@
+// Discrete-event simulation core: a clock plus a time-ordered event queue.
+//
+// Events are arbitrary callbacks. Ties are broken by insertion order so runs
+// are fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/units.h"
+
+namespace floc {
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  TimeSec now() const { return now_; }
+
+  // Schedule `cb` at absolute time `t` (>= now).
+  void schedule_at(TimeSec t, Callback cb);
+
+  // Schedule `cb` after a delay of `dt` seconds.
+  void schedule_in(TimeSec dt, Callback cb) { schedule_at(now_ + dt, std::move(cb)); }
+
+  // Run until the event queue drains or the clock passes `t_end`.
+  void run_until(TimeSec t_end);
+
+  // Run until the event queue drains.
+  void run();
+
+  std::uint64_t events_processed() const { return processed_; }
+  bool empty() const { return queue_.empty(); }
+
+ private:
+  struct Event {
+    TimeSec time;
+    std::uint64_t seq;  // FIFO among same-time events
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  TimeSec now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace floc

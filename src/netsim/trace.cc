@@ -1,0 +1,89 @@
+#include "netsim/trace.h"
+
+#include <cstdio>
+
+namespace floc {
+
+const char* to_string(TraceEvent ev) {
+  switch (ev) {
+    case TraceEvent::kEnqueue: return "+";
+    case TraceEvent::kDequeue: return "-";
+    case TraceEvent::kDrop: return "d";
+  }
+  return "?";
+}
+
+void TraceRecorder::record(TraceRecord r) {
+  counts_[static_cast<std::size_t>(r.event)]++;
+  if (filter_ && !filter_(r)) return;
+  if (records_.size() >= max_records_) {
+    records_.pop_front();
+    overflowed_ = true;
+  }
+  records_.push_back(r);
+}
+
+void TraceRecorder::clear() {
+  records_.clear();
+  counts_[0] = counts_[1] = counts_[2] = 0;
+  overflowed_ = false;
+}
+
+std::string TraceRecorder::format(const TraceRecord& r) {
+  char buf[128];
+  if (r.event == TraceEvent::kDrop) {
+    std::snprintf(buf, sizeof(buf), "%.6f %s flow=%llu %s %d %s", r.time,
+                  to_string(r.event), static_cast<unsigned long long>(r.flow),
+                  to_string(r.type), r.size_bytes, to_string(r.reason));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.6f %s flow=%llu %s %d", r.time,
+                  to_string(r.event), static_cast<unsigned long long>(r.flow),
+                  to_string(r.type), r.size_bytes);
+  }
+  return buf;
+}
+
+std::string TraceRecorder::dump() const {
+  std::string out;
+  out.reserve(records_.size() * 48);
+  for (const auto& r : records_) {
+    out += format(r);
+    out += '\n';
+  }
+  return out;
+}
+
+TracedQueue::TracedQueue(std::unique_ptr<QueueDisc> inner,
+                         TraceRecorder* recorder)
+    : inner_(std::move(inner)), recorder_(recorder) {
+  // Drops happen inside the inner queue; intercept via its drop handler.
+  inner_->set_drop_handler([this](const Packet& p, DropReason reason,
+                                  TimeSec now) {
+    recorder_->record(TraceRecord{now, TraceEvent::kDrop, p.flow, p.path.key(),
+                                  p.type, p.size_bytes, reason});
+    note_drop(p, reason, now);
+  });
+}
+
+bool TracedQueue::enqueue(Packet&& p, TimeSec now) {
+  const TraceRecord r{now,    TraceEvent::kEnqueue, p.flow, p.path.key(),
+                      p.type, p.size_bytes,         DropReason::kQueueFull};
+  const bool ok = inner_->enqueue(std::move(p), now);
+  if (ok) {
+    recorder_->record(r);
+    note_admit();
+  }
+  return ok;
+}
+
+std::optional<Packet> TracedQueue::dequeue(TimeSec now) {
+  auto p = inner_->dequeue(now);
+  if (p.has_value()) {
+    recorder_->record(TraceRecord{now, TraceEvent::kDequeue, p->flow,
+                                  p->path.key(), p->type, p->size_bytes,
+                                  DropReason::kQueueFull});
+  }
+  return p;
+}
+
+}  // namespace floc

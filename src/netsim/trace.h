@@ -1,0 +1,91 @@
+// ns-2-style packet event tracing.
+//
+// TraceRecorder collects per-packet events (enqueue / dequeue / drop) with
+// timestamps; TracedQueue is a QueueDisc decorator that feeds it from any
+// inner queue discipline, so any experiment can capture a packet-level trace
+// of the flooded link without touching the queue implementations:
+//
+//   auto traced = std::make_unique<TracedQueue>(
+//       std::make_unique<FlocQueue>(cfg), &recorder);
+//   link->set_queue(std::move(traced));
+//
+// Traces are bounded (ring buffer) and filterable; dump() emits the classic
+// one-event-per-line text format.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "netsim/queue_disc.h"
+
+namespace floc {
+
+enum class TraceEvent : std::uint8_t { kEnqueue, kDequeue, kDrop };
+
+const char* to_string(TraceEvent ev);
+
+struct TraceRecord {
+  TimeSec time = 0.0;
+  TraceEvent event = TraceEvent::kEnqueue;
+  FlowId flow = 0;
+  std::uint64_t path_key = 0;
+  PacketType type = PacketType::kData;
+  int size_bytes = 0;
+  DropReason reason = DropReason::kQueueFull;  // meaningful for kDrop only
+};
+
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(std::size_t max_records = 1 << 20)
+      : max_records_(max_records) {}
+
+  void record(TraceRecord r);
+
+  // Optional filter: only events satisfying the predicate are stored
+  // (counts still cover everything).
+  using Filter = std::function<bool(const TraceRecord&)>;
+  void set_filter(Filter f) { filter_ = std::move(f); }
+
+  const std::deque<TraceRecord>& records() const { return records_; }
+  std::uint64_t count(TraceEvent ev) const {
+    return counts_[static_cast<std::size_t>(ev)];
+  }
+  std::uint64_t total() const {
+    return counts_[0] + counts_[1] + counts_[2];
+  }
+  bool overflowed() const { return overflowed_; }
+  void clear();
+
+  // One line per event: "<time> <+|-|d> flow=<id> <TYPE> <bytes> [reason]".
+  std::string dump() const;
+  static std::string format(const TraceRecord& r);
+
+ private:
+  std::size_t max_records_;
+  std::deque<TraceRecord> records_;
+  std::uint64_t counts_[3] = {};
+  bool overflowed_ = false;
+  Filter filter_;
+};
+
+// Decorator: forwards everything to the inner queue and records the events.
+class TracedQueue : public QueueDisc {
+ public:
+  TracedQueue(std::unique_ptr<QueueDisc> inner, TraceRecorder* recorder);
+
+  bool enqueue(Packet&& p, TimeSec now) override;
+  std::optional<Packet> dequeue(TimeSec now) override;
+  bool empty() const override { return inner_->empty(); }
+  std::size_t packet_count() const override { return inner_->packet_count(); }
+  std::size_t byte_count() const override { return inner_->byte_count(); }
+
+  QueueDisc& inner() { return *inner_; }
+
+ private:
+  std::unique_ptr<QueueDisc> inner_;
+  TraceRecorder* recorder_;
+};
+
+}  // namespace floc

@@ -1,0 +1,147 @@
+#include "topology/bot_distribution.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace floc {
+
+int SourcePlacement::total_legit() const {
+  return std::accumulate(legit_per_as.begin(), legit_per_as.end(), 0);
+}
+
+int SourcePlacement::total_bots() const {
+  return std::accumulate(bots_per_as.begin(), bots_per_as.end(), 0);
+}
+
+int SourcePlacement::legit_in_attack_ases() const {
+  int n = 0;
+  for (std::size_t i = 0; i < legit_per_as.size(); ++i) {
+    if (bots_per_as[i] > 0) n += legit_per_as[i];
+  }
+  return n;
+}
+
+double SourcePlacement::bot_concentration(double top_frac) const {
+  std::vector<int> counts;
+  for (int c : bots_per_as) {
+    if (c > 0) counts.push_back(c);
+  }
+  if (counts.empty()) return 0.0;
+  std::sort(counts.rbegin(), counts.rend());
+  const auto top_n = std::max<std::size_t>(
+      1, static_cast<std::size_t>(top_frac * static_cast<double>(counts.size())));
+  const double top = std::accumulate(counts.begin(),
+                                     counts.begin() + static_cast<long>(top_n), 0.0);
+  const double all = std::accumulate(counts.begin(), counts.end(), 0.0);
+  return top / all;
+}
+
+namespace {
+
+// Population-weighted sample of `k` distinct AS ids (excluding the root and
+// any id in `excluded`).
+std::vector<int> weighted_distinct_sample(const AsGraph& g, int k, Rng& rng,
+                                          const std::vector<int>& excluded = {}) {
+  std::vector<bool> skip(static_cast<std::size_t>(g.size()), false);
+  for (int e : excluded) skip[static_cast<std::size_t>(e)] = true;
+  std::vector<int> ids;
+  std::vector<double> weights;
+  for (int i = 1; i < g.size(); ++i) {
+    if (skip[static_cast<std::size_t>(i)]) continue;
+    ids.push_back(i);
+    weights.push_back(g.node(i).population);
+  }
+  std::vector<int> out;
+  double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  k = std::min<int>(k, static_cast<int>(ids.size()));
+  for (int n = 0; n < k; ++n) {
+    double pick = rng.uniform() * total;
+    std::size_t chosen = 0;
+    for (std::size_t j = 0; j < ids.size(); ++j) {
+      if (weights[j] <= 0.0) continue;
+      pick -= weights[j];
+      chosen = j;
+      if (pick <= 0.0) break;
+    }
+    out.push_back(ids[chosen]);
+    total -= weights[chosen];
+    weights[chosen] = 0.0;  // without replacement
+  }
+  return out;
+}
+
+}  // namespace
+
+SourcePlacement place_sources(const AsGraph& g, const PlacementConfig& cfg) {
+  Rng rng(cfg.seed);
+  SourcePlacement out;
+  out.legit_per_as.assign(static_cast<std::size_t>(g.size()), 0);
+  out.bots_per_as.assign(static_cast<std::size_t>(g.size()), 0);
+
+  // --- Attack ASes and Zipf-skewed bot placement --------------------------
+  std::vector<int> attack_candidates =
+      weighted_distinct_sample(g, cfg.attack_ases, rng);
+  if (!attack_candidates.empty()) {
+    const int floor_total =
+        static_cast<int>(cfg.bot_floor_frac * cfg.attack_sources);
+    const int per_as_floor =
+        floor_total / static_cast<int>(attack_candidates.size());
+    int placed = 0;
+    for (int as : attack_candidates) {
+      out.bots_per_as[static_cast<std::size_t>(as)] += per_as_floor;
+      placed += per_as_floor;
+    }
+    for (int b = placed; b < cfg.attack_sources; ++b) {
+      const auto rank = rng.zipf(attack_candidates.size(), cfg.bot_zipf_s);
+      out.bots_per_as[static_cast<std::size_t>(
+          attack_candidates[static_cast<std::size_t>(rank)])]++;
+    }
+  }
+  // Attack ASes = ASes actually holding bots (the Zipf tail may leave some
+  // candidates empty).
+  for (int i = 0; i < g.size(); ++i) {
+    if (out.bots_per_as[static_cast<std::size_t>(i)] > 0)
+      out.attack_as_ids.push_back(i);
+  }
+
+  // --- Legitimate ASes ------------------------------------------------------
+  // A share of legit sources is intentionally placed inside attack ASes to
+  // expose differential guarantees (Section VII-A).
+  const int legit_in_attack =
+      static_cast<int>(cfg.legit_overlap * cfg.legit_sources);
+  if (!out.attack_as_ids.empty()) {
+    for (int i = 0; i < legit_in_attack; ++i) {
+      const auto idx = rng.uniform_int(out.attack_as_ids.size());
+      out.legit_per_as[static_cast<std::size_t>(
+          out.attack_as_ids[static_cast<std::size_t>(idx)])]++;
+    }
+  }
+  // The bulk of legitimate sources live in ASes *disjoint* from the attack
+  // ASes (the configured overlap above is the only intentional mixing).
+  std::vector<int> legit_ases =
+      weighted_distinct_sample(g, cfg.legit_ases, rng, out.attack_as_ids);
+  if (!legit_ases.empty()) {
+    const int remaining = cfg.legit_sources - legit_in_attack;
+    // Population-proportional distribution across the chosen legit ASes.
+    double total_pop = 0.0;
+    for (int as : legit_ases) total_pop += g.node(as).population;
+    for (int i = 0; i < remaining; ++i) {
+      double pick = rng.uniform() * total_pop;
+      int chosen = legit_ases.front();
+      for (int as : legit_ases) {
+        pick -= g.node(as).population;
+        chosen = as;
+        if (pick <= 0.0) break;
+      }
+      out.legit_per_as[static_cast<std::size_t>(chosen)]++;
+    }
+  }
+
+  for (int i = 0; i < g.size(); ++i) {
+    if (out.legit_per_as[static_cast<std::size_t>(i)] > 0)
+      out.legit_as_ids.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace floc

@@ -1,0 +1,92 @@
+#include "topology/defense_factory.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace floc {
+
+const char* to_string(DefenseScheme s) {
+  switch (s) {
+    case DefenseScheme::kDropTail: return "droptail";
+    case DefenseScheme::kRed: return "red";
+    case DefenseScheme::kRedPd: return "red-pd";
+    case DefenseScheme::kPushback: return "pushback";
+    case DefenseScheme::kPriorityFair: return "fair";
+    case DefenseScheme::kDrr: return "drr";
+    case DefenseScheme::kFloc: return "floc";
+  }
+  return "?";
+}
+
+DefenseScheme scheme_from_string(const std::string& s) {
+  if (s == "droptail") return DefenseScheme::kDropTail;
+  if (s == "red") return DefenseScheme::kRed;
+  if (s == "red-pd" || s == "redpd") return DefenseScheme::kRedPd;
+  if (s == "pushback") return DefenseScheme::kPushback;
+  if (s == "fair") return DefenseScheme::kPriorityFair;
+  if (s == "drr") return DefenseScheme::kDrr;
+  if (s == "floc") return DefenseScheme::kFloc;
+  throw std::invalid_argument("unknown defense scheme: " + s);
+}
+
+std::unique_ptr<QueueDisc> make_defense_queue(DefenseScheme scheme,
+                                              DefenseFactoryConfig cfg) {
+  switch (scheme) {
+    case DefenseScheme::kDropTail:
+      return std::make_unique<DropTailQueue>(cfg.buffer_packets);
+    case DefenseScheme::kRed: {
+      RedConfig r = cfg.red;
+      r.buffer_packets = cfg.buffer_packets;
+      r.link_bandwidth = cfg.link_bandwidth;
+      r.min_th = 0.2 * static_cast<double>(cfg.buffer_packets);
+      r.max_th = 0.6 * static_cast<double>(cfg.buffer_packets);
+      r.mean_pkt_bytes = cfg.pkt_bytes;
+      r.rng_seed = cfg.seed;
+      return std::make_unique<RedQueue>(r);
+    }
+    case DefenseScheme::kRedPd: {
+      RedPdConfig r = cfg.red_pd;
+      r.red.buffer_packets = cfg.buffer_packets;
+      r.red.link_bandwidth = cfg.link_bandwidth;
+      r.red.min_th = 0.2 * static_cast<double>(cfg.buffer_packets);
+      r.red.max_th = 0.6 * static_cast<double>(cfg.buffer_packets);
+      r.red.mean_pkt_bytes = cfg.pkt_bytes;
+      r.rng_seed = cfg.seed;
+      return std::make_unique<RedPdQueue>(r);
+    }
+    case DefenseScheme::kPushback: {
+      PushbackConfig p = cfg.pushback;
+      p.buffer_packets = cfg.buffer_packets;
+      p.link_bandwidth = cfg.link_bandwidth;
+      p.rng_seed = cfg.seed;
+      return std::make_unique<PushbackQueue>(p);
+    }
+    case DefenseScheme::kPriorityFair: {
+      PriorityFairConfig p = cfg.priority_fair;
+      p.buffer_packets = cfg.buffer_packets;
+      p.link_bandwidth = cfg.link_bandwidth;
+      auto classifier = cfg.legit_classifier
+                            ? cfg.legit_classifier
+                            : [](FlowId) { return true; };
+      return std::make_unique<PriorityFairQueue>(p, classifier);
+    }
+    case DefenseScheme::kDrr: {
+      DrrConfig d = cfg.drr;
+      d.buffer_packets = cfg.buffer_packets;
+      d.quantum_bytes = cfg.pkt_bytes;
+      d.max_flow_queue = std::max<std::size_t>(4, cfg.buffer_packets / 10);
+      return std::make_unique<DrrQueue>(d);
+    }
+    case DefenseScheme::kFloc: {
+      FlocConfig f = cfg.floc;
+      f.link_bandwidth = cfg.link_bandwidth;
+      f.buffer_packets = cfg.buffer_packets;
+      f.pkt_bytes = cfg.pkt_bytes;
+      f.rng_seed = cfg.seed;
+      return std::make_unique<FlocQueue>(f);
+    }
+  }
+  throw std::logic_error("unreachable");
+}
+
+}  // namespace floc

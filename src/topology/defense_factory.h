@@ -1,0 +1,51 @@
+// Factory mapping a defense-scheme selector to a configured queue discipline
+// for the flooded link. Central place where experiments swap FLoc for its
+// comparison baselines.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "baselines/drr_queue.h"
+#include "baselines/priority_fair.h"
+#include "baselines/pushback.h"
+#include "baselines/red_pd.h"
+#include "baselines/red_queue.h"
+#include "core/floc_queue.h"
+#include "netsim/drop_tail.h"
+
+namespace floc {
+
+enum class DefenseScheme {
+  kDropTail,      // no defense
+  kRed,           // plain RED (fairness reference, Fig. 7(c) "no attack")
+  kRedPd,         // RED with preferential dropping
+  kPushback,      // aggregate congestion control
+  kPriorityFair,  // oracle per-flow fairness (Section VII "FF" analogue)
+  kDrr,           // Deficit Round Robin per-flow fair queueing
+  kFloc,          // this paper
+};
+
+const char* to_string(DefenseScheme s);
+DefenseScheme scheme_from_string(const std::string& s);
+
+struct DefenseFactoryConfig {
+  BitsPerSec link_bandwidth = mbps(500);
+  std::size_t buffer_packets = 1000;
+  int pkt_bytes = 1500;
+  std::uint64_t seed = 42;
+  // Scheme-specific overrides; the factory fills link/buffer fields.
+  FlocConfig floc;
+  RedConfig red;
+  RedPdConfig red_pd;
+  PushbackConfig pushback;
+  PriorityFairConfig priority_fair;
+  DrrConfig drr;
+  PriorityFairQueue::LegitClassifier legit_classifier;  // for kPriorityFair
+};
+
+std::unique_ptr<QueueDisc> make_defense_queue(DefenseScheme scheme,
+                                              DefenseFactoryConfig cfg);
+
+}  // namespace floc

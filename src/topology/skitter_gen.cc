@@ -1,0 +1,89 @@
+#include "topology/skitter_gen.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace floc {
+
+const char* to_string(SkitterPreset p) {
+  switch (p) {
+    case SkitterPreset::kFRoot: return "f-root";
+    case SkitterPreset::kHRoot: return "h-root";
+    case SkitterPreset::kJpn: return "jpn";
+  }
+  return "?";
+}
+
+SkitterPreset preset_from_string(const std::string& s) {
+  if (s == "f-root" || s == "froot") return SkitterPreset::kFRoot;
+  if (s == "h-root" || s == "hroot") return SkitterPreset::kHRoot;
+  if (s == "jpn") return SkitterPreset::kJpn;
+  throw std::invalid_argument("unknown skitter preset: " + s);
+}
+
+AsGraph generate_skitter_tree(const SkitterConfig& cfg) {
+  // Preset shape parameters:
+  //   alpha: preferential-attachment strength (higher => heavier hubs)
+  //   depth_penalty: per-level attachment discount (lower => deeper tree)
+  double alpha = 1.0, depth_penalty = 0.8;
+  int max_depth = 8;
+  switch (cfg.preset) {
+    case SkitterPreset::kFRoot:
+      alpha = 1.0;
+      depth_penalty = 0.80;
+      max_depth = 8;
+      break;
+    case SkitterPreset::kHRoot:
+      alpha = 1.3;           // bushier: heavier hubs near the root
+      depth_penalty = 0.75;
+      max_depth = 7;
+      break;
+    case SkitterPreset::kJpn:
+      alpha = 0.7;           // deeper, stringier paths
+      depth_penalty = 0.95;
+      max_depth = 10;
+      break;
+  }
+
+  Rng rng(cfg.seed ^ (static_cast<std::uint64_t>(cfg.preset) << 32));
+  AsGraph g;
+  g.add_as(/*asn=*/1, /*parent=*/-1, /*population=*/1.0);
+
+  std::vector<double> weight{1.0};  // attachment weight per existing node
+  double total_weight = 1.0;
+
+  for (int i = 1; i < cfg.as_count; ++i) {
+    // Weighted parent choice (preferential attachment with depth penalty).
+    int parent = 0;
+    double pick = rng.uniform() * total_weight;
+    for (int j = 0; j < g.size(); ++j) {
+      pick -= weight[static_cast<std::size_t>(j)];
+      if (pick <= 0.0) {
+        parent = j;
+        break;
+      }
+    }
+    if (g.node(parent).depth >= max_depth) {
+      // Reattach shallow: walk up until under the cap.
+      while (g.node(parent).depth >= max_depth) parent = g.node(parent).parent;
+    }
+    // Zipf population (rank drawn uniformly; weight = 1/rank^s).
+    const double rank = 1.0 + rng.uniform() * cfg.as_count;
+    const double population = std::pow(rank, -cfg.zipf_population_s) * cfg.as_count;
+
+    const int id = g.add_as(static_cast<AsNumber>(i + 1), parent, population);
+    const double w =
+        std::pow(static_cast<double>(g.node(parent).children.size()) + 1.0, alpha - 1.0) *
+        std::pow(depth_penalty, g.node(id).depth);
+    weight.push_back(w);
+    total_weight += w;
+    // Parent grew a child: bump its attachment weight slightly.
+    const double bump = 0.1 * alpha;
+    weight[static_cast<std::size_t>(parent)] += bump;
+    total_weight += bump;
+  }
+  return g;
+}
+
+}  // namespace floc

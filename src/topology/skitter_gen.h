@@ -1,0 +1,35 @@
+// Synthetic Skitter-map generator (Section VII-A substitution).
+//
+// CAIDA Skitter maps (f-root, h-root, JPN) are not redistributable, so we
+// generate routing trees with the same load-bearing characteristics:
+//   * power-law AS degree via preferential attachment,
+//   * realistic AS-path depth (mean ~4-6 AS hops, tail to ~10),
+//   * Zipf-distributed AS host populations.
+// Three shape presets mimic the qualitative differences the paper reports:
+// f-root / h-root (bushier, attack ASes interleaved with legitimate ones)
+// and JPN (deeper, attack ASes further from the target and better separated
+// from legitimate paths — where aggregation worked best, Section VII-C).
+#pragma once
+
+#include <string>
+
+#include "topology/as_graph.h"
+#include "util/rng.h"
+
+namespace floc {
+
+enum class SkitterPreset { kFRoot, kHRoot, kJpn };
+
+const char* to_string(SkitterPreset p);
+SkitterPreset preset_from_string(const std::string& s);
+
+struct SkitterConfig {
+  SkitterPreset preset = SkitterPreset::kFRoot;
+  int as_count = 2000;
+  double zipf_population_s = 1.1;  // AS population skew
+  std::uint64_t seed = 2026;
+};
+
+AsGraph generate_skitter_tree(const SkitterConfig& cfg);
+
+}  // namespace floc

@@ -1,0 +1,84 @@
+#include "transport/cbr_source.h"
+
+#include <cassert>
+
+#include "netsim/link.h"
+
+namespace floc {
+
+CbrSource::CbrSource(Simulator* sim, Host* host, CbrConfig cfg)
+    : sim_(sim), host_(host), cfg_(cfg) {
+  assert(cfg_.rate > 0.0);
+  host_->register_agent(cfg_.flow, this);
+}
+
+void CbrSource::start_at(TimeSec t) {
+  sim_->schedule_at(t, [this] { begin(); });
+}
+
+void CbrSource::stop_at(TimeSec t) {
+  sim_->schedule_at(t, [this] { stopped_ = true; });
+}
+
+void CbrSource::begin() {
+  if (running_ || stopped_) return;
+  if (cfg_.do_handshake) {
+    Packet p;
+    p.flow = cfg_.flow;
+    p.src = host_->addr();
+    p.dst = cfg_.dst;
+    p.path = cfg_.path;
+    p.type = PacketType::kSyn;
+    p.size_bytes = kAckPacketBytes;
+    p.sent_time = sim_->now();
+    Link* out = host_->network()->next_hop(host_->id(), cfg_.dst);
+    assert(out);
+    out->send(std::move(p));
+    // Transmission begins when the SYN-ACK returns (see on_packet); if the
+    // handshake is lost in the flood, retry after a second.
+    sim_->schedule_in(1.0, [this] {
+      if (!running_ && !stopped_) begin();
+    });
+  } else {
+    running_ = true;
+    tick();
+  }
+}
+
+void CbrSource::on_packet(Packet&& p) {
+  if (p.type == PacketType::kSynAck && !running_ && !stopped_) {
+    cap0_ = p.cap0;
+    cap1_ = p.cap1;
+    running_ = true;
+    tick();
+  }
+  // Data ACKs are ignored: the source is unresponsive by design.
+}
+
+bool CbrSource::gate_open(TimeSec) const { return true; }
+
+void CbrSource::tick() {
+  if (stopped_) return;
+  if (gate_open(sim_->now())) send_data();
+  sim_->schedule_in(transmission_time(cfg_.packet_bytes, cfg_.rate),
+                    [this] { tick(); });
+}
+
+void CbrSource::send_data() {
+  Packet p;
+  p.flow = cfg_.flow;
+  p.src = host_->addr();
+  p.dst = cfg_.dst;
+  p.path = cfg_.path;
+  p.type = PacketType::kData;
+  p.size_bytes = cfg_.packet_bytes;
+  p.seq = next_seq_++;
+  p.cap0 = cap0_;
+  p.cap1 = cap1_;
+  p.sent_time = sim_->now();
+  Link* out = host_->network()->next_hop(host_->id(), cfg_.dst);
+  out->send(std::move(p));
+  ++packets_sent_;
+}
+
+}  // namespace floc

@@ -1,0 +1,57 @@
+// Constant-bit-rate attack source (Section VI-A): performs the capability
+// handshake like a legitimate client, then transmits at a fixed rate with no
+// congestion response.
+#pragma once
+
+#include <cstdint>
+
+#include "netsim/network.h"
+#include "netsim/node.h"
+#include "netsim/simulator.h"
+#include "util/units.h"
+
+namespace floc {
+
+struct CbrConfig {
+  FlowId flow = 0;
+  HostAddr dst = 0;
+  PathId path;
+  int packet_bytes = 1500;
+  BitsPerSec rate = 0.0;
+  bool do_handshake = true;  // acquire a capability before blasting
+};
+
+class CbrSource : public Agent {
+ public:
+  CbrSource(Simulator* sim, Host* host, CbrConfig cfg);
+  ~CbrSource() override = default;
+
+  void start_at(TimeSec t);
+  void stop_at(TimeSec t);
+
+  void on_packet(Packet&& p) override;
+
+  std::uint64_t packets_sent() const { return packets_sent_; }
+  FlowId flow() const { return cfg_.flow; }
+
+ protected:
+  // Hook for subclasses (Shrew) to gate transmission instants.
+  virtual bool gate_open(TimeSec now) const;
+
+ private:
+  void begin();
+  void tick();
+  void send_data();
+
+  Simulator* sim_;
+  Host* host_;
+  CbrConfig cfg_;
+  bool running_ = false;
+  bool stopped_ = false;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t cap0_ = 0;
+  std::uint64_t cap1_ = 0;
+  std::uint64_t packets_sent_ = 0;
+};
+
+}  // namespace floc

@@ -1,0 +1,64 @@
+// Timed-attack sources (Section II): strategies that evade filter-based
+// defenses by changing attack strength or location in a coordinated way.
+//
+//  * OnOffSource — the whole botnet blasts for `on_time`, goes silent for
+//    `off_time` (long-period square wave; distinct from Shrew's sub-RTT
+//    pulses). Remote filters installed during the ON phase expire or throttle
+//    nothing during OFF, then the next ON phase hits before re-detection.
+//  * RollingSource — the botnet is partitioned into `group_count` groups and
+//    only one group attacks at a time, rotating every `slot`: the attack
+//    "location" keeps moving, so aggregate-history-based defenses keep
+//    chasing the previous group.
+#pragma once
+
+#include <cmath>
+
+#include "transport/cbr_source.h"
+
+namespace floc {
+
+struct OnOffConfig {
+  CbrConfig cbr;        // rate = ON-phase rate
+  TimeSec on_time = 4.0;
+  TimeSec off_time = 8.0;
+  TimeSec phase = 0.0;
+};
+
+class OnOffSource : public CbrSource {
+ public:
+  OnOffSource(Simulator* sim, Host* host, OnOffConfig cfg)
+      : CbrSource(sim, host, cfg.cbr), onoff_(cfg) {}
+
+  bool gate_open(TimeSec now) const override {
+    const double period = onoff_.on_time + onoff_.off_time;
+    const double t = now - onoff_.phase;
+    const double pos = t - period * std::floor(t / period);
+    return pos < onoff_.on_time;
+  }
+
+ private:
+  OnOffConfig onoff_;
+};
+
+struct RollingConfig {
+  CbrConfig cbr;
+  int group = 0;        // this source's rotation group
+  int group_count = 1;  // total groups
+  TimeSec slot = 5.0;   // active time per group
+};
+
+class RollingSource : public CbrSource {
+ public:
+  RollingSource(Simulator* sim, Host* host, RollingConfig cfg)
+      : CbrSource(sim, host, cfg.cbr), rolling_(cfg) {}
+
+  bool gate_open(TimeSec now) const override {
+    const auto slot_idx = static_cast<long>(now / rolling_.slot);
+    return static_cast<int>(slot_idx % rolling_.group_count) == rolling_.group;
+  }
+
+ private:
+  RollingConfig rolling_;
+};
+
+}  // namespace floc

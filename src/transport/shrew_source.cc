@@ -1,0 +1,4 @@
+#include "transport/shrew_source.h"
+
+// Header-only behaviour; the translation unit anchors the vtable.
+namespace floc {}

@@ -1,0 +1,35 @@
+// Shrew (low-rate, pulsed) attack source [Kuzmanovic & Knightly]: transmits
+// at `burst_rate` for `burst_len` seconds out of every `period` seconds
+// (Section VI-A uses burst_len = 0.25*RTT, period = RTT). All Shrew sources
+// in an experiment share phase so the bursts align, maximizing attack effect.
+#pragma once
+
+#include <cmath>
+
+#include "transport/cbr_source.h"
+
+namespace floc {
+
+struct ShrewConfig {
+  CbrConfig cbr;          // rate here = burst (peak) rate
+  TimeSec burst_len = 0.02;
+  TimeSec period = 0.08;
+  TimeSec phase = 0.0;    // common phase offset for coordinated bursts
+};
+
+class ShrewSource : public CbrSource {
+ public:
+  ShrewSource(Simulator* sim, Host* host, ShrewConfig cfg)
+      : CbrSource(sim, host, cfg.cbr), shrew_(cfg) {}
+
+  bool gate_open(TimeSec now) const override {
+    const double t = now - shrew_.phase;
+    const double pos = t - shrew_.period * std::floor(t / shrew_.period);
+    return pos < shrew_.burst_len;
+  }
+
+ private:
+  ShrewConfig shrew_;
+};
+
+}  // namespace floc

@@ -1,0 +1,62 @@
+#include "transport/tcp_sink.h"
+
+#include "netsim/link.h"
+#include "transport/flow_monitor.h"
+#include "util/units.h"
+
+namespace floc {
+
+TcpSink::TcpSink(Simulator* sim, Host* host, FlowMonitor* monitor)
+    : sim_(sim), host_(host), monitor_(monitor) {
+  host_->set_default_agent(this);
+}
+
+void TcpSink::reply(const Packet& data, PacketType type, std::uint64_t ack) {
+  Packet p;
+  p.flow = data.flow;
+  p.src = host_->addr();
+  p.dst = data.src;
+  p.type = type;
+  p.size_bytes = kAckPacketBytes;
+  p.ack = ack;
+  p.cap0 = data.cap0;  // echo router-issued capability back to the client
+  p.cap1 = data.cap1;
+  p.sent_time = data.sent_time;  // lets the client time the exchange
+  Link* out = host_->network()->next_hop(host_->id(), data.src);
+  if (out) out->send(std::move(p));
+}
+
+void TcpSink::on_packet(Packet&& p) {
+  switch (p.type) {
+    case PacketType::kSyn: {
+      flows_.try_emplace(p.flow);
+      reply(p, PacketType::kSynAck, 0);
+      break;
+    }
+    case PacketType::kData: {
+      FlowState& st = flows_[p.flow];
+      if (p.seq < st.next_expected || st.out_of_order.count(p.seq)) {
+        ++duplicates_;
+      } else {
+        ++delivered_packets_;
+        if (monitor_) monitor_->on_deliver(p.flow, sim_->now(), p.size_bytes);
+        if (p.seq == st.next_expected) {
+          ++st.next_expected;
+          auto it = st.out_of_order.begin();
+          while (it != st.out_of_order.end() && *it == st.next_expected) {
+            ++st.next_expected;
+            it = st.out_of_order.erase(it);
+          }
+        } else {
+          st.out_of_order.insert(p.seq);
+        }
+      }
+      reply(p, PacketType::kAck, st.next_expected);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+}  // namespace floc

@@ -1,0 +1,43 @@
+// Server-side endpoint: answers SYNs (echoing router-issued capabilities),
+// generates cumulative ACKs for data, and reports delivered goodput to a
+// FlowMonitor. One sink instance serves every flow addressed to its host.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <unordered_map>
+
+#include "netsim/network.h"
+#include "netsim/node.h"
+#include "netsim/simulator.h"
+
+namespace floc {
+
+class FlowMonitor;
+
+class TcpSink : public Agent {
+ public:
+  TcpSink(Simulator* sim, Host* host, FlowMonitor* monitor = nullptr);
+
+  void on_packet(Packet&& p) override;
+
+  std::uint64_t delivered_packets() const { return delivered_packets_; }
+  std::uint64_t duplicate_packets() const { return duplicates_; }
+
+ private:
+  struct FlowState {
+    std::uint64_t next_expected = 0;
+    std::set<std::uint64_t> out_of_order;
+  };
+
+  void reply(const Packet& data, PacketType type, std::uint64_t ack);
+
+  Simulator* sim_;
+  Host* host_;
+  FlowMonitor* monitor_;
+  std::unordered_map<FlowId, FlowState> flows_;
+  std::uint64_t delivered_packets_ = 0;
+  std::uint64_t duplicates_ = 0;
+};
+
+}  // namespace floc

@@ -1,0 +1,52 @@
+// Deterministic pseudo-random number generation for reproducible simulations.
+//
+// xoshiro256++ (Blackman & Vigna): fast, high quality, 2^256-1 period.
+// All stochastic behaviour in the simulator draws from an explicitly seeded
+// Rng instance so every experiment is exactly reproducible.
+#pragma once
+
+#include <cstdint>
+
+namespace floc {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) { reseed(seed); }
+
+  // Re-initialise state from a single 64-bit seed (SplitMix64 expansion).
+  void reseed(std::uint64_t seed);
+
+  // Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  // Uniform double in [0, 1).
+  double uniform();
+
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  // Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t uniform_int(std::uint64_t n);
+
+  // Bernoulli trial with success probability p (clamped to [0,1]).
+  bool chance(double p);
+
+  // Exponentially distributed value with the given mean (> 0).
+  double exponential(double mean);
+
+  // Standard normal via Box-Muller (no state caching; two uniforms per call).
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  // Zipf-distributed integer in [0, n) with exponent s (> 0). O(n) setup-free
+  // rejection-free inverse-CDF by partial sums is avoided; uses the
+  // approximation of Gray et al. which is accurate for s in (0, ~3].
+  std::uint64_t zipf(std::uint64_t n, double s);
+
+  // Fork a statistically independent stream (hash of current state + salt).
+  Rng fork(std::uint64_t salt);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace floc

@@ -1,0 +1,88 @@
+#include "util/siphash.h"
+
+#include <cstring>
+#include <vector>
+
+namespace floc {
+namespace {
+
+inline std::uint64_t rotl(std::uint64_t x, int b) {
+  return (x << b) | (x >> (64 - b));
+}
+
+struct SipState {
+  std::uint64_t v0, v1, v2, v3;
+
+  explicit SipState(SipKey key)
+      : v0(key.k0 ^ 0x736f6d6570736575ULL),
+        v1(key.k1 ^ 0x646f72616e646f6dULL),
+        v2(key.k0 ^ 0x6c7967656e657261ULL),
+        v3(key.k1 ^ 0x7465646279746573ULL) {}
+
+  void round() {
+    v0 += v1;
+    v1 = rotl(v1, 13);
+    v1 ^= v0;
+    v0 = rotl(v0, 32);
+    v2 += v3;
+    v3 = rotl(v3, 16);
+    v3 ^= v2;
+    v0 += v3;
+    v3 = rotl(v3, 21);
+    v3 ^= v0;
+    v2 += v1;
+    v1 = rotl(v1, 17);
+    v1 ^= v2;
+    v2 = rotl(v2, 32);
+  }
+
+  void compress(std::uint64_t m) {
+    v3 ^= m;
+    round();
+    round();
+    v0 ^= m;
+  }
+
+  std::uint64_t finalize() {
+    v2 ^= 0xff;
+    round();
+    round();
+    round();
+    round();
+    return v0 ^ v1 ^ v2 ^ v3;
+  }
+};
+
+}  // namespace
+
+std::uint64_t siphash24(SipKey key, std::span<const std::uint8_t> data) {
+  SipState st(key);
+  const std::size_t n = data.size();
+  const std::size_t end = n - (n % 8);
+  for (std::size_t i = 0; i < end; i += 8) {
+    std::uint64_t m;
+    std::memcpy(&m, data.data() + i, 8);
+    st.compress(m);
+  }
+  std::uint64_t last = static_cast<std::uint64_t>(n & 0xff) << 56;
+  for (std::size_t i = end; i < n; ++i) {
+    last |= static_cast<std::uint64_t>(data[i]) << (8 * (i - end));
+  }
+  st.compress(last);
+  return st.finalize();
+}
+
+std::uint64_t siphash24_words(SipKey key, std::span<const std::uint64_t> words) {
+  SipState st(key);
+  for (std::uint64_t w : words) st.compress(w);
+  // Length block, mirroring the byte-oriented padding rule.
+  st.compress(static_cast<std::uint64_t>(words.size() * 8) << 56);
+  return st.finalize();
+}
+
+std::uint64_t siphash24_words(SipKey key,
+                              std::initializer_list<std::uint64_t> words) {
+  return siphash24_words(key, std::span<const std::uint64_t>(words.begin(), words.size()));
+}
+
+}  // namespace floc

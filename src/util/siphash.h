@@ -1,0 +1,28 @@
+// SipHash-2-4: a keyed pseudo-random function (Aumasson & Bernstein).
+//
+// FLoc routers issue flow capabilities as keyed hashes over
+// (source, destination, path identifier) with a router secret (Section III-A).
+// SipHash gives the unforgeability the scheme requires at a cost small enough
+// for per-connection-setup use.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+
+namespace floc {
+
+struct SipKey {
+  std::uint64_t k0 = 0;
+  std::uint64_t k1 = 0;
+};
+
+// SipHash-2-4 of an arbitrary byte string.
+std::uint64_t siphash24(SipKey key, std::span<const std::uint8_t> data);
+
+// Convenience: hash a sequence of 64-bit words (e.g. addresses, AS numbers).
+std::uint64_t siphash24_words(SipKey key, std::initializer_list<std::uint64_t> words);
+std::uint64_t siphash24_words(SipKey key, std::span<const std::uint64_t> words);
+
+}  // namespace floc

@@ -1,0 +1,136 @@
+// Small statistics toolkit used by experiments and by FLoc's estimators.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace floc {
+
+// Welford running mean / variance; O(1) per observation.
+class RunningStats {
+ public:
+  void add(double x);
+  void reset();
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  // population variance
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+// Exponentially weighted moving average: v' = beta*x + (1-beta)*v.
+class Ewma {
+ public:
+  explicit Ewma(double beta, double initial = 0.0)
+      : beta_(beta), value_(initial), seeded_(false) {}
+
+  void add(double x) {
+    if (!seeded_) {
+      value_ = x;
+      seeded_ = true;
+    } else {
+      value_ = beta_ * x + (1.0 - beta_) * value_;
+    }
+  }
+  void set(double v) {
+    value_ = v;
+    seeded_ = true;
+  }
+  double value() const { return value_; }
+  bool seeded() const { return seeded_; }
+
+ private:
+  double beta_;
+  double value_;
+  bool seeded_;
+};
+
+// Empirical CDF over collected samples.
+class Cdf {
+ public:
+  void add(double x) { samples_.push_back(x); }
+  void add_all(const std::vector<double>& xs);
+
+  std::size_t count() const { return samples_.size(); }
+  // Value at quantile q in [0,1]; linear interpolation between order stats.
+  double quantile(double q) const;
+  double fraction_below(double x) const;
+  double mean() const;
+
+  // Evenly spaced (x, F(x)) points suitable for plotting, `points` rows.
+  std::vector<std::pair<double, double>> curve(int points) const;
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  void ensure_sorted() const;
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+// Fixed-width histogram over [lo, hi); out-of-range values clamp to edge bins.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, int bins);
+  void add(double x, double weight = 1.0);
+
+  int bins() const { return static_cast<int>(counts_.size()); }
+  double bin_lo(int i) const { return lo_ + i * width_; }
+  double bin_count(int i) const { return counts_[i]; }
+  double total() const { return total_; }
+
+ private:
+  double lo_, width_;
+  std::vector<double> counts_;
+  double total_ = 0.0;
+};
+
+// Records bytes delivered per (category) over time windows; used to report
+// per-path / per-class bandwidth in the experiments.
+class ThroughputRecorder {
+ public:
+  // Count `bytes` delivered for `key` at time `now` (seconds).
+  void record(const std::string& key, double now, double bytes);
+
+  // Mean throughput (bits/s) of `key` over [t0, t1].
+  double mean_bps(const std::string& key, double t0, double t1) const;
+
+  // Sum over all keys.
+  double total_bps(double t0, double t1) const;
+
+  std::vector<std::string> keys() const;
+
+ private:
+  struct Series {
+    double bytes_total = 0.0;
+    // (time, cumulative bytes) checkpoints, appended in time order.
+    std::vector<std::pair<double, double>> points;
+  };
+  // Bytes of `key` delivered in [t0, t1].
+  static double bytes_between(const Series& s, double t0, double t1);
+  std::map<std::string, Series> series_;
+};
+
+// Jain's fairness index: (sum x)^2 / (n * sum x^2), in (0, 1]; 1 = perfectly
+// equal allocation. Used to compare per-flow fairness across schemes.
+double jain_fairness(const std::vector<double>& allocations);
+
+// Formats a row of numbers with a label; shared by bench table printers.
+std::string format_row(const std::string& label, const std::vector<double>& values,
+                       int width = 10, int precision = 3);
+
+}  // namespace floc

@@ -1,0 +1,35 @@
+// Units and conversion helpers used throughout the simulator.
+//
+// Conventions (chosen once, used everywhere):
+//   * simulation time  : double, seconds
+//   * bandwidth        : double, bits per second
+//   * packet sizes     : int, bytes
+//   * token amounts    : double, bytes (a token admits one byte)
+#pragma once
+
+namespace floc {
+
+using TimeSec = double;   // simulation time in seconds
+using BitsPerSec = double; // link / flow bandwidth
+using Bytes = double;      // byte quantities that may be fractional (tokens)
+
+inline constexpr double kBitsPerByte = 8.0;
+
+constexpr BitsPerSec kbps(double v) { return v * 1e3; }
+constexpr BitsPerSec mbps(double v) { return v * 1e6; }
+constexpr BitsPerSec gbps(double v) { return v * 1e9; }
+
+// Seconds needed to serialize `bytes` onto a link of rate `bw`.
+constexpr TimeSec transmission_time(double bytes, BitsPerSec bw) {
+  return bytes * kBitsPerByte / bw;
+}
+
+// Bytes a link of rate `bw` carries in `dt` seconds.
+constexpr Bytes bytes_in(BitsPerSec bw, TimeSec dt) {
+  return bw * dt / kBitsPerByte;
+}
+
+inline constexpr int kFullPacketBytes = 1500;  // full-sized data packet
+inline constexpr int kAckPacketBytes = 40;     // SYN / ACK size (Section III-D)
+
+}  // namespace floc

@@ -1,0 +1,100 @@
+#include "baselines/pushback.h"
+
+#include <gtest/gtest.h>
+
+namespace floc {
+namespace {
+
+PushbackConfig small_cfg() {
+  PushbackConfig cfg;
+  cfg.buffer_packets = 50;
+  cfg.link_bandwidth = mbps(10);  // ~833 full pkts/s
+  cfg.aggregate_prefix_len = 1;
+  cfg.interval = 0.2;
+  cfg.congestion_threshold = 0.05;
+  return cfg;
+}
+
+Packet pkt(FlowId f, const PathId& path) {
+  Packet p;
+  p.flow = f;
+  p.path = path;
+  return p;
+}
+
+TEST(PushbackQueue, NoThrottlingWithoutCongestion) {
+  PushbackQueue q(small_cfg());
+  for (int i = 0; i < 400; ++i) {
+    q.enqueue(pkt(1, PathId::of({1})), i * 0.01);
+    q.dequeue(i * 0.01);
+  }
+  EXPECT_FALSE(q.throttling_active());
+}
+
+TEST(PushbackQueue, ThrottlesDominantAggregateUnderFlood) {
+  PushbackQueue q(small_cfg());
+  double t = 0.0;
+  double next_service = 0.0;
+  for (int i = 0; i < 30000; ++i) {
+    t = i * 0.0002;  // 5000 pkt/s from the attack aggregate
+    q.enqueue(pkt(100, PathId::of({6, 66})), t);
+    if (i % 25 == 0) q.enqueue(pkt(1, PathId::of({1, 11})), t);  // light
+    while (next_service <= t) {
+      q.dequeue(next_service);
+      next_service += 1.0 / 833.0;
+    }
+  }
+  EXPECT_TRUE(q.throttling_active());
+  // The attack aggregate is limited; the light aggregate is not.
+  EXPECT_GE(q.limit_for(PathId::of({6, 66})), 0.0);
+  EXPECT_LT(q.limit_for(PathId::of({1, 11})), 0.0);
+  EXPECT_GT(q.drops(), 0u);
+}
+
+TEST(PushbackQueue, AggregateClusteringByPrefix) {
+  PushbackConfig cfg = small_cfg();
+  cfg.aggregate_prefix_len = 1;
+  PushbackQueue q(cfg);
+  double t = 0.0;
+  double next_service = 0.0;
+  // Two leaf paths sharing first-hop {6} flood together.
+  for (int i = 0; i < 30000; ++i) {
+    t = i * 0.0002;
+    q.enqueue(pkt(100 + (i % 2), PathId::of({6, static_cast<AsNumber>(60 + i % 2)})), t);
+    while (next_service <= t) {
+      q.dequeue(next_service);
+      next_service += 1.0 / 833.0;
+    }
+  }
+  // Both leaves map to the same rate-limited aggregate.
+  EXPECT_TRUE(q.throttling_active());
+  EXPECT_DOUBLE_EQ(q.limit_for(PathId::of({6, 60})),
+                   q.limit_for(PathId::of({6, 61})));
+}
+
+TEST(PushbackQueue, LimitsReleasedAfterCalm) {
+  PushbackConfig cfg = small_cfg();
+  cfg.limiter_timeout = 1.0;
+  PushbackQueue q(cfg);
+  double t = 0.0;
+  double next_service = 0.0;
+  for (int i = 0; i < 30000; ++i) {
+    t = i * 0.0002;
+    q.enqueue(pkt(100, PathId::of({6})), t);
+    while (next_service <= t) {
+      q.dequeue(next_service);
+      next_service += 1.0 / 833.0;
+    }
+  }
+  ASSERT_TRUE(q.throttling_active());
+  // Calm traffic for several seconds: limiters must clear.
+  for (int i = 0; i < 100; ++i) {
+    t += 0.1;
+    q.enqueue(pkt(1, PathId::of({1})), t);
+    q.dequeue(t);
+  }
+  EXPECT_FALSE(q.throttling_active());
+}
+
+}  // namespace
+}  // namespace floc

@@ -1,0 +1,78 @@
+#include "baselines/rate_limiter.h"
+
+#include <gtest/gtest.h>
+
+namespace floc {
+namespace {
+
+Packet pkt(const PathId& path) {
+  Packet p;
+  p.flow = 1;
+  p.path = path;
+  return p;
+}
+
+TEST(RateLimiter, PassThroughWithoutLimits) {
+  RateLimiterQueue q(10);
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(q.enqueue(pkt(PathId::of({1})), 0.0));
+  EXPECT_FALSE(q.enqueue(pkt(PathId::of({1})), 0.0));  // buffer full
+}
+
+TEST(RateLimiter, EnforcesInstalledLimit) {
+  RateLimiterQueue q(1000);
+  // 1 Mbps limit on prefix {5}: ~83 full packets/s.
+  q.install_limit(PathId::of({5}), mbps(1), /*expires=*/100.0);
+  int admitted = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const double t = i * 0.001;  // 1000 pkt/s offered for 1 s
+    if (q.enqueue(pkt(PathId::of({5, 9})), t)) ++admitted;
+    while (!q.empty()) q.dequeue(t);
+  }
+  EXPECT_NEAR(admitted, 83, 20);
+}
+
+TEST(RateLimiter, OnlyMatchingPrefixLimited) {
+  RateLimiterQueue q(1000);
+  q.install_limit(PathId::of({5}), kbps(1), 100.0);
+  int admitted_other = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (q.enqueue(pkt(PathId::of({6, 9})), i * 0.001)) ++admitted_other;
+    while (!q.empty()) q.dequeue(i * 0.001);
+  }
+  EXPECT_EQ(admitted_other, 100);
+}
+
+TEST(RateLimiter, LimitsExpire) {
+  RateLimiterQueue q(1000);
+  q.install_limit(PathId::of({5}), kbps(1), /*expires=*/1.0);
+  // After expiry everything passes again.
+  int admitted = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (q.enqueue(pkt(PathId::of({5, 9})), 2.0 + i * 0.001)) ++admitted;
+    while (!q.empty()) q.dequeue(2.0);
+  }
+  EXPECT_EQ(admitted, 50);
+  EXPECT_EQ(q.active_limits(), 0u);
+}
+
+TEST(RateLimiter, ReleaseRemovesLimit) {
+  RateLimiterQueue q(1000);
+  q.install_limit(PathId::of({5}), kbps(1), 100.0);
+  EXPECT_EQ(q.active_limits(), 1u);
+  q.release_limit(PathId::of({5}));
+  EXPECT_EQ(q.active_limits(), 0u);
+}
+
+TEST(RateLimiter, ControlPacketsBypassLimits) {
+  RateLimiterQueue q(1000);
+  q.install_limit(PathId::of({5}), kbps(1), 100.0);
+  Packet syn = pkt(PathId::of({5, 9}));
+  syn.type = PacketType::kSyn;
+  for (int i = 0; i < 20; ++i) {
+    Packet c = syn;
+    EXPECT_TRUE(q.enqueue(std::move(c), 0.001 * i));
+  }
+}
+
+}  // namespace
+}  // namespace floc

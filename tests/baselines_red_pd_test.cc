@@ -1,0 +1,82 @@
+#include "baselines/red_pd.h"
+
+#include <gtest/gtest.h>
+
+namespace floc {
+namespace {
+
+RedPdConfig small_cfg() {
+  RedPdConfig cfg;
+  cfg.red.buffer_packets = 60;
+  cfg.red.min_th = 5.0;
+  cfg.red.max_th = 25.0;
+  cfg.red.weight = 0.2;
+  cfg.red.max_p = 0.2;
+  cfg.target_rtt = 0.02;
+  cfg.epoch_factor = 2.0;  // 40 ms epochs
+  return cfg;
+}
+
+Packet pkt(FlowId f) {
+  Packet p;
+  p.flow = f;
+  return p;
+}
+
+TEST(RedPdQueue, BehavesLikeRedWhenCalm) {
+  RedPdQueue q(small_cfg());
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.enqueue(pkt(1), 0.001 * i));
+  EXPECT_EQ(q.drops(), 0u);
+  EXPECT_EQ(q.monitored_count(), 0u);
+}
+
+// A persistent high-rate flow should get monitored and preferentially
+// dropped; a light flow should stay unmonitored.
+TEST(RedPdQueue, MonitorsPersistentOffender) {
+  RedPdQueue q(small_cfg());
+  double t = 0.0;
+  for (int i = 0; i < 30000; ++i) {
+    t = i * 0.0002;                 // 5000 pkt/s heavy flow
+    q.enqueue(pkt(100), t);
+    if (i % 50 == 0) q.enqueue(pkt(1), t);  // 100 pkt/s light flow
+    if (i % 5 != 0) q.dequeue(t);           // ~4000 pkt/s service
+  }
+  EXPECT_TRUE(q.is_monitored(100));
+  // The heavy flow's pre-drop probability must dominate any transient
+  // monitoring of the light flow.
+  EXPECT_GT(q.monitored_prob(100), 2.0 * q.monitored_prob(1));
+  EXPECT_GT(q.monitored_prob(100), 0.05);
+  EXPECT_GT(q.drops(), 0u);
+}
+
+TEST(RedPdQueue, MonitoredProbabilityDecaysWhenFlowStops) {
+  RedPdQueue q(small_cfg());
+  double t = 0.0;
+  for (int i = 0; i < 30000; ++i) {
+    t = i * 0.0002;
+    q.enqueue(pkt(100), t);
+    if (i % 3 == 0) q.dequeue(t);
+  }
+  ASSERT_TRUE(q.is_monitored(100));
+  // Flow goes silent; epochs pass via other light traffic.
+  for (int i = 0; i < 20000; ++i) {
+    t += 0.0005;
+    q.enqueue(pkt(1), t);
+    q.dequeue(t);
+  }
+  EXPECT_FALSE(q.is_monitored(100));
+}
+
+TEST(RedPdQueue, ControlPacketsNotMonitored) {
+  RedPdQueue q(small_cfg());
+  Packet p = pkt(5);
+  p.type = PacketType::kSyn;
+  for (int i = 0; i < 100; ++i) {
+    Packet c = p;
+    q.enqueue(std::move(c), 0.001 * i);
+  }
+  EXPECT_EQ(q.monitored_count(), 0u);
+}
+
+}  // namespace
+}  // namespace floc

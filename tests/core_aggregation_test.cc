@@ -1,0 +1,180 @@
+#include "core/aggregation.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace floc {
+namespace {
+
+int distinct_aggregates(const AggregationPlan& plan) {
+  std::set<std::uint64_t> keys;
+  for (const auto& [k, e] : plan.mapping) keys.insert(e.aggregate.key());
+  return static_cast<int>(keys.size());
+}
+
+TEST(Aggregator, IdentityWhenUnderBudget) {
+  AggregationConfig cfg;
+  cfg.s_max = 100;
+  cfg.aggregate_legit = false;
+  Aggregator agg(cfg);
+  const auto plan = agg.plan({{PathId::of({1, 2}), 0.1, 10.0},
+                              {PathId::of({1, 3}), 0.9, 10.0}});
+  EXPECT_EQ(plan.identifier_count, 2);
+  EXPECT_EQ(plan.attack_aggregations, 0);
+  EXPECT_EQ(plan.entry_for(PathId::of({1, 2})).aggregate, PathId::of({1, 2}));
+}
+
+TEST(Aggregator, AttackPathsAggregatedToMeetBudget) {
+  AggregationConfig cfg;
+  cfg.s_max = 3;  // 2 legit + 4 attack -> attack must shrink to 1
+  cfg.e_th = 0.5;
+  cfg.aggregate_legit = false;
+  Aggregator agg(cfg);
+  const auto plan = agg.plan({
+      {PathId::of({1, 10}), 0.9, 10.0},  // legit
+      {PathId::of({2, 11}), 0.95, 10.0}, // legit
+      {PathId::of({3, 20}), 0.1, 50.0},  // attack, shared prefix {3}
+      {PathId::of({3, 21}), 0.2, 50.0},
+      {PathId::of({3, 22}), 0.15, 50.0},
+      {PathId::of({3, 23}), 0.1, 50.0},
+  });
+  EXPECT_LE(distinct_aggregates(plan), 3);
+  // Legit paths untouched.
+  EXPECT_EQ(plan.entry_for(PathId::of({1, 10})).aggregate, PathId::of({1, 10}));
+  // Attack paths collapsed onto the shared {3} prefix with ONE share.
+  const auto& e = plan.entry_for(PathId::of({3, 20}));
+  EXPECT_TRUE(e.is_attack);
+  EXPECT_EQ(e.aggregate, PathId::of({3}));
+  EXPECT_DOUBLE_EQ(e.share_weight, 1.0);
+  EXPECT_GE(plan.attack_aggregations, 1);
+}
+
+TEST(Aggregator, GreedyPicksLowestConformanceSubtree) {
+  AggregationConfig cfg;
+  cfg.s_max = 3;  // 4 attack paths, 0 legit: need reduction 1
+  cfg.e_th = 0.5;
+  cfg.aggregate_legit = false;
+  Aggregator agg(cfg);
+  const auto plan = agg.plan({
+      {PathId::of({1, 10}), 0.40, 10.0},  // subtree {1}: mean E = 0.40
+      {PathId::of({1, 11}), 0.40, 10.0},
+      {PathId::of({2, 20}), 0.05, 10.0},  // subtree {2}: mean E = 0.05
+      {PathId::of({2, 21}), 0.05, 10.0},
+  });
+  // The {2} subtree (lowest mean conformance) must be the one aggregated.
+  EXPECT_EQ(plan.entry_for(PathId::of({2, 20})).aggregate, PathId::of({2}));
+  EXPECT_EQ(plan.entry_for(PathId::of({1, 10})).aggregate, PathId::of({1, 10}));
+}
+
+TEST(Aggregator, ReplacementPrefersSingleCoveringNode) {
+  // Needing a large reduction, one ancestor aggregation covering everything
+  // should replace multiple sibling aggregations when cheaper in total.
+  AggregationConfig cfg;
+  cfg.s_max = 1;
+  cfg.e_th = 0.5;
+  cfg.aggregate_legit = false;
+  Aggregator agg(cfg);
+  const auto plan = agg.plan({
+      {PathId::of({9, 1, 10}), 0.1, 1.0},
+      {PathId::of({9, 1, 11}), 0.1, 1.0},
+      {PathId::of({9, 2, 20}), 0.2, 1.0},
+      {PathId::of({9, 2, 21}), 0.2, 1.0},
+  });
+  EXPECT_EQ(distinct_aggregates(plan), 1);
+  EXPECT_EQ(plan.entry_for(PathId::of({9, 1, 10})).aggregate, PathId::of({9}));
+}
+
+TEST(Aggregator, LegitAggregationEqualizesPerFlowBandwidth) {
+  // Two sibling legit domains with 15 and 30 sources (Fig. 9 setup):
+  // cost is 0 (equal E) and the bandwidth guard passes (factor 1.33 < 1.5),
+  // so they merge with combined shares.
+  AggregationConfig cfg;
+  cfg.s_max = 100;
+  cfg.legit_max_increase = 0.5;
+  Aggregator agg(cfg);
+  const auto plan = agg.plan({
+      {PathId::of({1, 2}), 1.0, 15.0},
+      {PathId::of({1, 3}), 1.0, 30.0},
+  });
+  const auto& e = plan.entry_for(PathId::of({1, 2}));
+  EXPECT_EQ(e.aggregate, PathId::of({1}));
+  EXPECT_DOUBLE_EQ(e.share_weight, 2.0);  // keeps both paths' shares
+  EXPECT_FALSE(e.is_attack);
+  EXPECT_EQ(plan.legit_aggregations, 1);
+}
+
+TEST(Aggregator, CovertGuardBlocksWideFlowImbalance) {
+  // A "legitimate-looking" covert path with 600 flows must not merge with a
+  // 30-flow path: its per-flow gain would be 2*600/630 = 1.9 > 1.5.
+  AggregationConfig cfg;
+  cfg.legit_max_increase = 0.5;
+  Aggregator agg(cfg);
+  const auto plan = agg.plan({
+      {PathId::of({1, 2}), 1.0, 30.0},
+      {PathId::of({1, 3}), 1.0, 600.0},
+  });
+  EXPECT_EQ(plan.legit_aggregations, 0);
+  EXPECT_EQ(plan.entry_for(PathId::of({1, 3})).aggregate, PathId::of({1, 3}));
+}
+
+TEST(Aggregator, LegitAggregationSkippedWhenCostPositive) {
+  // Low-conformance sibling with more flows: merging lowers flow-weighted
+  // conformance (Eq. IV.8 positive cost) -> no aggregation.
+  AggregationConfig cfg;
+  cfg.e_th = 0.5;
+  Aggregator agg(cfg);
+  const auto plan = agg.plan({
+      {PathId::of({1, 2}), 1.0, 10.0},
+      {PathId::of({1, 3}), 0.6, 90.0},  // still above e_th (legit tree)
+  });
+  EXPECT_EQ(plan.legit_aggregations, 0);
+}
+
+TEST(Aggregator, EveryInputPathAppearsInMapping) {
+  AggregationConfig cfg;
+  cfg.s_max = 2;
+  Aggregator agg(cfg);
+  std::vector<PathSnapshot> snaps;
+  for (AsNumber i = 0; i < 20; ++i) {
+    snaps.push_back({PathId::of({i % 4 + 1, 100 + i}), i < 10 ? 0.1 : 0.9,
+                     5.0});
+  }
+  const auto plan = agg.plan(snaps);
+  for (const auto& s : snaps) {
+    EXPECT_EQ(plan.mapping.count(s.path.key()), 1u) << s.path.to_string();
+  }
+}
+
+TEST(Aggregator, RootFallbackWhenNoSharedPrefix) {
+  // Attack paths with disjoint prefixes can only aggregate at the root
+  // (empty prefix), which still satisfies the budget.
+  AggregationConfig cfg;
+  cfg.s_max = 1;
+  cfg.e_th = 0.5;
+  cfg.aggregate_legit = false;
+  Aggregator agg(cfg);
+  const auto plan = agg.plan({
+      {PathId::of({1, 10}), 0.1, 1.0},
+      {PathId::of({2, 20}), 0.1, 1.0},
+      {PathId::of({3, 30}), 0.1, 1.0},
+  });
+  EXPECT_EQ(distinct_aggregates(plan), 1);
+  EXPECT_EQ(plan.entry_for(PathId::of({1, 10})).aggregate.length(), 0);
+}
+
+TEST(Aggregator, AttackDisabledLeavesAttackPathsAlone) {
+  AggregationConfig cfg;
+  cfg.s_max = 1;
+  cfg.aggregate_attack = false;
+  cfg.aggregate_legit = false;
+  Aggregator agg(cfg);
+  const auto plan = agg.plan({
+      {PathId::of({1, 10}), 0.1, 1.0},
+      {PathId::of({1, 11}), 0.1, 1.0},
+  });
+  EXPECT_EQ(distinct_aggregates(plan), 2);
+}
+
+}  // namespace
+}  // namespace floc

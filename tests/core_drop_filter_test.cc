@@ -1,0 +1,145 @@
+#include "core/drop_filter.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace floc {
+namespace {
+
+DropFilterConfig small_filter() {
+  DropFilterConfig cfg;
+  cfg.arrays = 4;
+  cfg.bits = 12;  // 4096 entries per array: small for tests
+  cfg.tick = 0.01;
+  return cfg;
+}
+
+TEST(DropFilter, UnknownFlowHasNoExtraDrops) {
+  ScalableDropFilter f(small_filter());
+  const auto e = f.query(123, 1.0, 0.5);
+  EXPECT_DOUBLE_EQ(e.extra_drops, 0.0);
+  EXPECT_DOUBLE_EQ(f.preferential_drop_prob(123, 1.0, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(f.over_rate(123, 1.0, 0.5), 1.0);
+}
+
+TEST(DropFilter, ConformantFlowDecaysToZero) {
+  // One drop per congestion epoch is exactly conformant: counter decays as
+  // fast as it grows, so extra drops stay ~O(1).
+  ScalableDropFilter f(small_filter());
+  const double epoch = 0.5;
+  for (int i = 1; i <= 20; ++i) f.record_drop(1, i * epoch, epoch);
+  EXPECT_LE(f.query(1, 20 * epoch + epoch, epoch).extra_drops, 1.5);
+  // Long silence: preferential drop probability decays away entirely.
+  EXPECT_DOUBLE_EQ(f.preferential_drop_prob(1, 20 * epoch + 10 * epoch, epoch),
+                   0.0);
+}
+
+TEST(DropFilter, AggressiveFlowAccumulates) {
+  ScalableDropFilter f(small_filter());
+  const double epoch = 0.5;
+  // 10 drops per epoch for 5 epochs: ~9 extra drops per epoch accumulate.
+  for (int e = 0; e < 5; ++e) {
+    for (int d = 0; d < 10; ++d) f.record_drop(2, e * epoch + d * 0.01, epoch);
+  }
+  const auto est = f.query(2, 5 * epoch, epoch);
+  EXPECT_GT(est.extra_drops, 20.0);
+  EXPECT_GT(f.preferential_drop_prob(2, 5 * epoch, epoch), 0.5);
+  EXPECT_GT(f.over_rate(2, 5 * epoch, epoch), 3.0);
+}
+
+TEST(DropFilter, PreferentialDropOrdersFlowsByRate) {
+  ScalableDropFilter f(small_filter());
+  const double epoch = 0.5;
+  for (int e = 0; e < 10; ++e) {
+    for (int d = 0; d < 2; ++d) f.record_drop(10, e * epoch + d * 0.02, epoch);
+    for (int d = 0; d < 8; ++d) f.record_drop(20, e * epoch + d * 0.02, epoch);
+  }
+  EXPECT_LT(f.preferential_drop_prob(10, 5.0, epoch),
+            f.preferential_drop_prob(20, 5.0, epoch));
+}
+
+TEST(DropFilter, PpdFormula) {
+  // P = d/(t_s + d): with d extra drops over t_s epochs a flow sends
+  // (t_s+d)/t_s times fair; dropping that fraction caps it at fair rate.
+  ScalableDropFilter f(small_filter());
+  const double epoch = 1.0;
+  // Record 5 drops quickly at t ~ epoch: t_s ~= 1, d ~= 4-5.
+  for (int d = 0; d < 5; ++d) f.record_drop(3, 1.0 + d * 0.001, epoch);
+  const auto est = f.query(3, 1.01, epoch);
+  const double expect = est.extra_drops / (est.epochs + est.extra_drops);
+  EXPECT_NEAR(f.preferential_drop_prob(3, 1.01, epoch), expect, 1e-9);
+  EXPECT_GT(expect, 0.5);
+}
+
+TEST(DropFilter, CountMinNoUnderestimateSingleFlow) {
+  ScalableDropFilter f(small_filter());
+  for (int i = 0; i < 50; ++i) f.record_drop(4, 1.0 + i * 1e-4, 10.0);
+  // All drops land within a fraction of an epoch: d should be ~49-50.
+  EXPECT_GT(f.query(4, 1.01, 10.0).extra_drops, 40.0);
+}
+
+TEST(DropFilter, FalsePositiveRatioFormula) {
+  // Paper's numbers (Section V-B.5): m=4, b=24 => 0.5M flows: ~7.4e-7.
+  const double p1 = ScalableDropFilter::false_positive_ratio(5e5, 4, 24);
+  EXPECT_NEAR(p1, 7.4e-7, 2e-7);
+  const double p2 = ScalableDropFilter::false_positive_ratio(4e6, 4, 24);
+  EXPECT_GT(p2, p1);
+  EXPECT_LT(p2, 1e-2);
+}
+
+TEST(DropFilter, ArraysForAttackDomains) {
+  // k such that n - nA + nA*k/m <= threshold.
+  EXPECT_EQ(ScalableDropFilter::arrays_for_attack_domains(4e6, 3.9e6, 4, 1.5e6),
+            1);
+  EXPECT_EQ(ScalableDropFilter::arrays_for_attack_domains(1e6, 5e5, 4, 2e6), 1);
+  // Impossible threshold -> m.
+  EXPECT_EQ(ScalableDropFilter::arrays_for_attack_domains(4e6, 1e5, 4, 1e5), 4);
+}
+
+TEST(DropFilter, MemoryBytesScalesWithConfig) {
+  DropFilterConfig a = small_filter();
+  DropFilterConfig b = small_filter();
+  b.bits = a.bits + 1;
+  EXPECT_EQ(ScalableDropFilter(b).memory_bytes(),
+            2 * ScalableDropFilter(a).memory_bytes());
+}
+
+TEST(DropFilter, ProbabilisticUpdatePreservesExpectation) {
+  DropFilterConfig cfg = small_filter();
+  cfg.probabilistic_update = true;
+  ScalableDropFilter prob(cfg);
+  cfg.probabilistic_update = false;
+  ScalableDropFilter exact(cfg);
+  const double epoch = 10.0;
+  for (int i = 0; i < 400; ++i) {
+    prob.record_drop(7, 1.0 + i * 0.001, epoch);
+    exact.record_drop(7, 1.0 + i * 0.001, epoch);
+  }
+  const double pe = prob.query(7, 1.5, epoch).extra_drops;
+  const double ee = exact.query(7, 1.5, epoch).extra_drops;
+  // Counter caps at 2^drop_bits-1=255; both near the cap despite fewer
+  // memory updates in probabilistic mode.
+  EXPECT_NEAR(pe, ee, 0.35 * ee);
+  EXPECT_LT(prob.updates(), exact.updates());
+}
+
+TEST(DropFilter, AttackDomainSubsetUpdates) {
+  DropFilterConfig cfg = small_filter();
+  cfg.drop_bits = 12;  // avoid counter saturation for this check
+  ScalableDropFilter f(cfg);
+  f.set_attack_domain_arrays(2);
+  const double epoch = 10.0;
+  const int drops = 800;
+  for (int i = 0; i < drops; ++i)
+    f.record_drop_attack_domain(9, 1.0 + i * 0.0001, epoch);
+  // Probability-k/m + value-m/k updates preserve the expectation, and the
+  // subset-aware query reads the same arrays the updates touched.
+  const auto est = f.query_attack_domain(9, 1.09, epoch);
+  EXPECT_NEAR(est.extra_drops, drops, 0.3 * drops);
+  // A full-array query would min over untouched arrays and see nothing.
+  EXPECT_DOUBLE_EQ(f.query(9, 1.09, epoch).extra_drops, 0.0);
+}
+
+}  // namespace
+}  // namespace floc

@@ -1,0 +1,95 @@
+// Covert-attack defense at the queue level (Section IV-B.3): capability
+// slots collapse a source's fan-out into n_max accounting flows.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/floc_queue.h"
+
+namespace floc {
+namespace {
+
+FlocConfig covert_cfg(int n_max) {
+  FlocConfig cfg;
+  cfg.link_bandwidth = mbps(10);
+  cfg.buffer_packets = 100;
+  cfg.control_interval = 0.1;
+  cfg.default_rtt = 0.05;
+  cfg.enable_aggregation = false;
+  cfg.n_max = n_max;
+  return cfg;
+}
+
+Packet data(FlowId flow, HostAddr src, HostAddr dst, const PathId& path) {
+  Packet p;
+  p.flow = flow;
+  p.src = src;
+  p.dst = dst;
+  p.path = path;
+  p.type = PacketType::kData;
+  return p;
+}
+
+TEST(FlocCovert, FanOutCollapsesToSlots) {
+  FlocQueue q(covert_cfg(2));
+  const PathId path = PathId::of({1});
+  // One source, 20 flows to 20 destinations: at most 2 accounting flows.
+  for (int d = 0; d < 20; ++d) {
+    q.enqueue(data(static_cast<FlowId>(100 + d), /*src=*/7,
+                   static_cast<HostAddr>(200 + d), path),
+              0.01 * d);
+  }
+  EXPECT_LE(q.path_flow_count(path), 2u);
+}
+
+TEST(FlocCovert, DistinctSourcesKeepDistinctAccounting) {
+  FlocQueue q(covert_cfg(2));
+  const PathId path = PathId::of({1});
+  for (int s = 0; s < 10; ++s) {
+    q.enqueue(data(static_cast<FlowId>(100 + s), static_cast<HostAddr>(1 + s),
+                   99, path),
+              0.01 * s);
+  }
+  // Ten sources, one destination each: >= 10 accounting flows... but slot
+  // hashing is per (src, slot), so each source contributes one.
+  EXPECT_EQ(q.path_flow_count(path), 10u);
+}
+
+TEST(FlocCovert, SlotsOffUsesTransportFlows) {
+  FlocQueue q(covert_cfg(0));
+  const PathId path = PathId::of({1});
+  for (int d = 0; d < 20; ++d) {
+    q.enqueue(data(static_cast<FlowId>(100 + d), 7,
+                   static_cast<HostAddr>(200 + d), path),
+              0.01 * d);
+  }
+  EXPECT_EQ(q.path_flow_count(path), 20u);
+}
+
+// A covert source's aggregate MTD builds up across its flows: the slot key
+// accumulates drops from every member flow, so the *source* looks like one
+// high-rate flow (the mechanism that defeats the covert strategy).
+TEST(FlocCovert, SlotAggregatesDropsAcrossDestinations) {
+  FlocConfig cfg = covert_cfg(1);  // single slot: everything collapses
+  cfg.buffer_packets = 30;
+  FlocQueue q(cfg);
+  const PathId path = PathId::of({2});
+  double t = 0.0;
+  // 20 destinations, round-robin, combined far above fair rate.
+  for (int i = 0; i < 20000; ++i) {
+    t = i * 0.0002;
+    q.enqueue(data(static_cast<FlowId>(100 + i % 20), 7,
+                   static_cast<HostAddr>(200 + i % 20), path),
+              t);
+    if (i % 3 == 0) q.dequeue(t);
+  }
+  q.run_control(t + 0.01);
+  ASSERT_EQ(q.path_flow_count(path), 1u);
+  // The single accounting flow must show a finite, small MTD.
+  const std::uint64_t key = q.issuer().accounting_key(
+      data(100, 7, 200, path));
+  EXPECT_TRUE(std::isfinite(q.flow_mtd(path, key, t)));
+}
+
+}  // namespace
+}  // namespace floc

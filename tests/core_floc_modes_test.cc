@@ -1,0 +1,95 @@
+// Queue-mode transitions (Section V-A): uncongested -> congested ->
+// flooding and back, with the documented policies active in each mode.
+#include <gtest/gtest.h>
+
+#include "core/floc_queue.h"
+
+namespace floc {
+namespace {
+
+FlocConfig cfg_with_buffer(std::size_t buffer) {
+  FlocConfig cfg;
+  cfg.link_bandwidth = mbps(10);
+  cfg.buffer_packets = buffer;
+  cfg.control_interval = 0.05;
+  cfg.enable_aggregation = false;
+  return cfg;
+}
+
+Packet data(FlowId flow, const PathId& path) {
+  Packet p;
+  p.flow = flow;
+  p.src = static_cast<HostAddr>(flow);
+  p.dst = 99;
+  p.path = path;
+  return p;
+}
+
+TEST(FlocModes, ProgressesThroughModesAsQueueGrows) {
+  FlocQueue q(cfg_with_buffer(100));  // Qmin = 20
+  const PathId path = PathId::of({1});
+  EXPECT_EQ(q.mode(), FlocQueue::Mode::kUncongested);
+  // Fill past Qmin: congested.
+  int i = 0;
+  while (q.packet_count() <= q.q_min() && i < 1000) {
+    q.enqueue(data(1, path), 0.0001 * i++);
+  }
+  EXPECT_EQ(q.mode(), FlocQueue::Mode::kCongested);
+  // Keep pushing: either flooding is reached or drops hold the queue at/below
+  // Q_max — both consistent with Section V-A; the mode never reports
+  // kFlooding while Q <= Q_max.
+  for (; i < 5000; ++i) q.enqueue(data(1, path), 0.0001 * i);
+  if (q.packet_count() > q.q_max()) {
+    EXPECT_EQ(q.mode(), FlocQueue::Mode::kFlooding);
+  } else {
+    EXPECT_NE(q.mode(), FlocQueue::Mode::kFlooding);
+  }
+  // Drain below Qmin: uncongested again.
+  while (q.packet_count() > 0) q.dequeue(1.0);
+  EXPECT_EQ(q.mode(), FlocQueue::Mode::kUncongested);
+}
+
+TEST(FlocModes, QmaxTracksFlowsAndWindows) {
+  FlocQueue q(cfg_with_buffer(1000));
+  const PathId a = PathId::of({1});
+  const PathId b = PathId::of({2});
+  q.enqueue(data(1, a), 0.0);
+  q.run_control(0.1);
+  const std::size_t qmax_one = q.q_max();
+  // More flows on more paths -> larger sqrt(n)*W headroom.
+  for (FlowId f = 2; f <= 20; ++f) {
+    q.enqueue(data(f, f % 2 ? a : b), 0.11);
+  }
+  q.run_control(0.2);
+  EXPECT_GE(q.q_max(), qmax_one);
+  EXPECT_LE(q.q_max(), 1000u);  // never beyond the physical buffer
+}
+
+TEST(FlocModes, FloodingModeUsesStrictTokens) {
+  FlocConfig cfg = cfg_with_buffer(60);
+  FlocQueue q(cfg);
+  const PathId path = PathId::of({3});
+  // Blast without any service: once past Q_max, token misses become strict
+  // kToken drops even before the path is attack-flagged.
+  for (int i = 0; i < 4000; ++i) {
+    q.enqueue(data(1, path), 0.0002 * i);
+  }
+  EXPECT_GT(q.drops_by_reason(DropReason::kToken) +
+                q.drops_by_reason(DropReason::kQueueFull),
+            0u);
+  EXPECT_LE(q.packet_count(), 60u);
+}
+
+TEST(FlocModes, UncongestedConsumesNoDropBudget) {
+  FlocQueue q(cfg_with_buffer(200));  // Qmin = 40
+  const PathId path = PathId::of({4});
+  // Light trickle with service keeping the queue at ~1: zero drops ever.
+  for (int i = 0; i < 2000; ++i) {
+    q.enqueue(data(1, path), 0.001 * i);
+    q.dequeue(0.001 * i);
+  }
+  EXPECT_EQ(q.drops(), 0u);
+}
+
+}  // namespace
+}  // namespace floc

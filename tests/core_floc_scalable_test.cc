@@ -1,0 +1,73 @@
+// Scalable-design parity (Section V-B): the bloom-filter drop accounting and
+// the drop-rate flow estimation must track the exact reference design
+// closely enough that the defense outcome is preserved.
+#include <gtest/gtest.h>
+
+#include "topology/tree_scenario.h"
+
+namespace floc {
+namespace {
+
+TreeScenarioConfig base_cfg() {
+  TreeScenarioConfig cfg;
+  cfg.tree_degree = 3;
+  cfg.tree_height = 2;
+  cfg.legit_per_leaf = 4;
+  cfg.attack_leaf_count = 2;
+  cfg.attack_per_leaf = 8;
+  cfg.target_link = mbps(20);
+  cfg.internal_link = mbps(60);
+  cfg.attack = AttackType::kCbr;
+  cfg.attack_rate = mbps(1.0);
+  cfg.duration = 25.0;
+  cfg.attack_start = 3.0;
+  cfg.measure_start = 8.0;
+  cfg.measure_end = 25.0;
+  cfg.scheme = DefenseScheme::kFloc;
+  cfg.seed = 31;
+  return cfg;
+}
+
+TreeScenario::ClassBandwidth run(const TreeScenarioConfig& cfg) {
+  TreeScenario s(cfg);
+  s.run();
+  return s.class_bandwidth();
+}
+
+TEST(ScalableFloc, FilterModeTracksExactDesign) {
+  TreeScenarioConfig exact = base_cfg();
+  TreeScenarioConfig scalable = base_cfg();
+  scalable.floc.use_scalable_filter = true;
+  scalable.floc.filter.bits = 16;
+
+  const auto e = run(exact);
+  const auto s = run(scalable);
+  // Same qualitative outcome: legit-path traffic dominates, attack confined.
+  EXPECT_GT(s.legit_legit_bps, 0.5 * mbps(20));
+  EXPECT_LT(s.attack_bps, 0.45 * mbps(20));
+  // Within 35% of the exact design's legit-path bandwidth.
+  EXPECT_NEAR(s.legit_legit_bps, e.legit_legit_bps, 0.35 * e.legit_legit_bps);
+}
+
+TEST(ScalableFloc, FlowEstimationModeStillConfines) {
+  TreeScenarioConfig cfg = base_cfg();
+  cfg.floc.estimate_flow_count = true;
+  const auto r = run(cfg);
+  EXPECT_GT(r.legit_legit_bps, 0.5 * mbps(20));
+  EXPECT_LT(r.attack_bps, 0.45 * mbps(20));
+}
+
+TEST(ScalableFloc, FullyScalableMode) {
+  // Filter-based MTD + estimated flow counts: no exact per-flow state in
+  // the data path at all (the backbone-router configuration).
+  TreeScenarioConfig cfg = base_cfg();
+  cfg.floc.use_scalable_filter = true;
+  cfg.floc.filter.bits = 16;
+  cfg.floc.estimate_flow_count = true;
+  const auto r = run(cfg);
+  EXPECT_GT(r.legit_legit_bps, 0.45 * mbps(20));
+  EXPECT_LT(r.attack_bps, 0.5 * mbps(20));
+}
+
+}  // namespace
+}  // namespace floc

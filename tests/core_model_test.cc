@@ -1,0 +1,138 @@
+#include "core/model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace floc::model {
+namespace {
+
+constexpr int kPkt = 1500;
+
+TEST(Model, PeakWindowFromBandwidth) {
+  // n flows at mean window 3W/4: c = n*(3W/4)*pkt*8/RTT.
+  const double w = peak_window(mbps(12), 0.1, 10.0, kPkt);
+  const double c_check = 10.0 * (3.0 * w / 4.0) * kPkt * 8.0 / 0.1;
+  EXPECT_NEAR(c_check, mbps(12), 1.0);
+}
+
+TEST(Model, MtdIsHalfWindowOfRtts) {
+  EXPECT_DOUBLE_EQ(flow_mtd(20.0, 0.1), 1.0);
+}
+
+TEST(Model, TokenPeriodEqIV1) {
+  // T = (W/2)*RTT/n.
+  EXPECT_DOUBLE_EQ(token_period(20.0, 0.1, 10.0), 0.1);
+  // Equivalent closed form T = (2/3) * C_pkts * RTT^2 / n^2.
+  const double c = mbps(12);
+  const double n = 8.0, rtt = 0.08;
+  const double w = peak_window(c, rtt, n, kPkt);
+  const double c_pkts = c / (8.0 * kPkt);
+  EXPECT_NEAR(token_period(w, rtt, n), (2.0 / 3.0) * c_pkts * rtt * rtt / (n * n),
+              1e-12);
+}
+
+TEST(Model, BucketEqualsCapacityTimesPeriod) {
+  EXPECT_NEAR(bucket_packets(mbps(12), 0.05, kPkt),
+              mbps(12) * 0.05 / (8.0 * kPkt), 1e-9);
+}
+
+TEST(Model, IncreaseFactorEqIV3) {
+  // (1 + 2/(3*sqrt(n))) — decreasing in n, ->1 as n grows.
+  EXPECT_NEAR(bucket_increase_factor(1.0), 1.0 + 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(bucket_increase_factor(9.0), 1.0 + 2.0 / 9.0, 1e-12);
+  EXPECT_GT(bucket_increase_factor(4.0), bucket_increase_factor(100.0));
+  EXPECT_NEAR(bucket_increase_factor(1e12), 1.0, 1e-5);
+}
+
+TEST(Model, DropRatioMatchesEpochLength) {
+  // One drop per (3/8)W(W+2) packets.
+  for (double w : {4.0, 10.0, 30.0}) {
+    EXPECT_NEAR(drop_ratio(w) * (3.0 / 8.0) * w * (w + 2.0), 1.0, 1e-12);
+  }
+}
+
+TEST(Model, DropRatioDecreasesWithWindow) {
+  EXPECT_GT(drop_ratio(4.0), drop_ratio(8.0));
+  EXPECT_GT(drop_ratio(8.0), drop_ratio(64.0));
+}
+
+TEST(Model, AggregateDropRate) {
+  // n drops per (W/2)*RTT seconds.
+  EXPECT_DOUBLE_EQ(aggregate_drop_rate(20.0, 0.1, 10.0), 10.0);
+}
+
+TEST(Model, FlowCountEstimateInvertsDropRate) {
+  // Round-trip: n -> drop rate -> estimate ~= n (scalable design, V-B.1).
+  const double c = mbps(100), rtt = 0.06;
+  for (double n : {5.0, 20.0, 80.0}) {
+    const double w = peak_window(c, rtt, n, kPkt);
+    const double rate = aggregate_drop_rate(w, rtt, n);
+    EXPECT_NEAR(estimate_flow_count(c, rtt, rate, kPkt), n, 0.01 * n);
+  }
+}
+
+TEST(Model, SynchronizationConstants) {
+  EXPECT_DOUBLE_EQ(synchronized_utilization(), 0.75);
+  EXPECT_DOUBLE_EQ(synchronized_peak_to_trough(), 2.0);
+}
+
+TEST(Model, ComputeParamsClampsWindow) {
+  // Tiny bandwidth forces the W >= 2 clamp.
+  const auto p = compute_params(kbps(10), 0.01, 100.0, kPkt);
+  EXPECT_GE(p.peak_window, 2.0);
+  EXPECT_GE(p.bucket_packets, 1.0);
+}
+
+TEST(Model, ComputeParamsClampsPeriod) {
+  const auto fast = compute_params(gbps(40), 0.001, 1e6, kPkt);
+  EXPECT_GE(fast.period, 1e-4);
+  const auto slow = compute_params(kbps(1), 2.0, 1.0, kPkt);
+  EXPECT_LE(slow.period, 1.0);
+}
+
+TEST(Model, RefMtdIsNTimesPeriod) {
+  const auto p = compute_params(mbps(50), 0.08, 25.0, kPkt);
+  EXPECT_NEAR(p.ref_mtd, 25.0 * p.period, 1e-12);
+}
+
+TEST(Model, IncreasedBucketLargerThanBase) {
+  const auto p = compute_params(mbps(50), 0.08, 25.0, kPkt);
+  EXPECT_GT(p.bucket_packets_incr, p.bucket_packets);
+  EXPECT_NEAR(p.bucket_packets_incr / p.bucket_packets,
+              bucket_increase_factor(25.0), 1e-9);
+}
+
+// Parameterized consistency sweep: bandwidth/RTT/flow-count grid.
+struct ParamCase {
+  double c_mbps, rtt, n;
+};
+class ModelParamSweep : public ::testing::TestWithParam<ParamCase> {};
+
+TEST_P(ModelParamSweep, ParamsInternallyConsistent) {
+  const auto [c_mbps, rtt, n] = GetParam();
+  const auto p = compute_params(mbps(c_mbps), rtt, n, kPkt);
+  // Bucket covers exactly the period's worth of capacity (unless clamped).
+  const double c_pkts = mbps(c_mbps) / (8.0 * kPkt);
+  if (p.bucket_packets > 1.0 + 1e-9) {
+    EXPECT_NEAR(p.bucket_packets, c_pkts * p.period, 1e-6);
+  }
+  // MTD reference: W/2 * RTT when nothing (including the two-packet bucket
+  // floor) clamps the period.
+  const double unclamped = token_period(p.peak_window, rtt, n);
+  if (p.peak_window > 2.0 + 1e-9 && std::abs(p.period - unclamped) < 1e-12) {
+    EXPECT_NEAR(p.ref_mtd, p.peak_window / 2.0 * rtt, 1e-6);
+  }
+  EXPECT_GT(p.period, 0.0);
+  EXPECT_GE(p.bucket_packets_incr, p.bucket_packets);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ModelParamSweep,
+    ::testing::Values(ParamCase{10, 0.02, 5}, ParamCase{10, 0.1, 50},
+                      ParamCase{100, 0.05, 10}, ParamCase{100, 0.2, 200},
+                      ParamCase{500, 0.04, 30}, ParamCase{1000, 0.08, 500},
+                      ParamCase{18.5, 0.05, 30}));  // Fig. 5 per-path numbers
+
+}  // namespace
+}  // namespace floc::model

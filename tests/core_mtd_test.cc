@@ -1,0 +1,76 @@
+#include "core/mtd_tracker.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace floc {
+namespace {
+
+TEST(MtdTracker, InfiniteWithoutDrops) {
+  MtdTracker t(1.0);
+  EXPECT_TRUE(std::isinf(t.mtd(10.0)));
+  EXPECT_EQ(t.drops_in_window(10.0), 0u);
+}
+
+TEST(MtdTracker, WindowOverDropsEqIV4) {
+  MtdTracker t(2.0);
+  t.record_drop(0.5);
+  t.record_drop(1.0);
+  t.record_drop(1.5);
+  t.record_drop(2.0);
+  // MTD = window / drops = 2.0 / 4.
+  EXPECT_DOUBLE_EQ(t.mtd(2.0), 0.5);
+}
+
+TEST(MtdTracker, OldDropsAgeOut) {
+  MtdTracker t(1.0);
+  t.record_drop(0.0);
+  t.record_drop(0.5);
+  EXPECT_EQ(t.drops_in_window(0.9), 2u);
+  EXPECT_EQ(t.drops_in_window(1.2), 1u);  // drop at 0.0 expired
+  EXPECT_EQ(t.drops_in_window(2.0), 0u);
+  EXPECT_TRUE(std::isinf(t.mtd(2.0)));
+}
+
+TEST(MtdTracker, HigherDropRateLowerMtd) {
+  MtdTracker slow(1.0), fast(1.0);
+  for (int i = 0; i < 2; ++i) slow.record_drop(0.1 * i + 0.5);
+  for (int i = 0; i < 20; ++i) fast.record_drop(0.04 * i + 0.1);
+  EXPECT_GT(slow.mtd(1.0), fast.mtd(1.0));
+}
+
+TEST(MtdTracker, AttackFlowMtdScalesInverselyWithRate) {
+  // A flow at alpha times fair rate accrues ~alpha times more drops, so its
+  // MTD is ~1/alpha of the reference (Section IV-B.2).
+  const double window = 1.0;
+  MtdTracker fair(window), attack(window);
+  const int fair_drops = 4;
+  const int alpha = 5;
+  for (int i = 0; i < fair_drops; ++i)
+    fair.record_drop(i * window / fair_drops);
+  for (int i = 0; i < fair_drops * alpha; ++i)
+    attack.record_drop(i * window / (fair_drops * alpha));
+  EXPECT_NEAR(fair.mtd(window) / attack.mtd(window), alpha, 1e-9);
+}
+
+TEST(MtdTracker, MaxRecordsBounded) {
+  MtdTracker t(100.0, /*max_records=*/16);
+  for (int i = 0; i < 1000; ++i) t.record_drop(i * 0.01);
+  EXPECT_LE(t.drops_in_window(10.0), 16u);
+  EXPECT_EQ(t.total_drops(), 1000u);
+}
+
+TEST(MtdTracker, WindowChangeAffectsMeasure) {
+  MtdTracker t(4.0);
+  for (int i = 0; i < 4; ++i) t.record_drop(i + 0.5);
+  EXPECT_DOUBLE_EQ(t.mtd(4.0), 1.0);
+  t.set_window(2.0);
+  // Only drops at 2.5, 3.5 remain in window.
+  EXPECT_DOUBLE_EQ(t.mtd(4.0), 1.0);
+  t.set_window(1.0);
+  EXPECT_DOUBLE_EQ(t.mtd(4.0), 1.0);  // drop at 3.5
+}
+
+}  // namespace
+}  // namespace floc

@@ -1,0 +1,100 @@
+#include "core/token_bucket.h"
+
+#include <gtest/gtest.h>
+
+namespace floc {
+namespace {
+
+constexpr int kPkt = 1500;
+
+model::TokenBucketParams simple_params(double period, double bucket_pkts,
+                                       double incr_factor = 1.5) {
+  model::TokenBucketParams p;
+  p.period = period;
+  p.bucket_packets = bucket_pkts;
+  p.bucket_packets_incr = bucket_pkts * incr_factor;
+  return p;
+}
+
+TEST(TokenBucket, StartsFull) {
+  PathTokenBucket b;
+  b.configure(simple_params(0.1, 10.0), kPkt);
+  EXPECT_TRUE(b.try_consume(10 * kPkt, 0.05, true));
+}
+
+TEST(TokenBucket, ExhaustsWithinPeriod) {
+  PathTokenBucket b;
+  b.configure(simple_params(0.1, 10.0, 1.0), kPkt);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(b.try_consume(kPkt, 0.01, true)) << i;
+  }
+  EXPECT_FALSE(b.try_consume(kPkt, 0.02, true));
+}
+
+TEST(TokenBucket, RefillsAtPeriodBoundary) {
+  PathTokenBucket b;
+  b.configure(simple_params(0.1, 5.0, 1.0), kPkt);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(b.try_consume(kPkt, 0.01, true));
+  EXPECT_FALSE(b.try_consume(kPkt, 0.05, true));
+  // Next period: fresh tokens.
+  EXPECT_TRUE(b.try_consume(kPkt, 0.11, true));
+}
+
+TEST(TokenBucket, UnusedTokensDiscardedNotAccumulated) {
+  PathTokenBucket b;
+  b.configure(simple_params(0.1, 5.0, 1.0), kPkt);
+  // Consume nothing for 10 periods, then the bucket holds only one period's
+  // worth (Section IV-A: unused tokens of the previous period are removed).
+  EXPECT_DOUBLE_EQ(b.tokens(1.05, true), 5.0 * kPkt);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(b.try_consume(kPkt, 1.06, true));
+  EXPECT_FALSE(b.try_consume(kPkt, 1.07, true));
+}
+
+TEST(TokenBucket, IncreasedVsBaseBucket) {
+  PathTokenBucket b;
+  b.configure(simple_params(0.1, 10.0, 1.5), kPkt);
+  // Flooding mode uses the base bucket: only 10 packets per period.
+  EXPECT_DOUBLE_EQ(b.tokens(0.15, false), 10.0 * kPkt);
+  // Congested mode gets the increased bucket on the next refill.
+  EXPECT_DOUBLE_EQ(b.tokens(0.25, true), 15.0 * kPkt);
+}
+
+TEST(TokenBucket, BurstWithinPeriodAllowed) {
+  PathTokenBucket b;
+  b.configure(simple_params(1.0, 100.0, 1.0), kPkt);
+  // All 100 tokens can go at one instant (bursty requests within a period
+  // are allowed, Section IV-A).
+  EXPECT_TRUE(b.try_consume(100 * kPkt, 0.5, true));
+  EXPECT_FALSE(b.try_consume(kPkt, 0.6, true));
+}
+
+TEST(TokenBucket, ReconfigureTakesEffectNextRefill) {
+  PathTokenBucket b;
+  b.configure(simple_params(0.1, 5.0, 1.0), kPkt);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(b.try_consume(kPkt, 0.01, true));
+  b.configure(simple_params(0.1, 20.0, 1.0), kPkt);
+  EXPECT_FALSE(b.try_consume(kPkt, 0.05, true));  // current period unchanged
+  EXPECT_DOUBLE_EQ(b.tokens(0.15, true), 20.0 * kPkt);
+}
+
+TEST(TokenBucket, ThroughputOverManyPeriods) {
+  PathTokenBucket b;
+  const double period = 0.01;
+  b.configure(simple_params(period, 10.0, 1.0), kPkt);
+  // Offered load of 2x the bucket rate for 1 s: admitted amount must equal
+  // bucket capacity per period, i.e. 1000 packets.
+  int admitted = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const double t = i * 0.0005;
+    if (b.try_consume(kPkt, t, true)) ++admitted;
+  }
+  EXPECT_NEAR(admitted, 1000, 15);
+}
+
+TEST(TokenBucket, UnconfiguredRejectsGracefully) {
+  PathTokenBucket b;
+  EXPECT_FALSE(b.configured());
+}
+
+}  // namespace
+}  // namespace floc

@@ -1,0 +1,136 @@
+#include "inetsim/tick_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "inetsim/inet_experiment.h"
+#include "topology/skitter_gen.h"
+
+namespace floc {
+namespace {
+
+struct SmallWorld {
+  AsGraph graph;
+  SourcePlacement placement;
+
+  SmallWorld() {
+    SkitterConfig s;
+    s.as_count = 200;
+    s.seed = 9;
+    graph = generate_skitter_tree(s);
+    PlacementConfig p;
+    p.legit_sources = 200;
+    p.legit_ases = 30;
+    p.attack_sources = 2000;
+    p.attack_ases = 15;
+    p.seed = 10;
+    placement = place_sources(graph, p);
+  }
+};
+
+TickConfig fast_cfg(TickPolicy policy) {
+  TickConfig t;
+  t.policy = policy;
+  t.bottleneck_capacity = 400;
+  t.internal_capacity = 1600;
+  t.ticks = 600;
+  t.warmup_ticks = 150;
+  t.bot_rate = 0.5;  // 2000 * 0.5 = 1000 pkts/tick >> 400 capacity
+  return t;
+}
+
+TEST(TickSim, NoDefenseStarvesLegitimateFlows) {
+  SmallWorld w;
+  TickSim sim(w.graph, w.placement, fast_cfg(TickPolicy::kNoDefense));
+  const TickResults r = sim.run();
+  EXPECT_GT(r.utilization, 0.9);  // link saturated
+  // Attack traffic dominates; legit flows get crumbs.
+  EXPECT_GT(r.attack_frac, 4.0 * (r.legit_legit_frac + r.legit_attack_frac));
+}
+
+TEST(TickSim, FairPriorityHelpsLegitFlows) {
+  SmallWorld w;
+  TickSim nd(w.graph, w.placement, fast_cfg(TickPolicy::kNoDefense));
+  TickSim ff(w.graph, w.placement, fast_cfg(TickPolicy::kFairPriority));
+  const TickResults rnd = nd.run();
+  const TickResults rff = ff.run();
+  EXPECT_GT(rff.legit_legit_frac + rff.legit_attack_frac,
+            rnd.legit_legit_frac + rnd.legit_attack_frac);
+}
+
+TEST(TickSim, FlocBeatsFairPriority) {
+  SmallWorld w;
+  TickSim ff(w.graph, w.placement, fast_cfg(TickPolicy::kFairPriority));
+  TickSim fl(w.graph, w.placement, fast_cfg(TickPolicy::kFloc));
+  const TickResults rff = ff.run();
+  const TickResults rfl = fl.run();
+  EXPECT_GT(rfl.legit_legit_frac, rff.legit_legit_frac);
+}
+
+TEST(TickSim, FlocLegitWindowsGrow) {
+  SmallWorld w;
+  TickSim nd(w.graph, w.placement, fast_cfg(TickPolicy::kNoDefense));
+  TickSim fl(w.graph, w.placement, fast_cfg(TickPolicy::kFloc));
+  const TickResults rnd = nd.run();
+  const TickResults rfl = fl.run();
+  // Under FLoc, legitimate TCP windows should be healthier than under ND.
+  EXPECT_GT(rfl.mean_legit_window, rnd.mean_legit_window);
+}
+
+TEST(TickSim, AggregationBoundsIdentifierCount) {
+  SmallWorld w;
+  TickConfig cfg = fast_cfg(TickPolicy::kFloc);
+  // Budget above the legitimate-AS count (~30 + overlap) so attack-path
+  // aggregation alone can satisfy it (Section IV-C.1 constraint).
+  cfg.guaranteed_paths = 38;
+  TickSim sim(w.graph, w.placement, cfg);
+  const TickResults r = sim.run();
+  EXPECT_LE(r.aggregate_count, 38);
+  EXPECT_GT(r.aggregate_count, 0);
+}
+
+TEST(TickSim, AggregationFavorsLegitPaths) {
+  SmallWorld w;
+  TickConfig na = fast_cfg(TickPolicy::kFloc);
+  TickConfig agg = fast_cfg(TickPolicy::kFloc);
+  agg.guaranteed_paths = 12;
+  const TickResults rna = TickSim(w.graph, w.placement, na).run();
+  const TickResults ragg = TickSim(w.graph, w.placement, agg).run();
+  // Aggregating attack ASes returns bandwidth to legitimate paths.
+  EXPECT_GE(ragg.legit_legit_frac, 0.9 * rna.legit_legit_frac);
+}
+
+TEST(TickSim, Deterministic) {
+  SmallWorld w;
+  const TickResults a = TickSim(w.graph, w.placement, fast_cfg(TickPolicy::kFloc)).run();
+  const TickResults b = TickSim(w.graph, w.placement, fast_cfg(TickPolicy::kFloc)).run();
+  EXPECT_EQ(a.delivered_legit_legit, b.delivered_legit_legit);
+  EXPECT_EQ(a.delivered_attack, b.delivered_attack);
+}
+
+TEST(InetExperiment, RunsAllFivePolicies) {
+  InetExperimentConfig cfg;
+  cfg.scale = 0.02;
+  cfg.ticks = 500;
+  const auto rows = run_inet_experiment(cfg);
+  ASSERT_EQ(rows.size(), 5u);
+  EXPECT_EQ(rows[0].label, "ND");
+  EXPECT_EQ(rows[1].label, "FF");
+  EXPECT_EQ(rows[2].label, "NA");
+  for (const auto& r : rows) {
+    EXPECT_GE(r.results.utilization, 0.0);
+    EXPECT_LE(r.results.utilization, 1.02);
+  }
+}
+
+TEST(InetExperiment, TopologyStatsSane) {
+  InetExperimentConfig cfg;
+  cfg.scale = 0.05;
+  const TopologyStats st = topology_stats(cfg);
+  EXPECT_GT(st.ases, 100);
+  EXPECT_GT(st.attack_ases, 5);
+  EXPECT_GT(st.bot_concentration_top17pct, 0.4);
+  EXPECT_GT(st.legit_in_attack_ases, 0);
+}
+
+}  // namespace
+}  // namespace floc

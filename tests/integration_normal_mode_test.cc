@@ -1,0 +1,91 @@
+// Normal (non-attack) mode behaviour: FLoc must act like a good AQM — high
+// utilization, per-flow fairness comparable to RED, no harm done (Section
+// III-B, Fig. 7(c)'s "no attack" reference).
+#include <gtest/gtest.h>
+
+#include "topology/tree_scenario.h"
+
+namespace floc {
+namespace {
+
+TreeScenarioConfig calm_cfg(DefenseScheme scheme) {
+  TreeScenarioConfig cfg;
+  cfg.tree_degree = 3;
+  cfg.tree_height = 2;
+  cfg.legit_per_leaf = 4;
+  cfg.attack_leaf_count = 0;
+  cfg.attack = AttackType::kNone;
+  cfg.target_link = mbps(20);
+  cfg.internal_link = mbps(60);
+  cfg.duration = 30.0;
+  cfg.measure_start = 10.0;
+  cfg.measure_end = 30.0;
+  cfg.scheme = scheme;
+  cfg.seed = 51;
+  return cfg;
+}
+
+TEST(NormalMode, FlocUtilizationHigh) {
+  TreeScenario s(calm_cfg(DefenseScheme::kFloc));
+  s.run();
+  EXPECT_GT(s.class_bandwidth().legit_legit_bps, 0.8 * s.scaled_target_bw());
+}
+
+TEST(NormalMode, FlocFairnessComparableToRed) {
+  TreeScenario floc_s(calm_cfg(DefenseScheme::kFloc));
+  floc_s.run();
+  TreeScenario red_s(calm_cfg(DefenseScheme::kRed));
+  red_s.run();
+
+  const double j_floc = jain_fairness(floc_s.legit_path_flow_cdf().samples());
+  const double j_red = jain_fairness(red_s.legit_path_flow_cdf().samples());
+  EXPECT_GT(j_floc, 0.8);
+  EXPECT_GT(j_floc, j_red - 0.15);  // within RED's ballpark
+}
+
+TEST(NormalMode, NoPathFlaggedAttack) {
+  TreeScenario s(calm_cfg(DefenseScheme::kFloc));
+  s.run();
+  for (int leaf = 0; leaf < s.leaf_count(); ++leaf) {
+    EXPECT_FALSE(s.floc_queue()->is_attack_path(s.leaf_path(leaf)))
+        << "leaf " << leaf;
+  }
+  EXPECT_EQ(s.floc_queue()->drops_by_reason(DropReason::kPreferential), 0u);
+}
+
+TEST(NormalMode, ConformanceStaysHigh) {
+  TreeScenario s(calm_cfg(DefenseScheme::kFloc));
+  s.run();
+  for (int leaf = 0; leaf < s.leaf_count(); ++leaf) {
+    EXPECT_GT(s.floc_queue()->conformance(s.leaf_path(leaf)), 0.8)
+        << "leaf " << leaf;
+  }
+}
+
+TEST(NormalMode, DeterministicAcrossRuns) {
+  TreeScenario a(calm_cfg(DefenseScheme::kFloc));
+  a.run();
+  TreeScenario b(calm_cfg(DefenseScheme::kFloc));
+  b.run();
+  EXPECT_DOUBLE_EQ(a.class_bandwidth().legit_legit_bps,
+                   b.class_bandwidth().legit_legit_bps);
+}
+
+TEST(NormalMode, SeedChangesOutcomeSlightly) {
+  TreeScenarioConfig c1 = calm_cfg(DefenseScheme::kFloc);
+  TreeScenarioConfig c2 = calm_cfg(DefenseScheme::kFloc);
+  c2.seed = 52;
+  TreeScenario a(c1), b(c2);
+  a.run();
+  b.run();
+  // Different random start times -> different packet interleavings, but
+  // the aggregate outcome stays in the same band.
+  EXPECT_NE(a.class_bandwidth().legit_legit_bps,
+            b.class_bandwidth().legit_legit_bps);
+  EXPECT_NEAR(a.class_bandwidth().legit_legit_bps,
+              b.class_bandwidth().legit_legit_bps,
+              0.2 * a.scaled_target_bw());
+}
+
+}  // namespace
+}  // namespace floc

@@ -1,0 +1,147 @@
+// End-to-end integration tests: the Section VI scenario at reduced scale,
+// checking the paper's qualitative claims hold in the packet-level simulator.
+#include <gtest/gtest.h>
+
+#include "topology/tree_scenario.h"
+
+namespace floc {
+namespace {
+
+TreeScenarioConfig base_cfg() {
+  TreeScenarioConfig cfg;
+  cfg.tree_degree = 3;
+  cfg.tree_height = 2;   // 9 leaves to keep runtime low
+  cfg.legit_per_leaf = 4;
+  cfg.attack_leaf_count = 2;
+  cfg.attack_per_leaf = 8;
+  cfg.target_link = mbps(20);
+  cfg.internal_link = mbps(60);
+  cfg.attack_rate = mbps(1.0);
+  cfg.duration = 25.0;
+  cfg.attack_start = 3.0;
+  cfg.measure_start = 8.0;
+  cfg.measure_end = 25.0;
+  cfg.seed = 17;
+  return cfg;
+}
+
+double total(const TreeScenario::ClassBandwidth& cb) {
+  return cb.legit_legit_bps + cb.legit_attack_bps + cb.attack_bps;
+}
+
+TEST(Integration, FlocConfinesCbrAttack) {
+  TreeScenarioConfig cfg = base_cfg();
+  cfg.scheme = DefenseScheme::kFloc;
+  cfg.attack = AttackType::kCbr;
+  TreeScenario s(cfg);
+  s.run();
+  const auto cb = s.class_bandwidth();
+
+  // 7 of 9 paths are legitimate: with per-path guarantees legit-path flows
+  // should hold the majority of the link.
+  EXPECT_GT(cb.legit_legit_bps, 0.5 * s.scaled_target_bw());
+  // The attack (16 bots at 1 Mbps = 16 Mbps offered through 2 of 9 path
+  // shares) must be confined to roughly its paths' allocation.
+  EXPECT_LT(cb.attack_bps, 0.35 * s.scaled_target_bw());
+  // Link well utilized.
+  EXPECT_GT(total(cb), 0.6 * s.scaled_target_bw());
+}
+
+TEST(Integration, DropTailCollapsesUnderSameAttack) {
+  TreeScenarioConfig cfg = base_cfg();
+  cfg.scheme = DefenseScheme::kDropTail;
+  cfg.attack = AttackType::kCbr;
+  TreeScenario s(cfg);
+  s.run();
+  const auto cb = s.class_bandwidth();
+  // Unresponsive CBR dominates a plain FIFO: attack takes most bandwidth.
+  EXPECT_GT(cb.attack_bps, cb.legit_legit_bps);
+}
+
+TEST(Integration, FlocBeatsDropTailForLegitTraffic) {
+  TreeScenarioConfig floc_cfg = base_cfg();
+  floc_cfg.scheme = DefenseScheme::kFloc;
+  TreeScenario floc_s(floc_cfg);
+  floc_s.run();
+
+  TreeScenarioConfig dt_cfg = base_cfg();
+  dt_cfg.scheme = DefenseScheme::kDropTail;
+  TreeScenario dt_s(dt_cfg);
+  dt_s.run();
+
+  EXPECT_GT(floc_s.class_bandwidth().legit_legit_bps,
+            1.5 * dt_s.class_bandwidth().legit_legit_bps);
+}
+
+TEST(Integration, FlocProtectsLegitFlowsInsideAttackPaths) {
+  TreeScenarioConfig cfg = base_cfg();
+  cfg.scheme = DefenseScheme::kFloc;
+  cfg.attack = AttackType::kCbr;
+  TreeScenario s(cfg);
+  s.run();
+  // Differential guarantee (2): per-flow, legit flows in attack paths beat
+  // attack flows of the same paths.
+  const auto legit_cdf = s.monitor().bandwidth_cdf(
+      FlowMonitor::is_legit_on_attack_path, "start", "end");
+  const auto attack_cdf =
+      s.monitor().bandwidth_cdf(FlowMonitor::is_attack, "start", "end");
+  ASSERT_GT(legit_cdf.count(), 0u);
+  ASSERT_GT(attack_cdf.count(), 0u);
+  EXPECT_GT(legit_cdf.mean(), attack_cdf.mean());
+}
+
+TEST(Integration, PerPathBandwidthRoughlyEqualUnderFloc) {
+  TreeScenarioConfig cfg = base_cfg();
+  cfg.scheme = DefenseScheme::kFloc;
+  cfg.attack = AttackType::kTcpPopulation;  // Fig. 6(a) situation
+  TreeScenario s(cfg);
+  s.run();
+  const auto per_path = s.per_path_bps();
+  ASSERT_EQ(per_path.size(), 9u);
+  double mn = 1e18, mx = 0.0;
+  for (const auto& [name, bps] : per_path) {
+    mn = std::min(mn, bps);
+    mx = std::max(mx, bps);
+  }
+  // High-population TCP attack: per-path bandwidth nearly identical
+  // regardless of population (Fig. 6(a) claim) — allow 3x spread at this
+  // small scale.
+  EXPECT_LT(mx / std::max(mn, 1.0), 3.0);
+}
+
+TEST(Integration, ShrewAttackHandledAtLeastAsWellAsCbr) {
+  TreeScenarioConfig cbr = base_cfg();
+  cbr.scheme = DefenseScheme::kFloc;
+  cbr.attack = AttackType::kCbr;
+  TreeScenario s_cbr(cbr);
+  s_cbr.run();
+
+  TreeScenarioConfig shrew = base_cfg();
+  shrew.scheme = DefenseScheme::kFloc;
+  shrew.attack = AttackType::kShrew;
+  shrew.shrew_period = 0.05;
+  shrew.shrew_duty = 0.25;
+  TreeScenario s_shrew(shrew);
+  s_shrew.run();
+
+  // Fig. 6(c): legit bandwidth under Shrew within ~25% of the CBR case.
+  EXPECT_GT(s_shrew.class_bandwidth().legit_legit_bps,
+            0.75 * s_cbr.class_bandwidth().legit_legit_bps);
+}
+
+TEST(Integration, CapabilitiesIssuedOnRealTraffic) {
+  TreeScenarioConfig cfg = base_cfg();
+  cfg.scheme = DefenseScheme::kFloc;
+  cfg.duration = 10.0;
+  cfg.measure_start = 2.0;
+  cfg.measure_end = 10.0;
+  TreeScenario s(cfg);
+  s.run();
+  // No forged capabilities exist in a clean run.
+  EXPECT_EQ(s.floc_queue()->capability_violations(), 0u);
+  // Paths and flows were observed by the queue.
+  EXPECT_GT(s.floc_queue()->active_origin_path_count(), 0);
+}
+
+}  // namespace
+}  // namespace floc

@@ -1,0 +1,72 @@
+#include "netsim/packet.h"
+
+#include <gtest/gtest.h>
+
+namespace floc {
+namespace {
+
+TEST(PathId, BuildAndAccess) {
+  PathId p = PathId::of({10, 20, 30});
+  EXPECT_EQ(p.length(), 3);
+  EXPECT_EQ(p.at(0), 10u);  // nearest to the router
+  EXPECT_EQ(p.at(2), 30u);
+  EXPECT_EQ(p.origin(), 30u);
+  EXPECT_FALSE(p.empty());
+}
+
+TEST(PathId, EmptyPath) {
+  PathId p;
+  EXPECT_TRUE(p.empty());
+  EXPECT_EQ(p.origin(), 0u);
+  EXPECT_EQ(p.length(), 0);
+}
+
+TEST(PathId, Equality) {
+  EXPECT_EQ(PathId::of({1, 2, 3}), PathId::of({1, 2, 3}));
+  EXPECT_FALSE(PathId::of({1, 2, 3}) == PathId::of({1, 2}));
+  EXPECT_FALSE(PathId::of({1, 2, 3}) == PathId::of({1, 2, 4}));
+}
+
+TEST(PathId, PrefixMatching) {
+  const PathId full = PathId::of({1, 2, 3});
+  EXPECT_TRUE(full.has_prefix(PathId::of({1})));
+  EXPECT_TRUE(full.has_prefix(PathId::of({1, 2})));
+  EXPECT_TRUE(full.has_prefix(full));
+  EXPECT_FALSE(full.has_prefix(PathId::of({2})));
+  EXPECT_FALSE(PathId::of({1}).has_prefix(full));
+}
+
+TEST(PathId, TruncateToPrefix) {
+  PathId p = PathId::of({5, 6, 7, 8});
+  p.truncate_to(2);
+  EXPECT_EQ(p, PathId::of({5, 6}));
+  EXPECT_EQ(p.origin(), 6u);
+}
+
+TEST(PathId, KeyUniqueAndStable) {
+  const PathId a = PathId::of({1, 2, 3});
+  EXPECT_EQ(a.key(), PathId::of({1, 2, 3}).key());
+  EXPECT_NE(a.key(), PathId::of({1, 2}).key());
+  EXPECT_NE(a.key(), PathId::of({3, 2, 1}).key());
+  EXPECT_NE(PathId().key(), a.key());
+}
+
+TEST(PathId, ToString) {
+  EXPECT_EQ(PathId::of({1, 2}).to_string(), "{1,2}");
+  EXPECT_EQ(PathId().to_string(), "{}");
+}
+
+TEST(Packet, Defaults) {
+  Packet p;
+  EXPECT_EQ(p.type, PacketType::kData);
+  EXPECT_EQ(p.size_bytes, 1500);
+  EXPECT_EQ(p.cap0, 0u);
+}
+
+TEST(PacketType, Names) {
+  EXPECT_STREQ(to_string(PacketType::kSyn), "SYN");
+  EXPECT_STREQ(to_string(PacketType::kAck), "ACK");
+}
+
+}  // namespace
+}  // namespace floc

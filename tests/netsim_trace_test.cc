@@ -1,0 +1,92 @@
+#include "netsim/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "netsim/drop_tail.h"
+
+namespace floc {
+namespace {
+
+Packet pkt(FlowId f, int bytes = 1500) {
+  Packet p;
+  p.flow = f;
+  p.size_bytes = bytes;
+  p.path = PathId::of({1, 2});
+  return p;
+}
+
+TEST(Trace, RecordsEnqueueDequeueDrop) {
+  TraceRecorder rec;
+  TracedQueue q(std::make_unique<DropTailQueue>(2), &rec);
+  EXPECT_TRUE(q.enqueue(pkt(1), 0.1));
+  EXPECT_TRUE(q.enqueue(pkt(2), 0.2));
+  EXPECT_FALSE(q.enqueue(pkt(3), 0.3));  // buffer full -> drop
+  q.dequeue(0.4);
+
+  EXPECT_EQ(rec.count(TraceEvent::kEnqueue), 2u);
+  EXPECT_EQ(rec.count(TraceEvent::kDrop), 1u);
+  EXPECT_EQ(rec.count(TraceEvent::kDequeue), 1u);
+  EXPECT_EQ(rec.total(), 4u);
+  ASSERT_EQ(rec.records().size(), 4u);
+  EXPECT_EQ(rec.records()[2].event, TraceEvent::kDrop);
+  EXPECT_EQ(rec.records()[2].flow, 3u);
+  EXPECT_EQ(rec.records()[2].reason, DropReason::kQueueFull);
+}
+
+TEST(Trace, DecoratorPreservesQueueBehaviour) {
+  TraceRecorder rec;
+  TracedQueue q(std::make_unique<DropTailQueue>(5), &rec);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(q.enqueue(pkt(1), 0.0));
+  EXPECT_EQ(q.packet_count(), 5u);
+  EXPECT_EQ(q.byte_count(), 5 * 1500u);
+  int served = 0;
+  while (q.dequeue(1.0).has_value()) ++served;
+  EXPECT_EQ(served, 5);
+  EXPECT_TRUE(q.empty());
+  // Decorator-level statistics mirror the inner queue's.
+  EXPECT_EQ(q.drops(), 0u);
+  EXPECT_EQ(q.admissions(), 5u);
+}
+
+TEST(Trace, RingBufferBounded) {
+  TraceRecorder rec(/*max_records=*/10);
+  TracedQueue q(std::make_unique<DropTailQueue>(1000), &rec);
+  for (int i = 0; i < 100; ++i) q.enqueue(pkt(static_cast<FlowId>(i)), i * 0.01);
+  EXPECT_EQ(rec.records().size(), 10u);
+  EXPECT_TRUE(rec.overflowed());
+  EXPECT_EQ(rec.count(TraceEvent::kEnqueue), 100u);  // counts not truncated
+  // Oldest evicted: the remaining records are the last ten flows.
+  EXPECT_EQ(rec.records().front().flow, 90u);
+}
+
+TEST(Trace, FilterSelectsEvents) {
+  TraceRecorder rec;
+  rec.set_filter([](const TraceRecord& r) { return r.event == TraceEvent::kDrop; });
+  TracedQueue q(std::make_unique<DropTailQueue>(1), &rec);
+  q.enqueue(pkt(1), 0.0);
+  q.enqueue(pkt(2), 0.0);  // dropped
+  EXPECT_EQ(rec.records().size(), 1u);
+  EXPECT_EQ(rec.records()[0].event, TraceEvent::kDrop);
+  EXPECT_EQ(rec.count(TraceEvent::kEnqueue), 1u);  // still counted
+}
+
+TEST(Trace, DumpFormat) {
+  TraceRecorder rec;
+  rec.record(TraceRecord{1.25, TraceEvent::kDrop, 7, 0, PacketType::kData,
+                         1500, DropReason::kToken});
+  const std::string line = TraceRecorder::format(rec.records()[0]);
+  EXPECT_EQ(line, "1.250000 d flow=7 DATA 1500 token");
+  EXPECT_NE(rec.dump().find('\n'), std::string::npos);
+}
+
+TEST(Trace, ClearResets) {
+  TraceRecorder rec;
+  rec.record(TraceRecord{});
+  rec.clear();
+  EXPECT_TRUE(rec.records().empty());
+  EXPECT_EQ(rec.total(), 0u);
+  EXPECT_FALSE(rec.overflowed());
+}
+
+}  // namespace
+}  // namespace floc

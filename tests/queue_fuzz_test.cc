@@ -1,0 +1,105 @@
+// Randomized robustness sweep over every queue discipline: arbitrary packet
+// streams (mixed types, sizes, paths, timestamps) must never violate the
+// queue invariants — no crash, byte/packet conservation, buffer bounds.
+#include <gtest/gtest.h>
+
+#include "topology/defense_factory.h"
+#include "util/rng.h"
+
+namespace floc {
+namespace {
+
+struct FuzzCase {
+  DefenseScheme scheme;
+  std::uint64_t seed;
+};
+
+class QueueFuzz : public ::testing::TestWithParam<FuzzCase> {};
+
+TEST_P(QueueFuzz, InvariantsUnderRandomTraffic) {
+  const FuzzCase fc = GetParam();
+  DefenseFactoryConfig cfg;
+  cfg.link_bandwidth = mbps(10);
+  cfg.buffer_packets = 64;
+  cfg.seed = fc.seed;
+  auto q = make_defense_queue(fc.scheme, std::move(cfg));
+
+  Rng rng(fc.seed * 7919 + 13);
+  std::uint64_t admitted = 0, serviced = 0, offered = 0;
+  std::uint64_t admitted_bytes = 0, serviced_bytes = 0;
+  double t = 0.0;
+
+  for (int i = 0; i < 30000; ++i) {
+    t += rng.exponential(2e-4);
+    const double action = rng.uniform();
+    if (action < 0.7) {
+      Packet p;
+      p.flow = rng.uniform_int(40);
+      p.src = static_cast<HostAddr>(rng.uniform_int(20) + 1);
+      p.dst = static_cast<HostAddr>(rng.uniform_int(5) + 100);
+      const auto type_pick = rng.uniform_int(10);
+      p.type = type_pick < 7   ? PacketType::kData
+               : type_pick < 8 ? PacketType::kSyn
+               : type_pick < 9 ? PacketType::kAck
+                               : PacketType::kSynAck;
+      p.size_bytes = p.type == PacketType::kData
+                         ? static_cast<int>(rng.uniform_int(1461) + 40)
+                         : 40;
+      p.seq = rng.uniform_int(1000);
+      PathId path;
+      const auto hops = rng.uniform_int(3) + 1;
+      for (std::uint64_t h = 0; h < hops; ++h) {
+        path.push_origin(static_cast<AsNumber>(rng.uniform_int(6) + 1));
+      }
+      p.path = path;
+      ++offered;
+      const int bytes = p.size_bytes;
+      if (q->enqueue(std::move(p), t)) {
+        ++admitted;
+        admitted_bytes += static_cast<std::uint64_t>(bytes);
+      }
+    } else {
+      auto out = q->dequeue(t);
+      if (out.has_value()) {
+        ++serviced;
+        serviced_bytes += static_cast<std::uint64_t>(out->size_bytes);
+      }
+    }
+    ASSERT_LE(q->packet_count(), 64u);
+  }
+
+  // Conservation.
+  EXPECT_EQ(admitted, serviced + q->packet_count());
+  EXPECT_EQ(admitted_bytes, serviced_bytes + q->byte_count());
+  EXPECT_EQ(offered, admitted + q->drops());
+  // Drain completely.
+  while (auto p = q->dequeue(t)) {
+    ++serviced;
+  }
+  EXPECT_EQ(q->packet_count(), 0u);
+  EXPECT_EQ(q->byte_count(), 0u);
+  EXPECT_TRUE(q->empty());
+}
+
+std::vector<FuzzCase> all_cases() {
+  std::vector<FuzzCase> out;
+  for (DefenseScheme s :
+       {DefenseScheme::kDropTail, DefenseScheme::kRed, DefenseScheme::kRedPd,
+        DefenseScheme::kPushback, DefenseScheme::kPriorityFair,
+        DefenseScheme::kDrr, DefenseScheme::kFloc}) {
+    for (std::uint64_t seed : {1ULL, 2ULL, 3ULL}) out.push_back({s, seed});
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, QueueFuzz, ::testing::ValuesIn(all_cases()),
+                         [](const ::testing::TestParamInfo<FuzzCase>& info) {
+                           return std::string(to_string(info.param.scheme) ==
+                                                      std::string("red-pd")
+                                                  ? "red_pd"
+                                                  : to_string(info.param.scheme)) +
+                                  "_" + std::to_string(info.param.seed);
+                         });
+
+}  // namespace
+}  // namespace floc

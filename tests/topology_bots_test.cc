@@ -1,0 +1,87 @@
+#include "topology/bot_distribution.h"
+
+#include <gtest/gtest.h>
+
+#include "topology/skitter_gen.h"
+
+namespace floc {
+namespace {
+
+AsGraph test_graph() {
+  SkitterConfig cfg;
+  cfg.as_count = 1000;
+  cfg.seed = 5;
+  return generate_skitter_tree(cfg);
+}
+
+TEST(BotDistribution, TotalsMatchConfig) {
+  const AsGraph g = test_graph();
+  PlacementConfig cfg;
+  cfg.legit_sources = 1000;
+  cfg.legit_ases = 50;
+  cfg.attack_sources = 5000;
+  cfg.attack_ases = 30;
+  const SourcePlacement p = place_sources(g, cfg);
+  EXPECT_EQ(p.total_legit(), 1000);
+  EXPECT_EQ(p.total_bots(), 5000);
+  EXPECT_LE(static_cast<int>(p.attack_as_ids.size()), 30);
+}
+
+TEST(BotDistribution, OverlapApproximatelyConfigured) {
+  const AsGraph g = test_graph();
+  PlacementConfig cfg;
+  cfg.legit_sources = 2000;
+  cfg.attack_sources = 5000;
+  cfg.legit_overlap = 0.3;
+  const SourcePlacement p = place_sources(g, cfg);
+  EXPECT_NEAR(static_cast<double>(p.legit_in_attack_ases()) / 2000.0, 0.3,
+              0.05);
+}
+
+TEST(BotDistribution, ZeroOverlapSeparatesPopulations) {
+  const AsGraph g = test_graph();
+  PlacementConfig cfg;
+  cfg.legit_sources = 1000;
+  cfg.attack_sources = 5000;
+  cfg.legit_overlap = 0.0;
+  const SourcePlacement p = place_sources(g, cfg);
+  // Random legit ASes can still coincide with attack ASes; only the
+  // *intentional* placement is zero, so overlap should be small.
+  EXPECT_LT(static_cast<double>(p.legit_in_attack_ases()) / 1000.0, 0.3);
+}
+
+TEST(BotDistribution, BotPlacementIsSkewed) {
+  const AsGraph g = test_graph();
+  PlacementConfig cfg;
+  cfg.attack_sources = 100000;
+  cfg.attack_ases = 100;
+  cfg.bot_zipf_s = 1.2;
+  const SourcePlacement p = place_sources(g, cfg);
+  // CBL-like skew: the top 17% of attack ASes hold well over half the bots.
+  EXPECT_GT(p.bot_concentration(0.17), 0.5);
+}
+
+TEST(BotDistribution, Deterministic) {
+  const AsGraph g = test_graph();
+  PlacementConfig cfg;
+  cfg.seed = 44;
+  const SourcePlacement a = place_sources(g, cfg);
+  const SourcePlacement b = place_sources(g, cfg);
+  EXPECT_EQ(a.bots_per_as, b.bots_per_as);
+  EXPECT_EQ(a.legit_per_as, b.legit_per_as);
+}
+
+TEST(BotDistribution, AttackAsIdsConsistent) {
+  const AsGraph g = test_graph();
+  PlacementConfig cfg;
+  const SourcePlacement p = place_sources(g, cfg);
+  for (int as : p.attack_as_ids) {
+    EXPECT_GT(p.bots_per_as[static_cast<std::size_t>(as)], 0);
+  }
+  int with_bots = 0;
+  for (int c : p.bots_per_as) with_bots += (c > 0);
+  EXPECT_EQ(with_bots, static_cast<int>(p.attack_as_ids.size()));
+}
+
+}  // namespace
+}  // namespace floc

@@ -1,0 +1,63 @@
+// Pushback upstream propagation: the congested queue's aggregate limits are
+// installed at upstream rate limiters, moving drops one hop earlier while
+// status feedback preserves the control loop's view of offered rates.
+#include <gtest/gtest.h>
+
+#include "topology/tree_scenario.h"
+
+namespace floc {
+namespace {
+
+TreeScenarioConfig pb_cfg(bool upstream) {
+  TreeScenarioConfig cfg;
+  cfg.scale = 0.1;
+  cfg.duration = 40.0;
+  cfg.measure_start = 15.0;
+  cfg.measure_end = 40.0;
+  cfg.scheme = DefenseScheme::kPushback;
+  cfg.attack = AttackType::kCbr;
+  cfg.attack_rate = mbps(2.0);
+  cfg.pushback_upstream = upstream;
+  cfg.seed = 21;
+  return cfg;
+}
+
+TEST(PushbackPropagation, UpstreamMatchesLocalOutcome) {
+  TreeScenario local(pb_cfg(false));
+  local.run();
+  TreeScenario upstream(pb_cfg(true));
+  upstream.run();
+
+  const auto cl = local.class_bandwidth();
+  const auto cu = upstream.class_bandwidth();
+  // Relocating the drops must not change who gets the bandwidth (within
+  // tolerance): the status feedback keeps the ACC loop converged.
+  EXPECT_NEAR(cu.legit_legit_bps, cl.legit_legit_bps,
+              0.25 * local.scaled_target_bw());
+  EXPECT_LT(cu.attack_bps, 0.5 * upstream.scaled_target_bw());
+}
+
+TEST(PushbackPropagation, DropsMoveUpstream) {
+  TreeScenario s(pb_cfg(true));
+  s.run();
+  // With propagation active, a large share of rate-limit drops happens at
+  // the upstream limiters, not at the congested queue.
+  const auto* pb = static_cast<PushbackQueue*>(&s.bottleneck_queue());
+  EXPECT_TRUE(pb->throttling_active());
+  // The congested queue still functions and the link carries traffic.
+  EXPECT_GT(s.target_link()->packets_sent(), 1000u);
+}
+
+TEST(PushbackPropagation, CleanTrafficUnaffected) {
+  TreeScenarioConfig cfg = pb_cfg(true);
+  cfg.attack = AttackType::kNone;
+  TreeScenario s(cfg);
+  s.run();
+  const auto* pb = static_cast<PushbackQueue*>(&s.bottleneck_queue());
+  EXPECT_FALSE(pb->throttling_active());
+  EXPECT_GT(s.class_bandwidth().legit_legit_bps,
+            0.5 * s.scaled_target_bw());
+}
+
+}  // namespace
+}  // namespace floc

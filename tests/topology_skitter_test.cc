@@ -1,0 +1,102 @@
+#include "topology/skitter_gen.h"
+
+#include <gtest/gtest.h>
+
+namespace floc {
+namespace {
+
+TEST(SkitterGen, GeneratesRequestedSize) {
+  SkitterConfig cfg;
+  cfg.as_count = 500;
+  const AsGraph g = generate_skitter_tree(cfg);
+  EXPECT_EQ(g.size(), 500);
+}
+
+TEST(SkitterGen, TreeInvariants) {
+  SkitterConfig cfg;
+  cfg.as_count = 800;
+  const AsGraph g = generate_skitter_tree(cfg);
+  EXPECT_EQ(g.node(0).parent, -1);
+  int edges = 0;
+  for (int i = 1; i < g.size(); ++i) {
+    const auto& n = g.node(i);
+    EXPECT_GE(n.parent, 0);
+    EXPECT_LT(n.parent, i);
+    EXPECT_EQ(n.depth, g.node(n.parent).depth + 1);
+    ++edges;
+  }
+  EXPECT_EQ(edges, g.size() - 1);
+}
+
+TEST(SkitterGen, Deterministic) {
+  SkitterConfig cfg;
+  cfg.as_count = 300;
+  cfg.seed = 99;
+  const AsGraph a = generate_skitter_tree(cfg);
+  const AsGraph b = generate_skitter_tree(cfg);
+  ASSERT_EQ(a.size(), b.size());
+  for (int i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.node(i).parent, b.node(i).parent);
+  }
+}
+
+TEST(SkitterGen, PresetsDifferInShape) {
+  SkitterConfig f, j;
+  f.preset = SkitterPreset::kFRoot;
+  j.preset = SkitterPreset::kJpn;
+  f.as_count = j.as_count = 1500;
+  const AsGraph gf = generate_skitter_tree(f);
+  const AsGraph gj = generate_skitter_tree(j);
+  // JPN preset is deeper on average (stringier paths).
+  EXPECT_GT(gj.mean_depth(), gf.mean_depth());
+}
+
+TEST(SkitterGen, DepthCapRespected) {
+  for (SkitterPreset p :
+       {SkitterPreset::kFRoot, SkitterPreset::kHRoot, SkitterPreset::kJpn}) {
+    SkitterConfig cfg;
+    cfg.preset = p;
+    cfg.as_count = 1000;
+    const AsGraph g = generate_skitter_tree(cfg);
+    EXPECT_LE(g.max_depth(), 10) << to_string(p);
+    EXPECT_GE(g.mean_depth(), 1.0) << to_string(p);
+  }
+}
+
+TEST(AsGraph, PathOfOrdering) {
+  AsGraph g;
+  g.add_as(1, -1, 1.0);       // root (id 0)
+  g.add_as(10, 0, 1.0);       // id 1
+  g.add_as(20, 1, 1.0);       // id 2
+  g.add_as(30, 2, 1.0);       // id 3
+  const PathId p = g.path_of(3);
+  // Nearest-to-root first: {10, 20, 30}.
+  EXPECT_EQ(p, PathId::of({10, 20, 30}));
+  EXPECT_EQ(p.origin(), 30u);
+  EXPECT_EQ(g.path_of(0).length(), 0);
+}
+
+TEST(AsGraph, ChainToRoot) {
+  AsGraph g;
+  g.add_as(1, -1, 1.0);
+  g.add_as(2, 0, 1.0);
+  g.add_as(3, 1, 1.0);
+  EXPECT_EQ(g.chain_to_root(2), (std::vector<int>{2, 1, 0}));
+}
+
+TEST(SkitterGen, PopulationsPositiveAndSkewed) {
+  SkitterConfig cfg;
+  cfg.as_count = 1000;
+  const AsGraph g = generate_skitter_tree(cfg);
+  double max_pop = 0.0, total = 0.0;
+  for (int i = 0; i < g.size(); ++i) {
+    EXPECT_GT(g.node(i).population, 0.0);
+    max_pop = std::max(max_pop, g.node(i).population);
+    total += g.node(i).population;
+  }
+  // Zipf: the largest AS should hold a noticeable share of all hosts.
+  EXPECT_GT(max_pop / total, 0.01);
+}
+
+}  // namespace
+}  // namespace floc

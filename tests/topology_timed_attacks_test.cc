@@ -1,0 +1,88 @@
+// Scenario-level behaviour of the timed attacks (Section II evasion
+// strategies) under FLoc: time-averaged strength equalized to a steady CBR,
+// the defense must keep legitimate-path bandwidth in the same band.
+#include <gtest/gtest.h>
+
+#include "topology/tree_scenario.h"
+
+namespace floc {
+namespace {
+
+TreeScenarioConfig timed_cfg(AttackType attack) {
+  TreeScenarioConfig cfg;
+  cfg.tree_degree = 3;
+  cfg.tree_height = 2;
+  cfg.legit_per_leaf = 4;
+  cfg.attack_leaf_count = 3;
+  cfg.attack_per_leaf = 6;
+  cfg.target_link = mbps(20);
+  cfg.internal_link = mbps(60);
+  cfg.scheme = DefenseScheme::kFloc;
+  cfg.attack = attack;
+  cfg.duration = 40.0;
+  cfg.attack_start = 3.0;
+  cfg.measure_start = 10.0;
+  cfg.measure_end = 40.0;
+  cfg.seed = 61;
+  switch (attack) {
+    case AttackType::kOnOff:
+      cfg.onoff_on = 3.0;
+      cfg.onoff_off = 6.0;
+      cfg.attack_rate = mbps(3.0);  // avg 1 Mbps
+      break;
+    case AttackType::kRolling:
+      cfg.rolling_slot = 4.0;
+      cfg.attack_rate = mbps(3.0);  // one of 3 groups active: avg 1 Mbps
+      break;
+    default:
+      cfg.attack_rate = mbps(1.0);
+      break;
+  }
+  return cfg;
+}
+
+TEST(TimedAttacks, RegistersCorrectFlowCounts) {
+  TreeScenario onoff(timed_cfg(AttackType::kOnOff));
+  // 9 leaves * 4 legit + 3 attack leaves * 6 bots = 54.
+  EXPECT_EQ(onoff.monitor().flow_count(), 54u);
+  TreeScenario rolling(timed_cfg(AttackType::kRolling));
+  EXPECT_EQ(rolling.monitor().flow_count(), 54u);
+}
+
+TEST(TimedAttacks, OnOffConfinedComparablyToCbr) {
+  TreeScenario cbr(timed_cfg(AttackType::kCbr));
+  cbr.run();
+  TreeScenario onoff(timed_cfg(AttackType::kOnOff));
+  onoff.run();
+  const double link = cbr.scaled_target_bw();
+  // The on-off strategy costs some legit bandwidth (detection re-latches
+  // each ON phase) but stays in the same band as steady CBR — the attacker
+  // cannot turn phase changes into link takeover.
+  EXPECT_GT(onoff.class_bandwidth().legit_legit_bps, 0.5 * link);
+  EXPECT_NEAR(onoff.class_bandwidth().legit_legit_bps,
+              cbr.class_bandwidth().legit_legit_bps, 0.35 * link);
+  EXPECT_LT(onoff.class_bandwidth().attack_bps, 0.4 * link);
+}
+
+TEST(TimedAttacks, RollingConfined) {
+  TreeScenario rolling(timed_cfg(AttackType::kRolling));
+  rolling.run();
+  const double link = rolling.scaled_target_bw();
+  EXPECT_GT(rolling.class_bandwidth().legit_legit_bps, 0.45 * link);
+  EXPECT_LT(rolling.class_bandwidth().attack_bps, 0.45 * link);
+}
+
+TEST(TimedAttacks, AttackPacketSizeIrrelevant) {
+  TreeScenarioConfig big = timed_cfg(AttackType::kCbr);
+  TreeScenarioConfig small = timed_cfg(AttackType::kCbr);
+  small.attack_packet_bytes = 700;
+  TreeScenario sb(big), ss(small);
+  sb.run();
+  ss.run();
+  EXPECT_NEAR(ss.class_bandwidth().legit_legit_bps,
+              sb.class_bandwidth().legit_legit_bps,
+              0.15 * sb.scaled_target_bw());
+}
+
+}  // namespace
+}  // namespace floc

@@ -1,0 +1,116 @@
+#include "topology/tree_scenario.h"
+
+#include <gtest/gtest.h>
+
+namespace floc {
+namespace {
+
+TreeScenarioConfig tiny() {
+  TreeScenarioConfig cfg;
+  cfg.tree_degree = 2;
+  cfg.tree_height = 2;   // 4 leaves
+  cfg.legit_per_leaf = 2;
+  cfg.attack_leaf_count = 1;
+  cfg.attack_per_leaf = 3;
+  cfg.target_link = mbps(5);
+  cfg.internal_link = mbps(20);
+  cfg.duration = 10.0;
+  cfg.measure_start = 2.0;
+  cfg.measure_end = 10.0;
+  cfg.attack_start = 1.0;
+  cfg.attack_rate = mbps(1);
+  return cfg;
+}
+
+TEST(TreeScenario, TopologyShapeMatchesConfig) {
+  TreeScenario s(tiny());
+  EXPECT_EQ(s.leaf_count(), 4);
+  int attack_leaves = 0;
+  for (int i = 0; i < 4; ++i) attack_leaves += s.leaf_is_attack(i);
+  EXPECT_EQ(attack_leaves, 1);
+  // Path identifiers: depth 2, distinct origins.
+  EXPECT_EQ(s.leaf_path(0).length(), 2);
+  EXPECT_NE(s.leaf_path(0).key(), s.leaf_path(1).key());
+}
+
+TEST(TreeScenario, PathsShareTopLevelPrefix) {
+  TreeScenario s(tiny());
+  // Leaves 0,1 descend from the first depth-1 router; 2,3 from the second.
+  EXPECT_EQ(s.leaf_path(0).at(0), s.leaf_path(1).at(0));
+  EXPECT_EQ(s.leaf_path(2).at(0), s.leaf_path(3).at(0));
+  EXPECT_NE(s.leaf_path(0).at(0), s.leaf_path(2).at(0));
+}
+
+TEST(TreeScenario, RegistersAllFlows) {
+  TreeScenarioConfig cfg = tiny();
+  TreeScenario s(cfg);
+  // 4 leaves * 2 legit + 1 attack leaf * 3 bots = 11 flows.
+  EXPECT_EQ(s.monitor().flow_count(), 11u);
+  EXPECT_EQ(s.legit_flow_total(), 8);
+}
+
+TEST(TreeScenario, CovertCreatesMultipleFlowsPerSource) {
+  TreeScenarioConfig cfg = tiny();
+  cfg.attack = AttackType::kCovert;
+  cfg.covert_connections = 4;
+  TreeScenario s(cfg);
+  // 8 legit + 3 bots * 4 connections = 20.
+  EXPECT_EQ(s.monitor().flow_count(), 20u);
+}
+
+TEST(TreeScenario, RunsAndDeliversTraffic) {
+  TreeScenario s(tiny());
+  s.run();
+  const auto cb = s.class_bandwidth();
+  EXPECT_GT(cb.legit_legit_bps, 0.0);
+  EXPECT_GT(cb.attack_bps, 0.0);
+  // Total delivered cannot exceed the target link capacity.
+  EXPECT_LE(cb.legit_legit_bps + cb.legit_attack_bps + cb.attack_bps,
+            1.05 * s.scaled_target_bw());
+}
+
+TEST(TreeScenario, LegitPerLeafOverride) {
+  TreeScenarioConfig cfg = tiny();
+  cfg.legit_per_leaf_override = {1, 3};
+  TreeScenario s(cfg);
+  // Leaves alternate 1,3,1,3 legit sources = 8 + 3 bots.
+  EXPECT_EQ(s.monitor().flow_count(), 11u);
+}
+
+TEST(TreeScenario, ScaleShrinksPopulation) {
+  TreeScenarioConfig cfg = tiny();
+  cfg.scale = 0.5;
+  TreeScenario s(cfg);
+  // 2 legit/leaf -> 1; 3 bots -> 2 (rounded).
+  EXPECT_EQ(s.monitor().flow_count(), 4u * 1u + 2u);
+  EXPECT_DOUBLE_EQ(s.scaled_target_bw(), 0.5 * mbps(5));
+}
+
+TEST(TreeScenario, DefenseSchemeSelectsQueue) {
+  for (DefenseScheme sch :
+       {DefenseScheme::kDropTail, DefenseScheme::kRed, DefenseScheme::kRedPd,
+        DefenseScheme::kPushback, DefenseScheme::kFloc}) {
+    TreeScenarioConfig cfg = tiny();
+    cfg.scheme = sch;
+    cfg.duration = 3.0;
+    cfg.measure_start = 1.0;
+    cfg.measure_end = 3.0;
+    TreeScenario s(cfg);
+    s.run();
+    EXPECT_GT(s.bottleneck_queue().admissions(), 0u) << to_string(sch);
+  }
+}
+
+TEST(TreeScenario, FlocQueueAccessor) {
+  TreeScenarioConfig cfg = tiny();
+  cfg.scheme = DefenseScheme::kFloc;
+  TreeScenario s(cfg);
+  EXPECT_NE(s.floc_queue(), nullptr);
+  TreeScenarioConfig cfg2 = tiny();
+  cfg2.scheme = DefenseScheme::kRed;
+  TreeScenario s2(cfg2);
+  EXPECT_EQ(s2.floc_queue(), nullptr);
+}
+
+}  // namespace
+}  // namespace floc

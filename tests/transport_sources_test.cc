@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "netsim/drop_tail.h"
+#include "transport/cbr_source.h"
+#include "transport/flow_monitor.h"
+#include "transport/shrew_source.h"
+#include "transport/tcp_sink.h"
+
+namespace floc {
+namespace {
+
+struct World {
+  Simulator sim;
+  Network net{&sim};
+  Host* client;
+  Host* server;
+  FlowMonitor monitor;
+  std::unique_ptr<TcpSink> sink;
+
+  World() {
+    client = net.add_host("c", 1);
+    Router* r = net.add_router("r", 2);
+    server = net.add_host("s", 3);
+    net.connect(client, r, mbps(100), 0.001);
+    net.connect(r, server, mbps(100), 0.001);
+    net.build_routes();
+    sink = std::make_unique<TcpSink>(&sim, server, &monitor);
+  }
+};
+
+TEST(CbrSource, SendsAtConfiguredRate) {
+  World w;
+  CbrConfig cfg;
+  cfg.flow = 1;
+  cfg.dst = w.server->addr();
+  cfg.rate = mbps(2);
+  CbrSource src(&w.sim, w.client, cfg);
+  w.monitor.register_flow(1, {});
+  src.start_at(0.0);
+  w.sim.schedule_at(1.0, [&] { w.monitor.snapshot("a", w.sim.now()); });
+  w.sim.schedule_at(11.0, [&] { w.monitor.snapshot("b", w.sim.now()); });
+  w.sim.run_until(11.0);
+  EXPECT_NEAR(w.monitor.flow_bps(1, "a", "b"), mbps(2), 0.05 * mbps(2));
+}
+
+TEST(CbrSource, HandshakesBeforeSending) {
+  World w;
+  CbrConfig cfg;
+  cfg.flow = 1;
+  cfg.dst = w.server->addr();
+  cfg.rate = mbps(1);
+  cfg.do_handshake = true;
+  CbrSource src(&w.sim, w.client, cfg);
+  src.start_at(0.0);
+  w.sim.run_until(0.003);  // not enough time for SYN-ACK round trip
+  EXPECT_EQ(src.packets_sent(), 0u);
+  w.sim.run_until(1.0);
+  EXPECT_GT(src.packets_sent(), 0u);
+}
+
+TEST(CbrSource, NoHandshakeStartsImmediately) {
+  World w;
+  CbrConfig cfg;
+  cfg.flow = 1;
+  cfg.dst = w.server->addr();
+  cfg.rate = mbps(1);
+  cfg.do_handshake = false;
+  CbrSource src(&w.sim, w.client, cfg);
+  src.start_at(0.0);
+  w.sim.run_until(0.1);
+  EXPECT_GT(src.packets_sent(), 0u);
+}
+
+TEST(CbrSource, StopHalts) {
+  World w;
+  CbrConfig cfg;
+  cfg.flow = 1;
+  cfg.dst = w.server->addr();
+  cfg.rate = mbps(10);
+  cfg.do_handshake = false;
+  CbrSource src(&w.sim, w.client, cfg);
+  src.start_at(0.0);
+  src.stop_at(1.0);
+  w.sim.run_until(5.0);
+  const auto at_stop = src.packets_sent();
+  w.sim.run_until(10.0);
+  EXPECT_EQ(src.packets_sent(), at_stop);
+}
+
+TEST(ShrewSource, MeanRateMatchesDutyCycle) {
+  World w;
+  ShrewConfig cfg;
+  cfg.cbr.flow = 1;
+  cfg.cbr.dst = w.server->addr();
+  cfg.cbr.rate = mbps(4);     // peak
+  cfg.burst_len = 0.02;
+  cfg.period = 0.08;          // duty 25% -> mean 1 Mbps
+  ShrewSource src(&w.sim, w.client, cfg);
+  w.monitor.register_flow(1, {});
+  src.start_at(0.0);
+  w.sim.schedule_at(1.0, [&] { w.monitor.snapshot("a", w.sim.now()); });
+  w.sim.schedule_at(11.0, [&] { w.monitor.snapshot("b", w.sim.now()); });
+  w.sim.run_until(11.0);
+  EXPECT_NEAR(w.monitor.flow_bps(1, "a", "b"), mbps(1), 0.15 * mbps(1));
+}
+
+TEST(ShrewSource, GateIsPeriodic) {
+  World w;
+  ShrewConfig cfg;
+  cfg.cbr.flow = 1;
+  cfg.cbr.dst = w.server->addr();
+  cfg.cbr.rate = mbps(1);
+  cfg.burst_len = 0.25;
+  cfg.period = 1.0;
+  cfg.phase = 0.0;
+  ShrewSource src(&w.sim, w.client, cfg);
+  EXPECT_TRUE(src.gate_open(0.1));
+  EXPECT_FALSE(src.gate_open(0.5));
+  EXPECT_TRUE(src.gate_open(1.1));
+  EXPECT_FALSE(src.gate_open(1.9));
+}
+
+// Shrew burst phase alignment across coordinated sources.
+TEST(ShrewSource, PhaseShiftsGate) {
+  World w;
+  ShrewConfig cfg;
+  cfg.cbr.flow = 1;
+  cfg.cbr.dst = w.server->addr();
+  cfg.cbr.rate = mbps(1);
+  cfg.burst_len = 0.25;
+  cfg.period = 1.0;
+  cfg.phase = 0.5;
+  ShrewSource src(&w.sim, w.client, cfg);
+  EXPECT_FALSE(src.gate_open(0.1));
+  EXPECT_TRUE(src.gate_open(0.6));
+}
+
+}  // namespace
+}  // namespace floc

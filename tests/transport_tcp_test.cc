@@ -1,0 +1,159 @@
+#include "transport/tcp_source.h"
+
+#include <gtest/gtest.h>
+
+#include "netsim/drop_tail.h"
+#include "transport/flow_monitor.h"
+#include "transport/tcp_sink.h"
+
+namespace floc {
+namespace {
+
+struct World {
+  Simulator sim;
+  Network net{&sim};
+  Host* client;
+  Host* server;
+  FlowMonitor monitor;
+  std::unique_ptr<TcpSink> sink;
+  Network::Duplex bottleneck;
+
+  explicit World(BitsPerSec bw = mbps(10), std::size_t qlen = 50) {
+    client = net.add_host("c", 1);
+    Router* r = net.add_router("r", 2);
+    server = net.add_host("s", 3);
+    net.connect(client, r, bw * 10, 0.001);
+    bottleneck = net.connect(r, server, bw, 0.005,
+                             std::make_unique<DropTailQueue>(qlen));
+    net.build_routes();
+    sink = std::make_unique<TcpSink>(&sim, server, &monitor);
+  }
+};
+
+TEST(TcpSource, CompletesSmallTransfer) {
+  World w;
+  TcpSourceConfig cfg;
+  cfg.flow = 1;
+  cfg.dst = w.server->addr();
+  cfg.total_packets = 100;
+  TcpSource src(&w.sim, w.client, cfg);
+  w.monitor.register_flow(1, {});
+  src.start_at(0.0);
+  w.sim.run_until(30.0);
+  EXPECT_TRUE(src.done());
+  EXPECT_GT(src.finish_time(), 0.0);
+  EXPECT_EQ(w.sink->delivered_packets(), 100u);
+}
+
+TEST(TcpSource, CompletionHandlerFires) {
+  World w;
+  TcpSourceConfig cfg;
+  cfg.flow = 1;
+  cfg.dst = w.server->addr();
+  cfg.total_packets = 10;
+  TcpSource src(&w.sim, w.client, cfg);
+  double done_at = -1.0;
+  src.set_completion_handler([&](TimeSec t) { done_at = t; });
+  src.start_at(0.5);
+  w.sim.run_until(30.0);
+  EXPECT_GT(done_at, 0.5);
+}
+
+TEST(TcpSource, SingleFlowFillsLink) {
+  World w(mbps(10));
+  TcpSourceConfig cfg;
+  cfg.flow = 1;
+  cfg.dst = w.server->addr();
+  cfg.total_packets = 0;  // persistent
+  TcpSource src(&w.sim, w.client, cfg);
+  w.monitor.register_flow(1, {});
+  src.start_at(0.0);
+  w.sim.schedule_at(5.0, [&] { w.monitor.snapshot("a", w.sim.now()); });
+  w.sim.schedule_at(15.0, [&] { w.monitor.snapshot("b", w.sim.now()); });
+  w.sim.run_until(15.0);
+  const double bps = w.monitor.flow_bps(1, "a", "b");
+  // A single Reno flow should reach at least 70% of a 10 Mbps bottleneck.
+  EXPECT_GT(bps, 0.7 * mbps(10));
+  EXPECT_LT(bps, 1.05 * mbps(10));
+}
+
+TEST(TcpSource, TwoFlowsShareFairly) {
+  World w(mbps(10));
+  TcpSourceConfig c1, c2;
+  c1.flow = 1;
+  c2.flow = 2;
+  c1.dst = c2.dst = w.server->addr();
+  c1.total_packets = c2.total_packets = 0;
+  TcpSource s1(&w.sim, w.client, c1);
+  TcpSource s2(&w.sim, w.client, c2);  // both flows share the client host
+  w.monitor.register_flow(1, {});
+  w.monitor.register_flow(2, {});
+  s1.start_at(0.0);
+  s2.start_at(0.1);
+  w.sim.schedule_at(10.0, [&] { w.monitor.snapshot("a", w.sim.now()); });
+  w.sim.schedule_at(30.0, [&] { w.monitor.snapshot("b", w.sim.now()); });
+  w.sim.run_until(30.0);
+  const double b1 = w.monitor.flow_bps(1, "a", "b");
+  const double b2 = w.monitor.flow_bps(2, "a", "b");
+  EXPECT_GT(b1 + b2, 0.7 * mbps(10));
+  // Jain fairness for 2 flows should be high.
+  const double jain = (b1 + b2) * (b1 + b2) / (2.0 * (b1 * b1 + b2 * b2));
+  EXPECT_GT(jain, 0.8);
+}
+
+TEST(TcpSource, RecoversFromDropsViaRetransmission) {
+  World w(mbps(2), /*qlen=*/8);  // tight queue forces drops
+  TcpSourceConfig cfg;
+  cfg.flow = 1;
+  cfg.dst = w.server->addr();
+  cfg.total_packets = 500;
+  TcpSource src(&w.sim, w.client, cfg);
+  src.start_at(0.0);
+  w.sim.run_until(60.0);
+  EXPECT_TRUE(src.done());
+  EXPECT_GT(src.retransmits() + src.timeouts(), 0u);
+  EXPECT_EQ(w.sink->delivered_packets(), 500u);
+}
+
+TEST(TcpSource, RttEstimateReasonable) {
+  World w;
+  TcpSourceConfig cfg;
+  cfg.flow = 1;
+  cfg.dst = w.server->addr();
+  cfg.total_packets = 200;
+  TcpSource src(&w.sim, w.client, cfg);
+  src.start_at(0.0);
+  w.sim.run_until(30.0);
+  // Physical RTT is 2*(1+5) ms = 12 ms plus queueing.
+  EXPECT_GT(src.srtt(), 0.010);
+  EXPECT_LT(src.srtt(), 0.2);
+}
+
+TEST(TcpSource, CwndBoundedByMax) {
+  World w(mbps(100));
+  TcpSourceConfig cfg;
+  cfg.flow = 1;
+  cfg.dst = w.server->addr();
+  cfg.total_packets = 0;
+  cfg.max_cwnd = 16.0;
+  TcpSource src(&w.sim, w.client, cfg);
+  src.start_at(0.0);
+  w.sim.run_until(10.0);
+  EXPECT_LE(src.cwnd(), 16.0 + 1e-9);
+}
+
+TEST(TcpSink, DuplicatesDetected) {
+  World w;
+  TcpSourceConfig cfg;
+  cfg.flow = 1;
+  cfg.dst = w.server->addr();
+  cfg.total_packets = 50;
+  TcpSource src(&w.sim, w.client, cfg);
+  src.start_at(0.0);
+  w.sim.run_until(30.0);
+  // With no drops there should be no duplicates.
+  EXPECT_EQ(w.sink->duplicate_packets(), 0u);
+}
+
+}  // namespace
+}  // namespace floc

@@ -1,0 +1,112 @@
+#include "transport/rolling_source.h"
+
+#include <gtest/gtest.h>
+
+#include "netsim/drop_tail.h"
+#include "transport/flow_monitor.h"
+#include "transport/tcp_sink.h"
+
+namespace floc {
+namespace {
+
+struct World {
+  Simulator sim;
+  Network net{&sim};
+  Host* client;
+  Host* server;
+  FlowMonitor monitor;
+  std::unique_ptr<TcpSink> sink;
+
+  World() {
+    client = net.add_host("c", 1);
+    Router* r = net.add_router("r", 2);
+    server = net.add_host("s", 3);
+    net.connect(client, r, mbps(100), 0.001);
+    net.connect(r, server, mbps(100), 0.001);
+    net.build_routes();
+    sink = std::make_unique<TcpSink>(&sim, server, &monitor);
+  }
+};
+
+TEST(OnOffSource, GateFollowsDutyCycle) {
+  World w;
+  OnOffConfig cfg;
+  cfg.cbr.flow = 1;
+  cfg.cbr.dst = w.server->addr();
+  cfg.cbr.rate = mbps(1);
+  cfg.on_time = 2.0;
+  cfg.off_time = 6.0;
+  OnOffSource src(&w.sim, w.client, cfg);
+  EXPECT_TRUE(src.gate_open(0.5));
+  EXPECT_TRUE(src.gate_open(1.9));
+  EXPECT_FALSE(src.gate_open(2.5));
+  EXPECT_FALSE(src.gate_open(7.9));
+  EXPECT_TRUE(src.gate_open(8.5));  // next period
+}
+
+TEST(OnOffSource, MeanRateMatchesDuty) {
+  World w;
+  OnOffConfig cfg;
+  cfg.cbr.flow = 1;
+  cfg.cbr.dst = w.server->addr();
+  cfg.cbr.rate = mbps(3);
+  cfg.on_time = 1.0;
+  cfg.off_time = 2.0;  // duty 1/3 -> mean 1 Mbps
+  OnOffSource src(&w.sim, w.client, cfg);
+  w.monitor.register_flow(1, {});
+  src.start_at(0.0);
+  w.sim.schedule_at(0.5, [&] { w.monitor.snapshot("a", w.sim.now()); });
+  w.sim.schedule_at(24.5, [&] { w.monitor.snapshot("b", w.sim.now()); });
+  w.sim.run_until(24.5);
+  EXPECT_NEAR(w.monitor.flow_bps(1, "a", "b"), mbps(1), 0.2 * mbps(1));
+}
+
+TEST(RollingSource, OnlyOneGroupActiveAtATime) {
+  World w;
+  std::vector<std::unique_ptr<RollingSource>> sources;
+  for (int g = 0; g < 3; ++g) {
+    RollingConfig cfg;
+    cfg.cbr.flow = static_cast<FlowId>(g + 1);
+    cfg.cbr.dst = w.server->addr();
+    cfg.cbr.rate = mbps(1);
+    cfg.group = g;
+    cfg.group_count = 3;
+    cfg.slot = 2.0;
+    sources.push_back(std::make_unique<RollingSource>(&w.sim, w.client, cfg));
+  }
+  for (double t : {0.5, 2.5, 4.5, 6.5}) {
+    int open = 0;
+    for (const auto& s : sources) open += s->gate_open(t);
+    EXPECT_EQ(open, 1) << "t=" << t;
+  }
+  // Rotation order: group 0 at t in [0,2), group 1 at [2,4), ...
+  EXPECT_TRUE(sources[0]->gate_open(0.5));
+  EXPECT_TRUE(sources[1]->gate_open(2.5));
+  EXPECT_TRUE(sources[2]->gate_open(4.5));
+  EXPECT_TRUE(sources[0]->gate_open(6.5));
+}
+
+TEST(RollingSource, DeliversOnlyDuringOwnSlot) {
+  World w;
+  RollingConfig cfg;
+  cfg.cbr.flow = 1;
+  cfg.cbr.dst = w.server->addr();
+  cfg.cbr.rate = mbps(2);
+  cfg.group = 1;
+  cfg.group_count = 2;
+  cfg.slot = 2.0;
+  RollingSource src(&w.sim, w.client, cfg);
+  w.monitor.register_flow(1, {});
+  src.start_at(0.0);
+  // Group 1's slots are [2,4), [6,8)...
+  w.sim.schedule_at(0.2, [&] { w.monitor.snapshot("a", w.sim.now()); });
+  w.sim.schedule_at(1.8, [&] { w.monitor.snapshot("b", w.sim.now()); });
+  w.sim.schedule_at(2.4, [&] { w.monitor.snapshot("c", w.sim.now()); });
+  w.sim.schedule_at(3.8, [&] { w.monitor.snapshot("d", w.sim.now()); });
+  w.sim.run_until(4.0);
+  EXPECT_NEAR(w.monitor.flow_bps(1, "a", "b"), 0.0, 1e4);
+  EXPECT_GT(w.monitor.flow_bps(1, "c", "d"), mbps(1.5));
+}
+
+}  // namespace
+}  // namespace floc

@@ -1,0 +1,66 @@
+#include "util/siphash.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+#include <vector>
+
+namespace floc {
+namespace {
+
+// Reference vector from the SipHash paper (Appendix A): key 0x0F0E...00,
+// message 00 01 02 ... 0E (15 bytes) -> 0xA129CA6149BE45E5.
+TEST(SipHash, ReferenceVector) {
+  SipKey key;
+  std::uint8_t kbytes[16];
+  for (int i = 0; i < 16; ++i) kbytes[i] = static_cast<std::uint8_t>(i);
+  std::memcpy(&key.k0, kbytes, 8);
+  std::memcpy(&key.k1, kbytes + 8, 8);
+  std::vector<std::uint8_t> msg(15);
+  for (int i = 0; i < 15; ++i) msg[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(i);
+  EXPECT_EQ(siphash24(key, msg), 0xA129CA6149BE45E5ULL);
+}
+
+TEST(SipHash, EmptyMessageReference) {
+  SipKey key;
+  std::uint8_t kbytes[16];
+  for (int i = 0; i < 16; ++i) kbytes[i] = static_cast<std::uint8_t>(i);
+  std::memcpy(&key.k0, kbytes, 8);
+  std::memcpy(&key.k1, kbytes + 8, 8);
+  EXPECT_EQ(siphash24(key, {}), 0x726FDB47DD0E0E31ULL);
+}
+
+TEST(SipHash, KeyDependence) {
+  const std::vector<std::uint8_t> msg{1, 2, 3, 4};
+  EXPECT_NE(siphash24(SipKey{1, 2}, msg), siphash24(SipKey{1, 3}, msg));
+  EXPECT_NE(siphash24(SipKey{1, 2}, msg), siphash24(SipKey{2, 2}, msg));
+}
+
+TEST(SipHash, MessageDependence) {
+  SipKey k{42, 43};
+  EXPECT_NE(siphash24_words(k, {1, 2, 3}), siphash24_words(k, {1, 2, 4}));
+  EXPECT_NE(siphash24_words(k, {1, 2}), siphash24_words(k, {1, 2, 0}));
+}
+
+TEST(SipHash, WordsDeterministic) {
+  SipKey k{7, 8};
+  EXPECT_EQ(siphash24_words(k, {10, 20}), siphash24_words(k, {10, 20}));
+}
+
+TEST(SipHash, OutputLooksUniform) {
+  // Crude avalanche check: flipping one input bit flips ~half the output bits.
+  SipKey k{0xDEAD, 0xBEEF};
+  int total = 0;
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    const std::uint64_t a = siphash24_words(k, {0});
+    const std::uint64_t b = siphash24_words(k, {std::uint64_t{1} << i});
+    total += std::popcount(a ^ b);
+  }
+  const double avg = total / 64.0;
+  EXPECT_GT(avg, 24.0);
+  EXPECT_LT(avg, 40.0);
+}
+
+}  // namespace
+}  // namespace floc
