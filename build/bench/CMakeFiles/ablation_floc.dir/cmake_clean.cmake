@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_floc.dir/ablation_floc.cc.o"
+  "CMakeFiles/ablation_floc.dir/ablation_floc.cc.o.d"
+  "ablation_floc"
+  "ablation_floc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_floc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

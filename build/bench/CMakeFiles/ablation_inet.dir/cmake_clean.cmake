@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_inet.dir/ablation_inet.cc.o"
+  "CMakeFiles/ablation_inet.dir/ablation_inet.cc.o.d"
+  "ablation_inet"
+  "ablation_inet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_inet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

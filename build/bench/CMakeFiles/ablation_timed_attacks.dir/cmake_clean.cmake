@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_timed_attacks.dir/ablation_timed_attacks.cc.o"
+  "CMakeFiles/ablation_timed_attacks.dir/ablation_timed_attacks.cc.o.d"
+  "ablation_timed_attacks"
+  "ablation_timed_attacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_timed_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_drop_vs_service.dir/fig02_drop_vs_service.cc.o"
+  "CMakeFiles/fig02_drop_vs_service.dir/fig02_drop_vs_service.cc.o.d"
+  "fig02_drop_vs_service"
+  "fig02_drop_vs_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_drop_vs_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_token_bucket_sync.dir/fig04_token_bucket_sync.cc.o"
+  "CMakeFiles/fig04_token_bucket_sync.dir/fig04_token_bucket_sync.cc.o.d"
+  "fig04_token_bucket_sync"
+  "fig04_token_bucket_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_token_bucket_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

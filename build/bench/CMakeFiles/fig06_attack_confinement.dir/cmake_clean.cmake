@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_attack_confinement.dir/fig06_attack_confinement.cc.o"
+  "CMakeFiles/fig06_attack_confinement.dir/fig06_attack_confinement.cc.o.d"
+  "fig06_attack_confinement"
+  "fig06_attack_confinement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_attack_confinement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

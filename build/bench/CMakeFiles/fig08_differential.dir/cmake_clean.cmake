@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_differential.dir/fig08_differential.cc.o"
+  "CMakeFiles/fig08_differential.dir/fig08_differential.cc.o.d"
+  "fig08_differential"
+  "fig08_differential.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_differential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

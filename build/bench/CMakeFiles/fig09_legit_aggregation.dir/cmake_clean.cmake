@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_legit_aggregation.dir/fig09_legit_aggregation.cc.o"
+  "CMakeFiles/fig09_legit_aggregation.dir/fig09_legit_aggregation.cc.o.d"
+  "fig09_legit_aggregation"
+  "fig09_legit_aggregation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_legit_aggregation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

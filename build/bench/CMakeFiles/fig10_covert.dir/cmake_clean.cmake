@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_covert.dir/fig10_covert.cc.o"
+  "CMakeFiles/fig10_covert.dir/fig10_covert.cc.o.d"
+  "fig10_covert"
+  "fig10_covert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_covert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_12_topologies.dir/fig11_12_topologies.cc.o"
+  "CMakeFiles/fig11_12_topologies.dir/fig11_12_topologies.cc.o.d"
+  "fig11_12_topologies"
+  "fig11_12_topologies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_12_topologies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_inet_localized.dir/fig13_inet_localized.cc.o"
+  "CMakeFiles/fig13_inet_localized.dir/fig13_inet_localized.cc.o.d"
+  "fig13_inet_localized"
+  "fig13_inet_localized.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_inet_localized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_inet_wide.dir/fig14_inet_wide.cc.o"
+  "CMakeFiles/fig14_inet_wide.dir/fig14_inet_wide.cc.o.d"
+  "fig14_inet_wide"
+  "fig14_inet_wide.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_inet_wide.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

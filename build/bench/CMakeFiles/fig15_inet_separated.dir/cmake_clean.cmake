@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_inet_separated.dir/fig15_inet_separated.cc.o"
+  "CMakeFiles/fig15_inet_separated.dir/fig15_inet_separated.cc.o.d"
+  "fig15_inet_separated"
+  "fig15_inet_separated.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_inet_separated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/router_design_micro.dir/router_design_micro.cc.o"
+  "CMakeFiles/router_design_micro.dir/router_design_micro.cc.o.d"
+  "router_design_micro"
+  "router_design_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/router_design_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

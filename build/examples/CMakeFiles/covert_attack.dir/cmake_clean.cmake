@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/covert_attack.dir/covert_attack.cpp.o"
+  "CMakeFiles/covert_attack.dir/covert_attack.cpp.o.d"
+  "covert_attack"
+  "covert_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/covert_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

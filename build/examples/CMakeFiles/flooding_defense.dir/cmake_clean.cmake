@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flooding_defense.dir/flooding_defense.cpp.o"
+  "CMakeFiles/flooding_defense.dir/flooding_defense.cpp.o.d"
+  "flooding_defense"
+  "flooding_defense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flooding_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/inetsim/CMakeFiles/floc_inetsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/floc_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/floc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/floc_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/floc_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/floc_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/floc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_flood.dir/trace_flood.cpp.o"
+  "CMakeFiles/trace_flood.dir/trace_flood.cpp.o.d"
+  "trace_flood"
+  "trace_flood.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_flood.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

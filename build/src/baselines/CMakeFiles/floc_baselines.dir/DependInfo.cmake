@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/drr_queue.cc" "src/baselines/CMakeFiles/floc_baselines.dir/drr_queue.cc.o" "gcc" "src/baselines/CMakeFiles/floc_baselines.dir/drr_queue.cc.o.d"
+  "/root/repo/src/baselines/priority_fair.cc" "src/baselines/CMakeFiles/floc_baselines.dir/priority_fair.cc.o" "gcc" "src/baselines/CMakeFiles/floc_baselines.dir/priority_fair.cc.o.d"
+  "/root/repo/src/baselines/pushback.cc" "src/baselines/CMakeFiles/floc_baselines.dir/pushback.cc.o" "gcc" "src/baselines/CMakeFiles/floc_baselines.dir/pushback.cc.o.d"
+  "/root/repo/src/baselines/rate_limiter.cc" "src/baselines/CMakeFiles/floc_baselines.dir/rate_limiter.cc.o" "gcc" "src/baselines/CMakeFiles/floc_baselines.dir/rate_limiter.cc.o.d"
+  "/root/repo/src/baselines/red_pd.cc" "src/baselines/CMakeFiles/floc_baselines.dir/red_pd.cc.o" "gcc" "src/baselines/CMakeFiles/floc_baselines.dir/red_pd.cc.o.d"
+  "/root/repo/src/baselines/red_queue.cc" "src/baselines/CMakeFiles/floc_baselines.dir/red_queue.cc.o" "gcc" "src/baselines/CMakeFiles/floc_baselines.dir/red_queue.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netsim/CMakeFiles/floc_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/floc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

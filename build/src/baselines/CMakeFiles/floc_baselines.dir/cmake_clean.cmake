@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/floc_baselines.dir/drr_queue.cc.o"
+  "CMakeFiles/floc_baselines.dir/drr_queue.cc.o.d"
+  "CMakeFiles/floc_baselines.dir/priority_fair.cc.o"
+  "CMakeFiles/floc_baselines.dir/priority_fair.cc.o.d"
+  "CMakeFiles/floc_baselines.dir/pushback.cc.o"
+  "CMakeFiles/floc_baselines.dir/pushback.cc.o.d"
+  "CMakeFiles/floc_baselines.dir/rate_limiter.cc.o"
+  "CMakeFiles/floc_baselines.dir/rate_limiter.cc.o.d"
+  "CMakeFiles/floc_baselines.dir/red_pd.cc.o"
+  "CMakeFiles/floc_baselines.dir/red_pd.cc.o.d"
+  "CMakeFiles/floc_baselines.dir/red_queue.cc.o"
+  "CMakeFiles/floc_baselines.dir/red_queue.cc.o.d"
+  "libfloc_baselines.a"
+  "libfloc_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/floc_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

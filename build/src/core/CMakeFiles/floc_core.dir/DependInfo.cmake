@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/aggregation.cc" "src/core/CMakeFiles/floc_core.dir/aggregation.cc.o" "gcc" "src/core/CMakeFiles/floc_core.dir/aggregation.cc.o.d"
+  "/root/repo/src/core/capability.cc" "src/core/CMakeFiles/floc_core.dir/capability.cc.o" "gcc" "src/core/CMakeFiles/floc_core.dir/capability.cc.o.d"
+  "/root/repo/src/core/conformance.cc" "src/core/CMakeFiles/floc_core.dir/conformance.cc.o" "gcc" "src/core/CMakeFiles/floc_core.dir/conformance.cc.o.d"
+  "/root/repo/src/core/drop_filter.cc" "src/core/CMakeFiles/floc_core.dir/drop_filter.cc.o" "gcc" "src/core/CMakeFiles/floc_core.dir/drop_filter.cc.o.d"
+  "/root/repo/src/core/floc_queue.cc" "src/core/CMakeFiles/floc_core.dir/floc_queue.cc.o" "gcc" "src/core/CMakeFiles/floc_core.dir/floc_queue.cc.o.d"
+  "/root/repo/src/core/flow_table.cc" "src/core/CMakeFiles/floc_core.dir/flow_table.cc.o" "gcc" "src/core/CMakeFiles/floc_core.dir/flow_table.cc.o.d"
+  "/root/repo/src/core/model.cc" "src/core/CMakeFiles/floc_core.dir/model.cc.o" "gcc" "src/core/CMakeFiles/floc_core.dir/model.cc.o.d"
+  "/root/repo/src/core/mtd_tracker.cc" "src/core/CMakeFiles/floc_core.dir/mtd_tracker.cc.o" "gcc" "src/core/CMakeFiles/floc_core.dir/mtd_tracker.cc.o.d"
+  "/root/repo/src/core/token_bucket.cc" "src/core/CMakeFiles/floc_core.dir/token_bucket.cc.o" "gcc" "src/core/CMakeFiles/floc_core.dir/token_bucket.cc.o.d"
+  "/root/repo/src/core/traffic_tree.cc" "src/core/CMakeFiles/floc_core.dir/traffic_tree.cc.o" "gcc" "src/core/CMakeFiles/floc_core.dir/traffic_tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netsim/CMakeFiles/floc_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/floc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

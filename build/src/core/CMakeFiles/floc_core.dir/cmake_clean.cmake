@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/floc_core.dir/aggregation.cc.o"
+  "CMakeFiles/floc_core.dir/aggregation.cc.o.d"
+  "CMakeFiles/floc_core.dir/capability.cc.o"
+  "CMakeFiles/floc_core.dir/capability.cc.o.d"
+  "CMakeFiles/floc_core.dir/conformance.cc.o"
+  "CMakeFiles/floc_core.dir/conformance.cc.o.d"
+  "CMakeFiles/floc_core.dir/drop_filter.cc.o"
+  "CMakeFiles/floc_core.dir/drop_filter.cc.o.d"
+  "CMakeFiles/floc_core.dir/floc_queue.cc.o"
+  "CMakeFiles/floc_core.dir/floc_queue.cc.o.d"
+  "CMakeFiles/floc_core.dir/flow_table.cc.o"
+  "CMakeFiles/floc_core.dir/flow_table.cc.o.d"
+  "CMakeFiles/floc_core.dir/model.cc.o"
+  "CMakeFiles/floc_core.dir/model.cc.o.d"
+  "CMakeFiles/floc_core.dir/mtd_tracker.cc.o"
+  "CMakeFiles/floc_core.dir/mtd_tracker.cc.o.d"
+  "CMakeFiles/floc_core.dir/token_bucket.cc.o"
+  "CMakeFiles/floc_core.dir/token_bucket.cc.o.d"
+  "CMakeFiles/floc_core.dir/traffic_tree.cc.o"
+  "CMakeFiles/floc_core.dir/traffic_tree.cc.o.d"
+  "libfloc_core.a"
+  "libfloc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/floc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

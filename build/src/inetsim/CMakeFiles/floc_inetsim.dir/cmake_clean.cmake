@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/floc_inetsim.dir/inet_experiment.cc.o"
+  "CMakeFiles/floc_inetsim.dir/inet_experiment.cc.o.d"
+  "CMakeFiles/floc_inetsim.dir/tick_sim.cc.o"
+  "CMakeFiles/floc_inetsim.dir/tick_sim.cc.o.d"
+  "libfloc_inetsim.a"
+  "libfloc_inetsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/floc_inetsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

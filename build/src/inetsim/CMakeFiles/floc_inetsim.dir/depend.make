@@ -1,0 +1,2 @@
+# Empty dependencies file for floc_inetsim.
+# This may be replaced when dependencies are built.

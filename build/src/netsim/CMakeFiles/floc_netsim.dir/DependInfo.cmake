@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netsim/drop_tail.cc" "src/netsim/CMakeFiles/floc_netsim.dir/drop_tail.cc.o" "gcc" "src/netsim/CMakeFiles/floc_netsim.dir/drop_tail.cc.o.d"
+  "/root/repo/src/netsim/link.cc" "src/netsim/CMakeFiles/floc_netsim.dir/link.cc.o" "gcc" "src/netsim/CMakeFiles/floc_netsim.dir/link.cc.o.d"
+  "/root/repo/src/netsim/network.cc" "src/netsim/CMakeFiles/floc_netsim.dir/network.cc.o" "gcc" "src/netsim/CMakeFiles/floc_netsim.dir/network.cc.o.d"
+  "/root/repo/src/netsim/node.cc" "src/netsim/CMakeFiles/floc_netsim.dir/node.cc.o" "gcc" "src/netsim/CMakeFiles/floc_netsim.dir/node.cc.o.d"
+  "/root/repo/src/netsim/packet.cc" "src/netsim/CMakeFiles/floc_netsim.dir/packet.cc.o" "gcc" "src/netsim/CMakeFiles/floc_netsim.dir/packet.cc.o.d"
+  "/root/repo/src/netsim/queue_disc.cc" "src/netsim/CMakeFiles/floc_netsim.dir/queue_disc.cc.o" "gcc" "src/netsim/CMakeFiles/floc_netsim.dir/queue_disc.cc.o.d"
+  "/root/repo/src/netsim/simulator.cc" "src/netsim/CMakeFiles/floc_netsim.dir/simulator.cc.o" "gcc" "src/netsim/CMakeFiles/floc_netsim.dir/simulator.cc.o.d"
+  "/root/repo/src/netsim/trace.cc" "src/netsim/CMakeFiles/floc_netsim.dir/trace.cc.o" "gcc" "src/netsim/CMakeFiles/floc_netsim.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/floc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/floc_netsim.dir/drop_tail.cc.o"
+  "CMakeFiles/floc_netsim.dir/drop_tail.cc.o.d"
+  "CMakeFiles/floc_netsim.dir/link.cc.o"
+  "CMakeFiles/floc_netsim.dir/link.cc.o.d"
+  "CMakeFiles/floc_netsim.dir/network.cc.o"
+  "CMakeFiles/floc_netsim.dir/network.cc.o.d"
+  "CMakeFiles/floc_netsim.dir/node.cc.o"
+  "CMakeFiles/floc_netsim.dir/node.cc.o.d"
+  "CMakeFiles/floc_netsim.dir/packet.cc.o"
+  "CMakeFiles/floc_netsim.dir/packet.cc.o.d"
+  "CMakeFiles/floc_netsim.dir/queue_disc.cc.o"
+  "CMakeFiles/floc_netsim.dir/queue_disc.cc.o.d"
+  "CMakeFiles/floc_netsim.dir/simulator.cc.o"
+  "CMakeFiles/floc_netsim.dir/simulator.cc.o.d"
+  "CMakeFiles/floc_netsim.dir/trace.cc.o"
+  "CMakeFiles/floc_netsim.dir/trace.cc.o.d"
+  "libfloc_netsim.a"
+  "libfloc_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/floc_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

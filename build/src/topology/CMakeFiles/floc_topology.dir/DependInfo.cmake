@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topology/as_graph.cc" "src/topology/CMakeFiles/floc_topology.dir/as_graph.cc.o" "gcc" "src/topology/CMakeFiles/floc_topology.dir/as_graph.cc.o.d"
+  "/root/repo/src/topology/bot_distribution.cc" "src/topology/CMakeFiles/floc_topology.dir/bot_distribution.cc.o" "gcc" "src/topology/CMakeFiles/floc_topology.dir/bot_distribution.cc.o.d"
+  "/root/repo/src/topology/defense_factory.cc" "src/topology/CMakeFiles/floc_topology.dir/defense_factory.cc.o" "gcc" "src/topology/CMakeFiles/floc_topology.dir/defense_factory.cc.o.d"
+  "/root/repo/src/topology/skitter_gen.cc" "src/topology/CMakeFiles/floc_topology.dir/skitter_gen.cc.o" "gcc" "src/topology/CMakeFiles/floc_topology.dir/skitter_gen.cc.o.d"
+  "/root/repo/src/topology/tree_scenario.cc" "src/topology/CMakeFiles/floc_topology.dir/tree_scenario.cc.o" "gcc" "src/topology/CMakeFiles/floc_topology.dir/tree_scenario.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/floc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/floc_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/floc_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/floc_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/floc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

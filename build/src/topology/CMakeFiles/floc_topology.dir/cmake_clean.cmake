@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/floc_topology.dir/as_graph.cc.o"
+  "CMakeFiles/floc_topology.dir/as_graph.cc.o.d"
+  "CMakeFiles/floc_topology.dir/bot_distribution.cc.o"
+  "CMakeFiles/floc_topology.dir/bot_distribution.cc.o.d"
+  "CMakeFiles/floc_topology.dir/defense_factory.cc.o"
+  "CMakeFiles/floc_topology.dir/defense_factory.cc.o.d"
+  "CMakeFiles/floc_topology.dir/skitter_gen.cc.o"
+  "CMakeFiles/floc_topology.dir/skitter_gen.cc.o.d"
+  "CMakeFiles/floc_topology.dir/tree_scenario.cc.o"
+  "CMakeFiles/floc_topology.dir/tree_scenario.cc.o.d"
+  "libfloc_topology.a"
+  "libfloc_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/floc_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

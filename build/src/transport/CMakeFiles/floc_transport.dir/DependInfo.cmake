@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transport/cbr_source.cc" "src/transport/CMakeFiles/floc_transport.dir/cbr_source.cc.o" "gcc" "src/transport/CMakeFiles/floc_transport.dir/cbr_source.cc.o.d"
+  "/root/repo/src/transport/flow_monitor.cc" "src/transport/CMakeFiles/floc_transport.dir/flow_monitor.cc.o" "gcc" "src/transport/CMakeFiles/floc_transport.dir/flow_monitor.cc.o.d"
+  "/root/repo/src/transport/shrew_source.cc" "src/transport/CMakeFiles/floc_transport.dir/shrew_source.cc.o" "gcc" "src/transport/CMakeFiles/floc_transport.dir/shrew_source.cc.o.d"
+  "/root/repo/src/transport/tcp_sink.cc" "src/transport/CMakeFiles/floc_transport.dir/tcp_sink.cc.o" "gcc" "src/transport/CMakeFiles/floc_transport.dir/tcp_sink.cc.o.d"
+  "/root/repo/src/transport/tcp_source.cc" "src/transport/CMakeFiles/floc_transport.dir/tcp_source.cc.o" "gcc" "src/transport/CMakeFiles/floc_transport.dir/tcp_source.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netsim/CMakeFiles/floc_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/floc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

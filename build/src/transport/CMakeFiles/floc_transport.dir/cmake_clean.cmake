@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/floc_transport.dir/cbr_source.cc.o"
+  "CMakeFiles/floc_transport.dir/cbr_source.cc.o.d"
+  "CMakeFiles/floc_transport.dir/flow_monitor.cc.o"
+  "CMakeFiles/floc_transport.dir/flow_monitor.cc.o.d"
+  "CMakeFiles/floc_transport.dir/shrew_source.cc.o"
+  "CMakeFiles/floc_transport.dir/shrew_source.cc.o.d"
+  "CMakeFiles/floc_transport.dir/tcp_sink.cc.o"
+  "CMakeFiles/floc_transport.dir/tcp_sink.cc.o.d"
+  "CMakeFiles/floc_transport.dir/tcp_source.cc.o"
+  "CMakeFiles/floc_transport.dir/tcp_source.cc.o.d"
+  "libfloc_transport.a"
+  "libfloc_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/floc_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

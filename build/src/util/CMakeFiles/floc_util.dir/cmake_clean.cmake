@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/floc_util.dir/rng.cc.o"
+  "CMakeFiles/floc_util.dir/rng.cc.o.d"
+  "CMakeFiles/floc_util.dir/siphash.cc.o"
+  "CMakeFiles/floc_util.dir/siphash.cc.o.d"
+  "CMakeFiles/floc_util.dir/stats.cc.o"
+  "CMakeFiles/floc_util.dir/stats.cc.o.d"
+  "libfloc_util.a"
+  "libfloc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/floc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

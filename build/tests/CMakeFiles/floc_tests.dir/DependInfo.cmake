@@ -1,0 +1,68 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baselines_drr_test.cc" "tests/CMakeFiles/floc_tests.dir/baselines_drr_test.cc.o" "gcc" "tests/CMakeFiles/floc_tests.dir/baselines_drr_test.cc.o.d"
+  "/root/repo/tests/baselines_priority_fair_test.cc" "tests/CMakeFiles/floc_tests.dir/baselines_priority_fair_test.cc.o" "gcc" "tests/CMakeFiles/floc_tests.dir/baselines_priority_fair_test.cc.o.d"
+  "/root/repo/tests/baselines_pushback_test.cc" "tests/CMakeFiles/floc_tests.dir/baselines_pushback_test.cc.o" "gcc" "tests/CMakeFiles/floc_tests.dir/baselines_pushback_test.cc.o.d"
+  "/root/repo/tests/baselines_rate_limiter_test.cc" "tests/CMakeFiles/floc_tests.dir/baselines_rate_limiter_test.cc.o" "gcc" "tests/CMakeFiles/floc_tests.dir/baselines_rate_limiter_test.cc.o.d"
+  "/root/repo/tests/baselines_red_pd_test.cc" "tests/CMakeFiles/floc_tests.dir/baselines_red_pd_test.cc.o" "gcc" "tests/CMakeFiles/floc_tests.dir/baselines_red_pd_test.cc.o.d"
+  "/root/repo/tests/baselines_red_test.cc" "tests/CMakeFiles/floc_tests.dir/baselines_red_test.cc.o" "gcc" "tests/CMakeFiles/floc_tests.dir/baselines_red_test.cc.o.d"
+  "/root/repo/tests/core_aggregation_test.cc" "tests/CMakeFiles/floc_tests.dir/core_aggregation_test.cc.o" "gcc" "tests/CMakeFiles/floc_tests.dir/core_aggregation_test.cc.o.d"
+  "/root/repo/tests/core_capability_test.cc" "tests/CMakeFiles/floc_tests.dir/core_capability_test.cc.o" "gcc" "tests/CMakeFiles/floc_tests.dir/core_capability_test.cc.o.d"
+  "/root/repo/tests/core_conformance_test.cc" "tests/CMakeFiles/floc_tests.dir/core_conformance_test.cc.o" "gcc" "tests/CMakeFiles/floc_tests.dir/core_conformance_test.cc.o.d"
+  "/root/repo/tests/core_drop_filter_property_test.cc" "tests/CMakeFiles/floc_tests.dir/core_drop_filter_property_test.cc.o" "gcc" "tests/CMakeFiles/floc_tests.dir/core_drop_filter_property_test.cc.o.d"
+  "/root/repo/tests/core_drop_filter_test.cc" "tests/CMakeFiles/floc_tests.dir/core_drop_filter_test.cc.o" "gcc" "tests/CMakeFiles/floc_tests.dir/core_drop_filter_test.cc.o.d"
+  "/root/repo/tests/core_floc_covert_test.cc" "tests/CMakeFiles/floc_tests.dir/core_floc_covert_test.cc.o" "gcc" "tests/CMakeFiles/floc_tests.dir/core_floc_covert_test.cc.o.d"
+  "/root/repo/tests/core_floc_modes_test.cc" "tests/CMakeFiles/floc_tests.dir/core_floc_modes_test.cc.o" "gcc" "tests/CMakeFiles/floc_tests.dir/core_floc_modes_test.cc.o.d"
+  "/root/repo/tests/core_floc_property_test.cc" "tests/CMakeFiles/floc_tests.dir/core_floc_property_test.cc.o" "gcc" "tests/CMakeFiles/floc_tests.dir/core_floc_property_test.cc.o.d"
+  "/root/repo/tests/core_floc_queue_test.cc" "tests/CMakeFiles/floc_tests.dir/core_floc_queue_test.cc.o" "gcc" "tests/CMakeFiles/floc_tests.dir/core_floc_queue_test.cc.o.d"
+  "/root/repo/tests/core_floc_scalable_test.cc" "tests/CMakeFiles/floc_tests.dir/core_floc_scalable_test.cc.o" "gcc" "tests/CMakeFiles/floc_tests.dir/core_floc_scalable_test.cc.o.d"
+  "/root/repo/tests/core_floc_syn_flood_test.cc" "tests/CMakeFiles/floc_tests.dir/core_floc_syn_flood_test.cc.o" "gcc" "tests/CMakeFiles/floc_tests.dir/core_floc_syn_flood_test.cc.o.d"
+  "/root/repo/tests/core_model_test.cc" "tests/CMakeFiles/floc_tests.dir/core_model_test.cc.o" "gcc" "tests/CMakeFiles/floc_tests.dir/core_model_test.cc.o.d"
+  "/root/repo/tests/core_mtd_test.cc" "tests/CMakeFiles/floc_tests.dir/core_mtd_test.cc.o" "gcc" "tests/CMakeFiles/floc_tests.dir/core_mtd_test.cc.o.d"
+  "/root/repo/tests/core_token_bucket_test.cc" "tests/CMakeFiles/floc_tests.dir/core_token_bucket_test.cc.o" "gcc" "tests/CMakeFiles/floc_tests.dir/core_token_bucket_test.cc.o.d"
+  "/root/repo/tests/core_traffic_tree_test.cc" "tests/CMakeFiles/floc_tests.dir/core_traffic_tree_test.cc.o" "gcc" "tests/CMakeFiles/floc_tests.dir/core_traffic_tree_test.cc.o.d"
+  "/root/repo/tests/inetsim_internals_test.cc" "tests/CMakeFiles/floc_tests.dir/inetsim_internals_test.cc.o" "gcc" "tests/CMakeFiles/floc_tests.dir/inetsim_internals_test.cc.o.d"
+  "/root/repo/tests/inetsim_test.cc" "tests/CMakeFiles/floc_tests.dir/inetsim_test.cc.o" "gcc" "tests/CMakeFiles/floc_tests.dir/inetsim_test.cc.o.d"
+  "/root/repo/tests/integration_normal_mode_test.cc" "tests/CMakeFiles/floc_tests.dir/integration_normal_mode_test.cc.o" "gcc" "tests/CMakeFiles/floc_tests.dir/integration_normal_mode_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/floc_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/floc_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/netsim_network_test.cc" "tests/CMakeFiles/floc_tests.dir/netsim_network_test.cc.o" "gcc" "tests/CMakeFiles/floc_tests.dir/netsim_network_test.cc.o.d"
+  "/root/repo/tests/netsim_packet_test.cc" "tests/CMakeFiles/floc_tests.dir/netsim_packet_test.cc.o" "gcc" "tests/CMakeFiles/floc_tests.dir/netsim_packet_test.cc.o.d"
+  "/root/repo/tests/netsim_simulator_test.cc" "tests/CMakeFiles/floc_tests.dir/netsim_simulator_test.cc.o" "gcc" "tests/CMakeFiles/floc_tests.dir/netsim_simulator_test.cc.o.d"
+  "/root/repo/tests/netsim_trace_test.cc" "tests/CMakeFiles/floc_tests.dir/netsim_trace_test.cc.o" "gcc" "tests/CMakeFiles/floc_tests.dir/netsim_trace_test.cc.o.d"
+  "/root/repo/tests/queue_fuzz_test.cc" "tests/CMakeFiles/floc_tests.dir/queue_fuzz_test.cc.o" "gcc" "tests/CMakeFiles/floc_tests.dir/queue_fuzz_test.cc.o.d"
+  "/root/repo/tests/topology_bots_test.cc" "tests/CMakeFiles/floc_tests.dir/topology_bots_test.cc.o" "gcc" "tests/CMakeFiles/floc_tests.dir/topology_bots_test.cc.o.d"
+  "/root/repo/tests/topology_pushback_propagation_test.cc" "tests/CMakeFiles/floc_tests.dir/topology_pushback_propagation_test.cc.o" "gcc" "tests/CMakeFiles/floc_tests.dir/topology_pushback_propagation_test.cc.o.d"
+  "/root/repo/tests/topology_skitter_test.cc" "tests/CMakeFiles/floc_tests.dir/topology_skitter_test.cc.o" "gcc" "tests/CMakeFiles/floc_tests.dir/topology_skitter_test.cc.o.d"
+  "/root/repo/tests/topology_timed_attacks_test.cc" "tests/CMakeFiles/floc_tests.dir/topology_timed_attacks_test.cc.o" "gcc" "tests/CMakeFiles/floc_tests.dir/topology_timed_attacks_test.cc.o.d"
+  "/root/repo/tests/topology_tree_test.cc" "tests/CMakeFiles/floc_tests.dir/topology_tree_test.cc.o" "gcc" "tests/CMakeFiles/floc_tests.dir/topology_tree_test.cc.o.d"
+  "/root/repo/tests/transport_monitor_test.cc" "tests/CMakeFiles/floc_tests.dir/transport_monitor_test.cc.o" "gcc" "tests/CMakeFiles/floc_tests.dir/transport_monitor_test.cc.o.d"
+  "/root/repo/tests/transport_sources_test.cc" "tests/CMakeFiles/floc_tests.dir/transport_sources_test.cc.o" "gcc" "tests/CMakeFiles/floc_tests.dir/transport_sources_test.cc.o.d"
+  "/root/repo/tests/transport_tcp_newreno_test.cc" "tests/CMakeFiles/floc_tests.dir/transport_tcp_newreno_test.cc.o" "gcc" "tests/CMakeFiles/floc_tests.dir/transport_tcp_newreno_test.cc.o.d"
+  "/root/repo/tests/transport_tcp_test.cc" "tests/CMakeFiles/floc_tests.dir/transport_tcp_test.cc.o" "gcc" "tests/CMakeFiles/floc_tests.dir/transport_tcp_test.cc.o.d"
+  "/root/repo/tests/transport_timed_sources_test.cc" "tests/CMakeFiles/floc_tests.dir/transport_timed_sources_test.cc.o" "gcc" "tests/CMakeFiles/floc_tests.dir/transport_timed_sources_test.cc.o.d"
+  "/root/repo/tests/util_rng_test.cc" "tests/CMakeFiles/floc_tests.dir/util_rng_test.cc.o" "gcc" "tests/CMakeFiles/floc_tests.dir/util_rng_test.cc.o.d"
+  "/root/repo/tests/util_siphash_test.cc" "tests/CMakeFiles/floc_tests.dir/util_siphash_test.cc.o" "gcc" "tests/CMakeFiles/floc_tests.dir/util_siphash_test.cc.o.d"
+  "/root/repo/tests/util_stats_test.cc" "tests/CMakeFiles/floc_tests.dir/util_stats_test.cc.o" "gcc" "tests/CMakeFiles/floc_tests.dir/util_stats_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/floc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/floc_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/floc_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/floc_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/floc_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/inetsim/CMakeFiles/floc_inetsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/floc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
