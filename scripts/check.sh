@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Local pre-PR gate: tier-1 tests, the ASan+UBSan suite, and a churn smoke
+# run of the fault-injection ablation. Any failure aborts with nonzero exit.
+#
+#   scripts/check.sh            # everything
+#   scripts/check.sh --fast     # tier-1 only (skip sanitizers + churn smoke)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="$(nproc 2>/dev/null || echo 4)"
+FAST=0
+[[ "${1:-}" == "--fast" ]] && FAST=1
+
+echo "== tier-1: release build + full ctest =="
+cmake -B build -S . > /dev/null
+cmake --build build -j "$JOBS" > /dev/null
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+if [[ "$FAST" == "1" ]]; then
+  echo "== fast mode: skipping sanitize + churn smoke =="
+  exit 0
+fi
+
+echo "== sanitize: ASan+UBSan suite (ctest preset) =="
+cmake --preset sanitize > /dev/null
+cmake --build --preset sanitize -j "$JOBS" > /dev/null
+ctest --preset sanitize -j "$JOBS"
+
+echo "== churn smoke: fault-injection ablation, short horizon =="
+./build/bench/ablation_churn --quick
+
+echo "== all checks passed =="

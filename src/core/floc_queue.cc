@@ -7,6 +7,7 @@
 #include <cmath>
 #include <cstdio>
 #include <limits>
+#include <string>
 
 namespace floc {
 
@@ -160,12 +161,25 @@ bool FlocQueue::admit_data(Packet& p, TimeSec now) {
   op.pkts_arrived++;
   fr.bytes_arrived += p.size_bytes;
 
-  // Capability verification: forged identifiers are rejected outright.
-  if (cfg_.enable_capabilities && p.cap0 != 0 && !issuer_.verify(p)) {
-    ++cap_violations_;
-    drop_counts_[static_cast<std::size_t>(DropReason::kCapability)]++;
-    note_drop(p, DropReason::kCapability, now);
-    return false;
+  // Capability verification: forged identifiers are rejected outright —
+  // except inside a key-rotation grace window, where a miss is re-stamped
+  // under the new secret instead (dropping would cut off every established
+  // legitimate flow whose source still echoes pre-rotation capabilities).
+  if (cfg_.enable_capabilities && p.cap0 != 0) {
+    const auto vr = issuer_.verify_at(p, now);
+    if (vr != CapabilityIssuer::VerifyResult::kOk) {
+      if (issuer_.in_grace(now)) {
+        const auto caps = issuer_.issue(p.src, p.dst, p.path);
+        p.cap0 = caps.cap0;
+        p.cap1 = caps.cap1;
+        ++cap_reissues_;
+      } else {
+        ++cap_violations_;
+        drop_counts_[static_cast<std::size_t>(DropReason::kCapability)]++;
+        note_drop(p, DropReason::kCapability, now);
+        return false;
+      }
+    }
   }
 
   if (q_.size() >= cfg_.buffer_packets) {
@@ -243,7 +257,15 @@ bool FlocQueue::admit_data(Packet& p, TimeSec now) {
   }
   if (token_ok) return true;
 
-  if (flooding || agg.attack) {
+  // Post-reboot relearn window: parameters and attack flags are cold, so the
+  // usual mode-derived strictness is unreliable. The configured policy picks
+  // the failure direction — open (neutral drops only, below) or closed
+  // (strict token drops) — until the state is warm again.
+  bool strict = flooding || agg.attack;
+  if (now < recovery_until_) {
+    strict = cfg_.recovery_policy == RecoveryPolicy::kFailClosed;
+  }
+  if (strict) {
     on_drop(p, DropReason::kToken, op, agg, &fr, now);
     return false;
   }
@@ -267,7 +289,29 @@ std::optional<Packet> FlocQueue::dequeue(TimeSec) {
   Packet p = std::move(q_.front());
   q_.pop_front();
   q_bytes_ -= static_cast<std::size_t>(p.size_bytes);
+  ++dequeues_;
   return p;
+}
+
+void FlocQueue::reboot(TimeSec now, bool preserve_queue) {
+  origins_.clear();
+  aggregates_.clear();
+  plan_map_.clear();
+  if (filter_) filter_ = std::make_unique<ScalableDropFilter>(cfg_.filter);
+  if (!preserve_queue) {
+    flushed_ += q_.size();
+    q_.clear();
+    q_bytes_ = 0;
+  }
+  control_ticks_ = 0;
+  next_control_ = now;  // re-estimate parameters on the next arrival
+  recovery_until_ =
+      now + cfg_.recovery_intervals * cfg_.control_interval;
+  ++reboots_;
+}
+
+void FlocQueue::rotate_secret(std::uint64_t new_secret, TimeSec now) {
+  issuer_.rotate(new_secret, now, cfg_.control_interval);
 }
 
 void FlocQueue::control(TimeSec now) {
@@ -502,6 +546,51 @@ void FlocQueue::run_aggregation(TimeSec) {
       it->second.weight = entry->share_weight;
     }
   }
+}
+
+bool FlocQueue::audit(TimeSec now, std::string* why) const {
+  const auto fail = [why](const std::string& msg) {
+    if (why != nullptr) *why = msg;
+    return false;
+  };
+  // (1) Byte accounting matches the queued packets.
+  std::size_t bytes = 0;
+  for (const Packet& p : q_) bytes += static_cast<std::size_t>(p.size_bytes);
+  if (bytes != q_bytes_) {
+    return fail("queued bytes " + std::to_string(bytes) +
+                " != accounted q_bytes " + std::to_string(q_bytes_));
+  }
+  if (q_.size() > cfg_.buffer_packets) {
+    return fail("queue length " + std::to_string(q_.size()) +
+                " exceeds buffer " + std::to_string(cfg_.buffer_packets));
+  }
+  // (2) Token counts within [0, N'] for every aggregate.
+  for (const auto& [akey, agg] : aggregates_) {
+    if (!agg.bucket.configured()) continue;
+    const double cap = agg.bucket.capacity_bytes(true);
+    const double t = agg.bucket.peek_tokens(now, true);
+    if (t < -1e-6 || t > cap + 1e-6) {
+      return fail("aggregate " + agg.id.to_string() + " tokens " +
+                  std::to_string(t) + " outside [0, " + std::to_string(cap) +
+                  "]");
+    }
+  }
+  // (3) Packet conservation: every admission was serviced, lost to a reboot
+  // queue wipe, or is still queued.
+  if (admissions() != dequeues_ + flushed_ + q_.size()) {
+    return fail("admissions " + std::to_string(admissions()) +
+                " != dequeues " + std::to_string(dequeues_) + " + flushed " +
+                std::to_string(flushed_) + " + queued " +
+                std::to_string(q_.size()));
+  }
+  // (4) Drop ledger: the per-reason counters sum to the total drop count.
+  std::uint64_t by_reason = 0;
+  for (std::uint64_t c : drop_counts_) by_reason += c;
+  if (by_reason != drops()) {
+    return fail("drop reasons sum " + std::to_string(by_reason) +
+                " != total drops " + std::to_string(drops()));
+  }
+  return true;
 }
 
 // --- Introspection ---------------------------------------------------------

@@ -37,6 +37,13 @@
 
 namespace floc {
 
+// Degradation stance while soft state is being relearned after a reboot
+// (Section "Fault model" in docs/INTERNALS.md): fail-open favors legitimate
+// traffic continuity (token shortfalls fall back to the neutral
+// random-threshold policy), fail-closed favors attack confinement (strict
+// token drops even before paths are re-identified).
+enum class RecoveryPolicy { kFailOpen, kFailClosed };
+
 struct FlocConfig {
   BitsPerSec link_bandwidth = mbps(500);
   std::size_t buffer_packets = 1000;
@@ -73,6 +80,10 @@ struct FlocConfig {
   bool enable_capabilities = true;
   int n_max = 0;               // capability slots per source (0 = off)
   std::uint64_t secret = 0xF10CF10CF10CULL;
+
+  // Fault tolerance (driven by src/faultsim): relearn window after reboot().
+  RecoveryPolicy recovery_policy = RecoveryPolicy::kFailOpen;
+  int recovery_intervals = 2;  // control intervals of post-reboot grace
 
   // Scalable mode (Section V-B): MTD from the drop filter.
   bool use_scalable_filter = false;
@@ -117,6 +128,31 @@ class FlocQueue : public QueueDisc {
     return drop_counts_[static_cast<std::size_t>(r)];
   }
   std::uint64_t capability_violations() const { return cap_violations_; }
+
+  // --- Fault / churn surface (src/faultsim) ------------------------------
+  // Simulate a router reboot at `now`: all soft state — origin paths,
+  // aggregates, the aggregation plan, flow tables, RTT estimates, the
+  // scalable filter — is lost, and unless `preserve_queue` so are the
+  // buffered packets. The capability secret survives (it is provisioned
+  // configuration, not learned state). For the next `recovery_intervals`
+  // control intervals the queue degrades per `recovery_policy`.
+  void reboot(TimeSec now, bool preserve_queue = false);
+  std::uint64_t reboots() const { return reboots_; }
+  bool in_recovery(TimeSec now) const { return now < recovery_until_; }
+
+  // Rotate the capability secret at `now`. Capabilities issued under the
+  // old secret verify for one more control interval; within that window
+  // unverifiable data packets are re-stamped under the new secret instead
+  // of dropped (re-issue-on-miss), so established legitimate flows are not
+  // all cut off at once.
+  void rotate_secret(std::uint64_t new_secret, TimeSec now);
+  std::uint64_t cap_reissues() const { return cap_reissues_; }
+
+  std::uint64_t dequeues() const { return dequeues_; }
+
+  // SimMonitor invariants: byte accounting, token bounds, packet
+  // conservation, drop-ledger consistency.
+  bool audit(TimeSec now, std::string* why) const override;
 
   // Force a control-loop pass at `now` (tests).
   void run_control(TimeSec now) { control(now); }
@@ -175,6 +211,11 @@ class FlocQueue : public QueueDisc {
   int control_ticks_ = 0;
   std::uint64_t drop_counts_[6] = {};
   std::uint64_t cap_violations_ = 0;
+  std::uint64_t cap_reissues_ = 0;
+  std::uint64_t dequeues_ = 0;
+  std::uint64_t flushed_ = 0;  // packets lost to reboot queue wipes
+  std::uint64_t reboots_ = 0;
+  TimeSec recovery_until_ = -1.0;
 };
 
 }  // namespace floc

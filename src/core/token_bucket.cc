@@ -1,5 +1,6 @@
 #include "core/token_bucket.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace floc {
@@ -13,6 +14,12 @@ void PathTokenBucket::configure(const model::TokenBucketParams& params,
     // entering congestion is not instantly starved.
     tokens_bytes_ = cap_bytes(true);
     configured_ = true;
+  } else {
+    // Reconfiguration mid-period: tokens carried over from the previous
+    // parameters must not exceed the new bucket, or a path whose allocation
+    // was just cut keeps spending the old, larger budget until the next
+    // refill.
+    tokens_bytes_ = std::min(tokens_bytes_, cap_bytes(true));
   }
 }
 
@@ -43,6 +50,12 @@ bool PathTokenBucket::try_consume(double bytes, TimeSec now,
 
 double PathTokenBucket::tokens(TimeSec now, bool use_increased) {
   refill(now, use_increased);
+  return tokens_bytes_;
+}
+
+double PathTokenBucket::peek_tokens(TimeSec now, bool use_increased) const {
+  const auto period_idx = static_cast<std::int64_t>(now / params_.period);
+  if (period_idx != last_period_) return cap_bytes(use_increased);
   return tokens_bytes_;
 }
 

@@ -26,6 +26,12 @@ class PathTokenBucket {
   // Tokens currently available (after lazy refill with the given bucket).
   double tokens(TimeSec now, bool use_increased);
 
+  // As `tokens()` but without mutating refill state — for invariant audits.
+  double peek_tokens(TimeSec now, bool use_increased) const;
+
+  // Capacity of the selected bucket in token bytes.
+  double capacity_bytes(bool use_increased) const { return cap_bytes(use_increased); }
+
   const model::TokenBucketParams& params() const { return params_; }
   bool configured() const { return configured_; }
   std::uint64_t refills() const { return refills_; }

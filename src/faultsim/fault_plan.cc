@@ -1,0 +1,67 @@
+#include "faultsim/fault_plan.h"
+
+#include <cassert>
+#include <utility>
+
+namespace floc {
+
+void FaultPlan::plan(TimeSec at, std::string label, std::function<void()> fn) {
+  assert(!installed_ && "fault plan already installed");
+  events_.push_back(PlannedEvent{at, std::move(label)});
+  pending_.push_back(Pending{at, std::move(fn)});
+}
+
+void FaultPlan::add_link_flap(Link* link, TimeSec down_at, TimeSec up_at,
+                              Link::DownQueuePolicy policy) {
+  assert(down_at < up_at);
+  plan(down_at, "link-down", [link, policy] { link->set_up(false, policy); });
+  plan(up_at, "link-up", [link] { link->set_up(true); });
+}
+
+void FaultPlan::add_corruption_window(Link* link, TimeSec start, TimeSec end,
+                                      double per_packet_prob) {
+  assert(start < end);
+  plan(start, "corruption-on", [this, link, per_packet_prob] {
+    link->set_tamper([this, per_packet_prob](Packet& p) {
+      if (p.type != PacketType::kData) return;
+      if (!rng_.chance(per_packet_prob)) return;
+      // Flip one random bit across the 128 capability-word bits.
+      const std::uint64_t bit = rng_.uniform_int(128);
+      if (bit < 64) {
+        p.cap0 ^= (1ULL << bit);
+      } else {
+        p.cap1 ^= (1ULL << (bit - 64));
+      }
+      ++corrupted_;
+    });
+  });
+  plan(end, "corruption-off", [link] { link->set_tamper(nullptr); });
+}
+
+void FaultPlan::add_reboot(FlocQueue* q, TimeSec at, bool preserve_queue) {
+  plan(at, "router-reboot",
+       [q, at, preserve_queue] { q->reboot(at, preserve_queue); });
+}
+
+void FaultPlan::add_key_rotation(FlocQueue* q, TimeSec at,
+                                 std::uint64_t new_secret) {
+  plan(at, "key-rotation", [q, at, new_secret] {
+    q->rotate_secret(new_secret, at);
+  });
+}
+
+void FaultPlan::add_event(TimeSec at, std::function<void()> fn,
+                          std::string label) {
+  plan(at, std::move(label), std::move(fn));
+}
+
+void FaultPlan::install(Simulator* sim) {
+  assert(!installed_ && "fault plan already installed");
+  installed_ = true;
+  for (Pending& p : pending_) {
+    sim->schedule_at(p.time, std::move(p.fn));
+  }
+  pending_.clear();
+}
+
+}  // namespace floc

@@ -1,0 +1,77 @@
+// Fault-injection scheduler: a declarative plan of timed adversity —
+// link failures/recoveries, wire corruption of capability words, FLoc router
+// reboots and capability-key rotations — installed onto a Simulator before a
+// run. The defense's claims are only "dependable" if they survive churn
+// (cf. CoCo-Beholder's adversity-varied harnesses), so experiments and tests
+// describe the churn here instead of hand-rolling schedule_at calls.
+//
+// All injected randomness (corruption bit positions, per-packet coin flips)
+// draws from the plan's own seeded Rng, keeping faulty runs exactly
+// reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/floc_queue.h"
+#include "netsim/link.h"
+#include "netsim/simulator.h"
+#include "util/rng.h"
+
+namespace floc {
+
+class FaultPlan {
+ public:
+  explicit FaultPlan(std::uint64_t seed = 0xFA17ULL) : rng_(seed) {}
+
+  // Take `link` down at `down_at` and restore it at `up_at`.
+  void add_link_flap(Link* link, TimeSec down_at, TimeSec up_at,
+                     Link::DownQueuePolicy policy = Link::DownQueuePolicy::kPreserve);
+
+  // During [start, end), each data packet serialized onto `link` has its
+  // capability words bit-flipped with probability `per_packet_prob`
+  // (modeling in-flight corruption of the capability fields).
+  void add_corruption_window(Link* link, TimeSec start, TimeSec end,
+                             double per_packet_prob);
+
+  // Reboot the FLoc router (wipe its soft state) at `at`.
+  void add_reboot(FlocQueue* q, TimeSec at, bool preserve_queue = false);
+
+  // Rotate the router's capability secret at `at`.
+  void add_key_rotation(FlocQueue* q, TimeSec at, std::uint64_t new_secret);
+
+  // Arbitrary custom fault.
+  void add_event(TimeSec at, std::function<void()> fn,
+                 std::string label = "custom");
+
+  // Schedule every planned fault onto `sim`; call once, before the run.
+  void install(Simulator* sim);
+
+  struct PlannedEvent {
+    TimeSec time;
+    std::string label;
+  };
+  const std::vector<PlannedEvent>& events() const { return events_; }
+  std::size_t event_count() const { return events_.size(); }
+
+  // Packets whose capability words a corruption window actually flipped.
+  std::uint64_t corrupted_packets() const { return corrupted_; }
+
+ private:
+  void plan(TimeSec at, std::string label, std::function<void()> fn);
+
+  struct Pending {
+    TimeSec time;
+    std::function<void()> fn;
+  };
+
+  Rng rng_;
+  std::vector<PlannedEvent> events_;
+  std::vector<Pending> pending_;
+  std::uint64_t corrupted_ = 0;
+  bool installed_ = false;
+};
+
+}  // namespace floc

@@ -20,16 +20,33 @@ void Link::set_queue(std::unique_ptr<QueueDisc> q) {
 }
 
 void Link::send(Packet&& p) {
+  if (!up_) {
+    ++down_drops_;
+    return;
+  }
   if (queue_->enqueue(std::move(p), sim_->now())) {
     try_transmit();
   }
 }
 
+void Link::set_up(bool up, DownQueuePolicy policy) {
+  if (up == up_) return;
+  up_ = up;
+  if (!up_) {
+    if (policy == DownQueuePolicy::kDrain) {
+      while (queue_->dequeue(sim_->now())) ++down_drops_;
+    }
+    return;
+  }
+  try_transmit();
+}
+
 void Link::try_transmit() {
-  if (busy_) return;
+  if (busy_ || !up_) return;
   auto pkt = queue_->dequeue(sim_->now());
   if (!pkt) return;
   busy_ = true;
+  if (tamper_) tamper_(*pkt);
   const TimeSec tx = transmission_time(pkt->size_bytes, bandwidth_);
   bytes_sent_ += static_cast<std::uint64_t>(pkt->size_bytes);
   ++packets_sent_;

@@ -1,8 +1,14 @@
 // Unidirectional link: serialization at a fixed rate, propagation delay, and
 // an attached queue discipline at the egress port.
+//
+// Links carry fault state for the fault-injection subsystem (src/faultsim):
+// a downed link drops every offered packet; on recovery transmission resumes
+// from the (optionally preserved) egress queue. A tamper hook lets fault
+// plans corrupt packets on the wire.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 
 #include "netsim/queue_disc.h"
@@ -15,11 +21,33 @@ class Node;
 
 class Link {
  public:
+  // What happens to packets already buffered when the link goes down.
+  enum class DownQueuePolicy {
+    kPreserve,  // line card loses power, buffer memory survives
+    kDrain,     // buffer is lost with the link
+  };
+
   Link(Simulator* sim, Node* to, BitsPerSec bandwidth, TimeSec delay,
        std::unique_ptr<QueueDisc> queue);
 
   // Offer a packet to the egress queue and start transmitting if idle.
+  // Offered packets are dropped outright while the link is down.
   void send(Packet&& p);
+
+  // Bring the link down or back up. A packet mid-serialization when the link
+  // fails is already on the wire and still delivers; nothing new starts
+  // until recovery, which immediately resumes transmission from the queue.
+  void set_up(bool up, DownQueuePolicy policy = DownQueuePolicy::kPreserve);
+  bool up() const { return up_; }
+  // Packets dropped because they were offered to (or drained from) a downed
+  // link.
+  std::uint64_t down_drops() const { return down_drops_; }
+
+  // Wire-level tamper hook (fault injection): invoked on each packet as it
+  // begins serialization, after queueing/admission decisions were made.
+  void set_tamper(std::function<void(Packet&)> tamper) {
+    tamper_ = std::move(tamper);
+  }
 
   QueueDisc& queue() { return *queue_; }
   const QueueDisc& queue() const { return *queue_; }
@@ -45,9 +73,12 @@ class Link {
   BitsPerSec bandwidth_;
   TimeSec delay_;
   std::unique_ptr<QueueDisc> queue_;
+  std::function<void(Packet&)> tamper_;
   bool busy_ = false;
+  bool up_ = true;
   std::uint64_t bytes_sent_ = 0;
   std::uint64_t packets_sent_ = 0;
+  std::uint64_t down_drops_ = 0;
 };
 
 }  // namespace floc

@@ -9,6 +9,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <string>
 
 #include "netsim/packet.h"
 #include "util/units.h"
@@ -43,6 +44,15 @@ class QueueDisc {
   virtual bool empty() const = 0;
   virtual std::size_t packet_count() const = 0;
   virtual std::size_t byte_count() const = 0;
+
+  // Self-check of internal invariants (byte accounting, token bounds, ...)
+  // for the SimMonitor (src/faultsim). Returns false and fills `why` on a
+  // violation; the default has nothing to check.
+  virtual bool audit(TimeSec now, std::string* why) const {
+    (void)now;
+    (void)why;
+    return true;
+  }
 
   void set_drop_handler(DropHandler h) { drop_handler_ = std::move(h); }
 

@@ -19,7 +19,9 @@ class Simulator {
 
   TimeSec now() const { return now_; }
 
-  // Schedule `cb` at absolute time `t` (>= now).
+  // Schedule `cb` at absolute time `t`. A `t` in the past (possible when a
+  // callback computes a fire time from stale state) is clamped to `now` and
+  // counted in `late_events()` instead of silently reordering time.
   void schedule_at(TimeSec t, Callback cb);
 
   // Schedule `cb` after a delay of `dt` seconds.
@@ -32,6 +34,8 @@ class Simulator {
   void run();
 
   std::uint64_t events_processed() const { return processed_; }
+  // Events whose requested time was already in the past (clamped to now).
+  std::uint64_t late_events() const { return late_; }
   bool empty() const { return queue_.empty(); }
 
  private:
@@ -50,6 +54,7 @@ class Simulator {
   TimeSec now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;
+  std::uint64_t late_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
 };
 

@@ -51,8 +51,14 @@ void CbrSource::on_packet(Packet&& p) {
     cap1_ = p.cap1;
     running_ = true;
     tick();
+  } else if (p.type == PacketType::kAck && p.cap0 != 0) {
+    // Rate-unresponsive, but capability-aware: adopt re-stamped words echoed
+    // after a key rotation (a real bot would, too — capabilities identify
+    // rather than exclude attack flows).
+    cap0_ = p.cap0;
+    cap1_ = p.cap1;
   }
-  // Data ACKs are ignored: the source is unresponsive by design.
+  // Data ACKs otherwise ignored: the source is unresponsive by design.
 }
 
 bool CbrSource::gate_open(TimeSec) const { return true; }

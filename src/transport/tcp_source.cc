@@ -49,7 +49,16 @@ void TcpSource::on_packet(Packet&& p) {
       }
       break;
     case PacketType::kAck:
-      if (state_ == State::kEstablished) handle_ack(p);
+      if (state_ == State::kEstablished) {
+        // Adopt the capability echoed by the receiver: after a router key
+        // rotation the re-issued (re-stamped) words come back in ACKs, and
+        // switching to them keeps the flow verifiable past the grace window.
+        if (p.cap0 != 0 && (p.cap0 != cap0_ || p.cap1 != cap1_)) {
+          cap0_ = p.cap0;
+          cap1_ = p.cap1;
+        }
+        handle_ack(p);
+      }
       break;
     default:
       break;

@@ -2,6 +2,7 @@
 // checking the paper's qualitative claims hold in the packet-level simulator.
 #include <gtest/gtest.h>
 
+#include "faultsim/sim_monitor.h"
 #include "topology/tree_scenario.h"
 
 namespace floc {
@@ -34,8 +35,15 @@ TEST(Integration, FlocConfinesCbrAttack) {
   cfg.scheme = DefenseScheme::kFloc;
   cfg.attack = AttackType::kCbr;
   TreeScenario s(cfg);
+  // The bottleneck queue's invariants (byte accounting, token bounds,
+  // packet conservation) must hold throughout the attack.
+  SimMonitor mon;
+  mon.watch_queue("floc-bottleneck", s.floc_queue());
+  mon.attach(&s.sim(), 0.5, cfg.duration);
   s.run();
   const auto cb = s.class_bandwidth();
+  EXPECT_GT(mon.checks_run(), 0u);
+  EXPECT_TRUE(mon.violations().empty());
 
   // 7 of 9 paths are legitimate: with per-path guarantees legit-path flows
   // should hold the majority of the link.
@@ -136,11 +144,15 @@ TEST(Integration, CapabilitiesIssuedOnRealTraffic) {
   cfg.measure_start = 2.0;
   cfg.measure_end = 10.0;
   TreeScenario s(cfg);
+  SimMonitor mon;
+  mon.watch_queue("floc-bottleneck", s.floc_queue());
+  mon.attach(&s.sim(), 0.5, cfg.duration);
   s.run();
   // No forged capabilities exist in a clean run.
   EXPECT_EQ(s.floc_queue()->capability_violations(), 0u);
   // Paths and flows were observed by the queue.
   EXPECT_GT(s.floc_queue()->active_origin_path_count(), 0);
+  EXPECT_TRUE(mon.violations().empty());
 }
 
 }  // namespace

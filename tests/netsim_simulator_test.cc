@@ -58,6 +58,30 @@ TEST(Simulator, RunUntilAdvancesClockWhenIdle) {
   EXPECT_EQ(sim.events_processed(), 0u);
 }
 
+TEST(Simulator, PastEventsClampToNowAndAreCounted) {
+  Simulator sim;
+  std::vector<double> fired_at;
+  sim.schedule_at(5.0, [&] {
+    // A fault handler computing an absolute time from stale state may land
+    // in the past; it must run "immediately" instead of corrupting order.
+    sim.schedule_at(1.0, [&] { fired_at.push_back(sim.now()); });
+    sim.schedule_at(6.0, [&] { fired_at.push_back(sim.now()); });
+  });
+  sim.run();
+  ASSERT_EQ(fired_at.size(), 2u);
+  EXPECT_DOUBLE_EQ(fired_at[0], 5.0);
+  EXPECT_DOUBLE_EQ(fired_at[1], 6.0);
+  EXPECT_EQ(sim.late_events(), 1u);
+}
+
+TEST(Simulator, OnTimeEventsAreNotLate) {
+  Simulator sim;
+  sim.schedule_at(1.0, [] {});
+  sim.schedule_at(2.0, [] {});
+  sim.run();
+  EXPECT_EQ(sim.late_events(), 0u);
+}
+
 TEST(Simulator, EventsCanCascade) {
   Simulator sim;
   int depth = 0;
