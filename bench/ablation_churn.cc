@@ -10,12 +10,21 @@
 // level) after each fault. Baselines carry no router soft state in this
 // simulator, so reboot/rotation are no-ops for them (their rows double as
 // the fault-free reference); the link flap hits every scheme equally.
+//
+// Every FLoc case additionally samples the full metric registry once per
+// control interval and writes the series (FlocQueue mode, per-DropReason
+// drops, legitimate goodput, link/simulator gauges) to
+// ablation_churn_<fault>.csv in the working directory; the defense-event
+// journal (mode transitions, latch/release, fault activations, invariant
+// violations) feeds the relatch/interference columns.
 #include <memory>
 #include <vector>
 
 #include "bench/bench_common.h"
 #include "faultsim/fault_plan.h"
 #include "faultsim/sim_monitor.h"
+#include "telemetry/telemetry.h"
+#include "telemetry/time_series.h"
 
 using namespace floc;
 using namespace floc::bench;
@@ -70,6 +79,7 @@ struct CaseResult {
   int relatch_intervals = -1;                   // reboot only, -1 = n/a
   std::uint64_t reissues = 0;
   std::uint64_t violations = 0;
+  std::uint64_t mode_transitions = 0;
 };
 
 CaseResult run_case(DefenseScheme scheme, FaultKind fault, const BenchArgs& a) {
@@ -86,6 +96,23 @@ CaseResult run_case(DefenseScheme scheme, FaultKind fault, const BenchArgs& a) {
   FlocQueue* fq = s.floc_queue();
   Simulator& sim = s.sim();
 
+  // Telemetry: every counter of interest is a registry gauge, sampled once
+  // per control interval; defense events land in the journal. kDrop events
+  // are counted but not stored (a flood records millions of them).
+  telemetry::Telemetry tel;
+  tel.journal.set_enabled(telemetry::EventKind::kDrop, false);
+  if (fq != nullptr) fq->attach_telemetry(&tel);
+  s.target_link()->register_metrics(tel.registry, "link.target");
+  sim.register_metrics(tel.registry);
+  tel.registry.gauge_fn("legit.bytes_delivered", [&s] {
+    return s.monitor().class_cumulative_bytes([](const FlowLabel& l) {
+      return l.cls == FlowClass::kLegitimate;
+    });
+  });
+  telemetry::TimeSeriesSampler sampler(&tel.registry,
+                                       cfg.floc.control_interval);
+  sampler.attach(&sim, cfg.duration);
+
   // Goodput windows as monitor snapshots.
   for (int i = 0; i <= 3; ++i) {
     const TimeSec t = kFaultTime + (i - 1) * kWindow;
@@ -95,6 +122,7 @@ CaseResult run_case(DefenseScheme scheme, FaultKind fault, const BenchArgs& a) {
   }
 
   FaultPlan plan(cfg.seed ^ 0xFA17);
+  plan.set_journal(&tel.journal);
   switch (fault) {
     case FaultKind::kReboot:
       if (fq != nullptr) plan.add_reboot(fq, kFaultTime);
@@ -111,6 +139,7 @@ CaseResult run_case(DefenseScheme scheme, FaultKind fault, const BenchArgs& a) {
 
   // Invariant monitoring across the faulty run.
   SimMonitor mon;
+  mon.set_journal(&tel.journal);
   if (fq != nullptr) mon.watch_queue("floc-bottleneck", fq);
   mon.attach(&sim, 0.5, cfg.duration);
 
@@ -143,6 +172,17 @@ CaseResult run_case(DefenseScheme scheme, FaultKind fault, const BenchArgs& a) {
   }
   if (fq != nullptr) r.reissues = fq->cap_reissues();
   r.violations = mon.violations().size();
+  r.mode_transitions = tel.journal.count(telemetry::EventKind::kModeTransition);
+
+  // Per-interval time series for the FLoc cases: mode, per-reason drops,
+  // legitimate goodput, link/sim gauges.
+  if (fq != nullptr) {
+    sampler.add_rate_column("legit.bytes_delivered");
+    char name[64];
+    std::snprintf(name, sizeof(name), "ablation_churn_%s.csv",
+                  to_string(fault));
+    sampler.write_csv(name);
+  }
   return r;
 }
 
@@ -155,9 +195,9 @@ int main(int argc, char** argv) {
          "its pre-fault level a bounded number of control intervals after "
          "each fault; attack paths re-latch after a state-losing reboot",
          a);
-  std::printf("%-10s %-13s %8s %8s %8s %10s %9s %9s  %s\n", "scheme", "fault",
-              "pre", "during", "after", "after/pre", "relatch", "reissues",
-              "invariant-violations");
+  std::printf("%-10s %-13s %8s %8s %8s %10s %9s %9s %10s  %s\n", "scheme",
+              "fault", "pre", "during", "after", "after/pre", "relatch",
+              "reissues", "mode-trans", "invariant-violations");
   std::uint64_t total_violations = 0;
   bool floc_reconverged = true;
   for (DefenseScheme scheme :
@@ -173,11 +213,12 @@ int main(int argc, char** argv) {
         std::snprintf(relatch, sizeof relatch, "-");
       }
       const double ratio = r.pre > 0.0 ? r.after / r.pre : 0.0;
-      std::printf("%-10s %-13s %8.3f %8.3f %8.3f %10.3f %9s %9llu  %llu\n",
-                  floc::to_string(scheme), to_string(fault), r.pre, r.during,
-                  r.after, ratio, relatch,
-                  static_cast<unsigned long long>(r.reissues),
-                  static_cast<unsigned long long>(r.violations));
+      std::printf(
+          "%-10s %-13s %8.3f %8.3f %8.3f %10.3f %9s %9llu %10llu  %llu\n",
+          floc::to_string(scheme), to_string(fault), r.pre, r.during, r.after,
+          ratio, relatch, static_cast<unsigned long long>(r.reissues),
+          static_cast<unsigned long long>(r.mode_transitions),
+          static_cast<unsigned long long>(r.violations));
       total_violations += r.violations;
       if (scheme == DefenseScheme::kFloc && ratio < 0.8)
         floc_reconverged = false;

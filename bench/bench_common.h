@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "topology/tree_scenario.h"
+#include "util/stats.h"
 
 namespace floc::bench {
 
@@ -70,11 +71,19 @@ inline void header(const std::string& title, const std::string& paper_claim,
               a.paper ? " [PAPER SCALE]" : "");
 }
 
+// Number formatting shared with util/stats' format_row so every bench table
+// renders values identically.
 inline void row(const char* label, const std::vector<double>& values,
                 const char* unit = "") {
-  std::printf("%-26s", label);
-  for (double v : values) std::printf(" %9.3f", v);
-  std::printf(" %s\n", unit);
+  char padded[32];
+  std::snprintf(padded, sizeof(padded), "%-26s", label);
+  std::printf("%s %s\n", format_row(padded, values, 9).c_str(), unit);
+}
+
+// Mean/stddev columns of per-sample stats; benches that tabulate multiple
+// RunningStats accumulations share this instead of hand-rolled sums.
+inline std::vector<double> mean_stddev(const RunningStats& s) {
+  return {s.mean(), s.stddev()};
 }
 
 }  // namespace floc::bench

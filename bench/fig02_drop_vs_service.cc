@@ -73,15 +73,15 @@ Result run_flows(int n, BitsPerSec bw, const BenchArgs& a) {
   out.drop_pps =
       static_cast<double>(bottleneck.ab->queue().drops() - drops_at_warm) / window;
   out.drop_ratio = out.drop_pps / std::max(1.0, out.service_pps + out.drop_pps);
-  double wsum = 0.0, rtt_sum = 0.0;
+  RunningStats cwnd_stats, rtt_stats;
   for (const auto& s : sources) {
-    wsum += s->cwnd();
-    rtt_sum += s->srtt();
+    cwnd_stats.add(s->cwnd());
+    rtt_stats.add(s->srtt());
   }
-  out.mean_window = wsum / n;
+  out.mean_window = cwnd_stats.mean();
   // Scalable-design inversion: flows from (C, RTT, drop rate), using the
   // routers' own RTT estimate (here: the sources' measured srtt mean).
-  const double rtt = rtt_sum / n;
+  const double rtt = rtt_stats.mean();
   out.est_flows = model::estimate_flow_count(bw, rtt, out.drop_pps, 1500);
   return out;
 }

@@ -7,49 +7,52 @@
 //      *more* than in (a): attack paths are pinned by fixed buckets;
 //  (c) Shrew attack - handled at least as well as CBR, higher variance.
 //
-// Besides the summary table, each case writes the full per-path bandwidth
-// time series (the form of the paper's plots) to fig06_<attack>.csv in the
-// working directory: columns time_s, path, type, mbps.
+// Besides the summary table, each case samples per-path cumulative delivered
+// bytes from the metric registry once per second and writes the series (the
+// form of the paper's plots) to fig06_<attack>.csv in the working directory:
+// one wide row per sample with "path.L<i>.bytes" columns plus their
+// ".rate" (bytes/s) derivatives.
 #include <cstdio>
 
 #include "bench/bench_common.h"
+#include "telemetry/metrics.h"
+#include "telemetry/time_series.h"
 
 using namespace floc;
 using namespace floc::bench;
 
 namespace {
 
-void write_series_csv(TreeScenario& s, AttackType attack) {
-  char name[64];
-  std::snprintf(name, sizeof(name), "fig06_%s.csv", to_string(attack));
-  std::FILE* f = std::fopen(name, "w");
-  if (f == nullptr) return;
-  std::fprintf(f, "time_s,path,type,mbps\n");
-  for (int leaf = 0; leaf < s.leaf_count(); ++leaf) {
-    const std::string pname = "L" + std::to_string(leaf);
-    const auto series = s.monitor().path_series_bps(pname);
-    for (std::size_t i = 0; i < series.size(); ++i) {
-      std::fprintf(f, "%zu,%s,%s,%.4f\n", i, pname.c_str(),
-                   s.leaf_is_attack(leaf) ? "attack" : "legit",
-                   series[i] / 1e6);
-    }
-  }
-  std::fclose(f);
-}
-
 void run_case(AttackType attack, const BenchArgs& a) {
   TreeScenarioConfig cfg = fig5_config(a);
   cfg.scheme = DefenseScheme::kFloc;
   cfg.attack = attack;
   cfg.attack_rate = mbps(2.0);
-  cfg.record_path_series = true;
   if (attack == AttackType::kShrew) {
     cfg.shrew_period = 0.05;
     cfg.shrew_duty = 0.25;
   }
   TreeScenario s(cfg);
+
+  telemetry::MetricRegistry reg;
+  for (int leaf = 0; leaf < s.leaf_count(); ++leaf) {
+    const std::string pname = "L" + std::to_string(leaf);
+    reg.gauge_fn("path." + pname + ".bytes", [&s, pname] {
+      return s.monitor().class_cumulative_bytes(
+          [&pname](const FlowLabel& l) { return l.path_name == pname; });
+    });
+  }
+  telemetry::TimeSeriesSampler sampler(&reg, cfg.path_series_bucket);
+  sampler.attach(&s.sim(), cfg.duration);
+
   s.run();
-  write_series_csv(s, attack);
+
+  for (int leaf = 0; leaf < s.leaf_count(); ++leaf) {
+    sampler.add_rate_column("path.L" + std::to_string(leaf) + ".bytes");
+  }
+  char name[64];
+  std::snprintf(name, sizeof(name), "fig06_%s.csv", to_string(attack));
+  sampler.write_csv(name);
 
   const double fair_path = s.scaled_target_bw() / s.leaf_count();
   const auto per_path = s.per_path_bps();

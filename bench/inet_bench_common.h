@@ -12,6 +12,9 @@ inline void run_inet_figure(const char* title, const char* claim,
   BenchArgs args = a;
   header(title, claim, args);
   const double scale = a.paper ? 1.0 : 0.05;
+  // Cross-topology spread of the FLoc rows, accumulated with the shared
+  // RunningStats instead of per-figure sum variables.
+  RunningStats floc_legit, floc_util;
   for (SkitterPreset preset :
        {SkitterPreset::kFRoot, SkitterPreset::kHRoot, SkitterPreset::kJpn}) {
     InetExperimentConfig cfg;
@@ -31,8 +34,19 @@ inline void run_inet_figure(const char* title, const char* claim,
                   100.0 * row.results.attack_frac,
                   100.0 * row.results.utilization,
                   row.results.aggregate_count);
+      // FLoc rows are NA (no guarantee) and A-<n> (n guaranteed paths).
+      if (row.label == "NA" || row.label.rfind("A-", 0) == 0) {
+        floc_legit.add(100.0 * row.results.legit_legit_frac);
+        floc_util.add(100.0 * row.results.utilization);
+      }
     }
     std::printf("\n");
+  }
+  if (floc_legit.count() > 0) {
+    std::printf("floc rows (NA, A-*) across topologies: legit(legitAS) "
+                "%.1f%% +/- %.1f, util %.1f%% +/- %.1f\n\n",
+                floc_legit.mean(), floc_legit.stddev(), floc_util.mean(),
+                floc_util.stddev());
   }
 }
 

@@ -88,11 +88,17 @@ void BM_DropFilterQuery(benchmark::State& state) {
 }
 BENCHMARK(BM_DropFilterQuery);
 
-void BM_FlocEnqueueDequeue(benchmark::State& state) {
+void run_floc_enqueue_dequeue(benchmark::State& state,
+                              telemetry::Telemetry* tel) {
   FlocConfig cfg;
   cfg.link_bandwidth = gbps(10);
   cfg.buffer_packets = 4096;
   FlocQueue q(cfg);
+  if (tel != nullptr) {
+    // Counters stay registry-polled; only journal events touch the hot path.
+    tel->journal.set_enabled(telemetry::EventKind::kDrop, false);
+    q.attach_telemetry(tel);
+  }
   const int paths = static_cast<int>(state.range(0));
   std::vector<PathId> ids;
   for (int i = 0; i < paths; ++i)
@@ -111,7 +117,19 @@ void BM_FlocEnqueueDequeue(benchmark::State& state) {
     t += 1.2e-6;  // ~10 Gbps of full-size packets
   }
 }
+
+void BM_FlocEnqueueDequeue(benchmark::State& state) {
+  run_floc_enqueue_dequeue(state, nullptr);
+}
 BENCHMARK(BM_FlocEnqueueDequeue)->Arg(8)->Arg(64)->Arg(512);
+
+// Same data path with telemetry attached: the delta over the run above is
+// the true per-packet cost of the pointer-null guard plus event journaling.
+void BM_FlocEnqueueDequeueTelemetry(benchmark::State& state) {
+  telemetry::Telemetry tel;
+  run_floc_enqueue_dequeue(state, &tel);
+}
+BENCHMARK(BM_FlocEnqueueDequeueTelemetry)->Arg(8)->Arg(64)->Arg(512);
 
 void BM_AggregationPlan(benchmark::State& state) {
   const int paths = static_cast<int>(state.range(0));

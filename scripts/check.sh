@@ -2,31 +2,79 @@
 # Local pre-PR gate: tier-1 tests, the ASan+UBSan suite, and a churn smoke
 # run of the fault-injection ablation. Any failure aborts with nonzero exit.
 #
-#   scripts/check.sh            # everything
-#   scripts/check.sh --fast     # tier-1 only (skip sanitizers + churn smoke)
+#   scripts/check.sh                 # everything
+#   scripts/check.sh --fast          # tier-1 only (skip sanitizers + smoke)
+#   scripts/check.sh --preset NAME   # one CMakePresets preset: configure,
+#                                    # build, ctest, churn smoke (CI entry)
+#
+# Benches write their CSV/JSON time-series into the directory they run from;
+# every mode ends by scanning the source tree for stray generated artifacts,
+# including ones .gitignore would hide.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || echo 4)"
-FAST=0
-[[ "${1:-}" == "--fast" ]] && FAST=1
+
+# Compiler cache when available (the CI matrix restores it between runs).
+LAUNCHER=()
+if command -v ccache > /dev/null 2>&1; then
+  LAUNCHER=(-DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
+fi
+
+check_no_stray_artifacts() {
+  echo "== artifact scan: no generated CSV/JSON in the source tree =="
+  # `git ls-files -o` WITHOUT --exclude-standard also lists gitignored
+  # files, so artifacts .gitignore hides (fig*.csv, ablation*.csv) are
+  # still caught. Build trees and editor/tooling caches are exempt.
+  local stray
+  stray="$(git ls-files -o \
+    | grep -vE '^(build[^/]*|\.cache|\.ccache|\.vscode|\.idea)/' \
+    | grep -vE '^compile_commands\.json$' \
+    | grep -E '\.(csv|json)$' || true)"
+  if [[ -n "$stray" ]]; then
+    echo "error: generated artifacts left in the source tree:" >&2
+    echo "$stray" >&2
+    echo "hint: run benches from inside the build directory" >&2
+    exit 1
+  fi
+}
+
+churn_smoke() {
+  local bindir="$1"
+  echo "== churn smoke: fault-injection ablation, short horizon =="
+  # Run from the build tree so the time-series CSVs land there.
+  (cd "$bindir" && ./bench/ablation_churn --quick)
+}
+
+if [[ "${1:-}" == "--preset" ]]; then
+  PRESET="${2:?usage: scripts/check.sh --preset <name>}"
+  echo "== preset $PRESET: configure + build + ctest =="
+  cmake --preset "$PRESET" "${LAUNCHER[@]}" > /dev/null
+  cmake --build --preset "$PRESET" -j "$JOBS" > /dev/null
+  ctest --preset "$PRESET" -j "$JOBS"
+  churn_smoke "build-$PRESET"
+  check_no_stray_artifacts
+  echo "== preset $PRESET passed =="
+  exit 0
+fi
 
 echo "== tier-1: release build + full ctest =="
-cmake -B build -S . > /dev/null
+cmake -B build -S . "${LAUNCHER[@]}" > /dev/null
 cmake --build build -j "$JOBS" > /dev/null
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-if [[ "$FAST" == "1" ]]; then
+if [[ "${1:-}" == "--fast" ]]; then
   echo "== fast mode: skipping sanitize + churn smoke =="
+  check_no_stray_artifacts
   exit 0
 fi
 
 echo "== sanitize: ASan+UBSan suite (ctest preset) =="
-cmake --preset sanitize > /dev/null
+cmake --preset sanitize "${LAUNCHER[@]}" > /dev/null
 cmake --build --preset sanitize -j "$JOBS" > /dev/null
 ctest --preset sanitize -j "$JOBS"
 
-echo "== churn smoke: fault-injection ablation, short horizon =="
-./build/bench/ablation_churn --quick
+churn_smoke build
+check_no_stray_artifacts
 
 echo "== all checks passed =="

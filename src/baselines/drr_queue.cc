@@ -1,5 +1,7 @@
 #include "baselines/drr_queue.h"
 
+#include "telemetry/metrics.h"
+
 namespace floc {
 
 bool DrrQueue::enqueue(Packet&& p, TimeSec now) {
@@ -58,6 +60,13 @@ std::optional<Packet> DrrQueue::dequeue(TimeSec) {
     return p;
   }
   return std::nullopt;
+}
+
+void DrrQueue::register_metrics(telemetry::MetricRegistry& reg,
+                                const std::string& prefix) const {
+  QueueDisc::register_metrics(reg, prefix);
+  reg.gauge_fn(prefix + ".active_flows",
+               [this] { return static_cast<double>(active_flows()); });
 }
 
 }  // namespace floc

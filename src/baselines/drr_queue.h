@@ -35,6 +35,10 @@ class DrrQueue : public QueueDisc {
 
   std::size_t active_flows() const { return flows_.size(); }
 
+  // Generic queue gauges plus "<prefix>.active_flows".
+  void register_metrics(telemetry::MetricRegistry& reg,
+                        const std::string& prefix) const override;
+
  private:
   struct FlowQueue {
     std::deque<Packet> q;

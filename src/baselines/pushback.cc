@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "telemetry/metrics.h"
+
 namespace floc {
 
 PushbackQueue::PushbackQueue(PushbackConfig cfg)
@@ -164,6 +166,16 @@ std::optional<Packet> PushbackQueue::dequeue(TimeSec) {
   q_.pop_front();
   bytes_ -= static_cast<std::size_t>(p.size_bytes);
   return p;
+}
+
+void PushbackQueue::register_metrics(telemetry::MetricRegistry& reg,
+                                     const std::string& prefix) const {
+  QueueDisc::register_metrics(reg, prefix);
+  reg.gauge_fn(prefix + ".limited_aggregates", [this] {
+    return static_cast<double>(limited_aggregate_count());
+  });
+  reg.gauge_fn(prefix + ".throttling",
+               [this] { return throttling_active() ? 1.0 : 0.0; });
 }
 
 }  // namespace floc

@@ -66,6 +66,11 @@ class PushbackQueue : public QueueDisc {
   std::size_t limited_aggregate_count() const { return limits_.size(); }
   double limit_for(const PathId& path) const;
 
+  // Generic queue gauges plus "<prefix>.limited_aggregates" and
+  // "<prefix>.throttling" (0/1).
+  void register_metrics(telemetry::MetricRegistry& reg,
+                        const std::string& prefix) const override;
+
  private:
   std::uint64_t aggregate_key(const PathId& path) const;
   void acc_update(TimeSec now);

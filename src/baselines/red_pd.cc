@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <bit>
 
+#include "telemetry/metrics.h"
+
 namespace floc {
 
 RedPdQueue::RedPdQueue(RedPdConfig cfg)
@@ -100,6 +102,14 @@ std::optional<Packet> RedPdQueue::dequeue(TimeSec now) {
   bytes_ -= static_cast<std::size_t>(p.size_bytes);
   if (q_.empty()) red_.on_queue_empty(now);
   return p;
+}
+
+void RedPdQueue::register_metrics(telemetry::MetricRegistry& reg,
+                                  const std::string& prefix) const {
+  QueueDisc::register_metrics(reg, prefix);
+  reg.gauge_fn(prefix + ".avg", [this] { return red_.avg(); });
+  reg.gauge_fn(prefix + ".monitored_flows",
+               [this] { return static_cast<double>(monitored_count()); });
 }
 
 }  // namespace floc

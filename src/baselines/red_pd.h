@@ -49,6 +49,10 @@ class RedPdQueue : public QueueDisc {
   double monitored_prob(FlowId f) const;
   std::size_t monitored_count() const { return monitored_.size(); }
 
+  // Generic queue gauges plus "<prefix>.avg" and "<prefix>.monitored_flows".
+  void register_metrics(telemetry::MetricRegistry& reg,
+                        const std::string& prefix) const override;
+
  private:
   void rotate_epoch(TimeSec now);
 

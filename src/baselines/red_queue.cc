@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "telemetry/metrics.h"
+
 namespace floc {
 
 bool RedCore::should_drop(std::size_t q_len, TimeSec now) {
@@ -61,6 +63,12 @@ std::optional<Packet> RedQueue::dequeue(TimeSec now) {
   bytes_ -= static_cast<std::size_t>(p.size_bytes);
   if (q_.empty()) core_.on_queue_empty(now);
   return p;
+}
+
+void RedQueue::register_metrics(telemetry::MetricRegistry& reg,
+                                const std::string& prefix) const {
+  QueueDisc::register_metrics(reg, prefix);
+  reg.gauge_fn(prefix + ".avg", [this] { return avg_queue(); });
 }
 
 }  // namespace floc

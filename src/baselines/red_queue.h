@@ -59,6 +59,10 @@ class RedQueue : public QueueDisc {
 
   double avg_queue() const { return core_.avg(); }
 
+  // Generic queue gauges plus "<prefix>.avg" (the RED EWMA queue estimate).
+  void register_metrics(telemetry::MetricRegistry& reg,
+                        const std::string& prefix) const override;
+
  private:
   RedConfig cfg_;
   RedCore core_;

@@ -29,6 +29,81 @@ FlocQueue::Mode FlocQueue::mode() const {
   return Mode::kUncongested;
 }
 
+const char* FlocQueue::mode_name(Mode m) {
+  switch (m) {
+    case Mode::kUncongested: return "uncongested";
+    case Mode::kCongested: return "congested";
+    case Mode::kFlooding: return "flooding";
+  }
+  return "?";
+}
+
+void FlocQueue::attach_telemetry(telemetry::Telemetry* t,
+                                 const std::string& prefix) {
+  journal_ = t != nullptr ? &t->journal : nullptr;
+  if (t == nullptr) return;
+  last_mode_ = mode();
+
+  telemetry::MetricRegistry& reg = t->registry;
+  reg.gauge_fn(prefix + ".mode", [this] {
+    return static_cast<double>(static_cast<int>(mode()));
+  });
+  reg.gauge_fn(prefix + ".queue.packets",
+               [this] { return static_cast<double>(q_.size()); });
+  reg.gauge_fn(prefix + ".queue.bytes",
+               [this] { return static_cast<double>(q_bytes_); });
+  reg.gauge_fn(prefix + ".queue.q_min",
+               [this] { return static_cast<double>(q_min_); });
+  reg.gauge_fn(prefix + ".queue.q_max",
+               [this] { return static_cast<double>(q_max_); });
+  reg.gauge_fn(prefix + ".admissions",
+               [this] { return static_cast<double>(admissions()); });
+  reg.gauge_fn(prefix + ".dequeues",
+               [this] { return static_cast<double>(dequeues_); });
+  reg.gauge_fn(prefix + ".drops.total",
+               [this] { return static_cast<double>(drops()); });
+  for (std::size_t i = 0; i < kDropReasonCount; ++i) {
+    const DropReason r = static_cast<DropReason>(i);
+    reg.gauge_fn(prefix + ".drops." + to_string(r), [this, r] {
+      return static_cast<double>(drops_by_reason(r));
+    });
+  }
+  reg.gauge_fn(prefix + ".cap.violations",
+               [this] { return static_cast<double>(cap_violations_); });
+  reg.gauge_fn(prefix + ".cap.reissues",
+               [this] { return static_cast<double>(cap_reissues_); });
+  reg.gauge_fn(prefix + ".reboots",
+               [this] { return static_cast<double>(reboots_); });
+  reg.gauge_fn(prefix + ".paths.origins",
+               [this] { return static_cast<double>(origins_.size()); });
+  reg.gauge_fn(prefix + ".paths.aggregates",
+               [this] { return static_cast<double>(aggregates_.size()); });
+  reg.gauge_fn(prefix + ".paths.attack", [this] {
+    double n = 0.0;
+    for (const auto& [k, agg] : aggregates_) n += agg.attack ? 1.0 : 0.0;
+    return n;
+  });
+}
+
+void FlocQueue::journal_mode(TimeSec now) {
+  const Mode m = mode();
+  if (m == last_mode_) return;
+  char detail[96];
+  std::snprintf(detail, sizeof(detail), "%s->%s q=%zu q_min=%zu q_max=%zu",
+                mode_name(last_mode_), mode_name(m), q_.size(), q_min_,
+                q_max_);
+  journal_->record(now, telemetry::EventKind::kModeTransition, "floc", detail,
+                   static_cast<std::uint64_t>(static_cast<int>(m)),
+                   static_cast<double>(q_.size()));
+  last_mode_ = m;
+}
+
+void FlocQueue::journal_drop(const Packet& p, DropReason r, TimeSec now) {
+  journal_->record(now, telemetry::EventKind::kDrop, "floc", std::string(),
+                   static_cast<std::uint64_t>(r),
+                   static_cast<double>(p.size_bytes));
+}
+
 OriginPathState& FlocQueue::origin_state(const PathId& path) {
   const std::uint64_t key = path.key();
   auto it = origins_.find(key);
@@ -88,6 +163,7 @@ TimeSec FlocQueue::measured_flow_mtd(const OriginPathState&, std::uint64_t key,
 
 void FlocQueue::on_drop(const Packet& p, DropReason r, OriginPathState& op,
                         Aggregate& agg, FlowRecord* fr, TimeSec now) {
+  if (journal_ != nullptr) journal_drop(p, r, now);
   drop_counts_[static_cast<std::size_t>(r)]++;
   op.drops++;
   if (fr != nullptr) {
@@ -103,6 +179,14 @@ void FlocQueue::on_drop(const Packet& p, DropReason r, OriginPathState& op,
 }
 
 bool FlocQueue::enqueue(Packet&& p, TimeSec now) {
+  const bool admitted = enqueue_impl(std::move(p), now);
+  // Telemetry off: one pointer test. On: detect mode transitions caused by
+  // this arrival (queue growth or a control-tick q_max change).
+  if (journal_ != nullptr) journal_mode(now);
+  return admitted;
+}
+
+bool FlocQueue::enqueue_impl(Packet&& p, TimeSec now) {
   if (now >= next_control_) control(now);
 
   switch (p.type) {
@@ -117,6 +201,7 @@ bool FlocQueue::enqueue(Packet&& p, TimeSec now) {
         p.cap1 = caps.cap1;
       }
       if (q_.size() >= cfg_.buffer_packets) {
+        if (journal_ != nullptr) journal_drop(p, DropReason::kQueueFull, now);
         drop_counts_[static_cast<std::size_t>(DropReason::kQueueFull)]++;
         note_drop(p, DropReason::kQueueFull, now);
         return false;
@@ -126,6 +211,7 @@ bool FlocQueue::enqueue(Packet&& p, TimeSec now) {
     case PacketType::kSynAck:
     case PacketType::kAck: {
       if (q_.size() >= cfg_.buffer_packets) {
+        if (journal_ != nullptr) journal_drop(p, DropReason::kQueueFull, now);
         drop_counts_[static_cast<std::size_t>(DropReason::kQueueFull)]++;
         note_drop(p, DropReason::kQueueFull, now);
         return false;
@@ -173,8 +259,13 @@ bool FlocQueue::admit_data(Packet& p, TimeSec now) {
         p.cap0 = caps.cap0;
         p.cap1 = caps.cap1;
         ++cap_reissues_;
+        if (journal_ != nullptr) {
+          journal_->record(now, telemetry::EventKind::kCapReissue, "floc",
+                           std::string(), p.flow, 0.0);
+        }
       } else {
         ++cap_violations_;
+        if (journal_ != nullptr) journal_drop(p, DropReason::kCapability, now);
         drop_counts_[static_cast<std::size_t>(DropReason::kCapability)]++;
         note_drop(p, DropReason::kCapability, now);
         return false;
@@ -284,12 +375,13 @@ bool FlocQueue::admit_data(Packet& p, TimeSec now) {
   return true;
 }
 
-std::optional<Packet> FlocQueue::dequeue(TimeSec) {
+std::optional<Packet> FlocQueue::dequeue(TimeSec now) {
   if (q_.empty()) return std::nullopt;
   Packet p = std::move(q_.front());
   q_.pop_front();
   q_bytes_ -= static_cast<std::size_t>(p.size_bytes);
   ++dequeues_;
+  if (journal_ != nullptr) journal_mode(now);
   return p;
 }
 
@@ -308,16 +400,42 @@ void FlocQueue::reboot(TimeSec now, bool preserve_queue) {
   recovery_until_ =
       now + cfg_.recovery_intervals * cfg_.control_interval;
   ++reboots_;
+  if (journal_ != nullptr) {
+    char detail[80];
+    std::snprintf(detail, sizeof(detail),
+                  "%s queue, recovery until t=%.3f",
+                  preserve_queue ? "preserved" : "flushed", recovery_until_);
+    journal_->record(now, telemetry::EventKind::kReboot, "floc", detail,
+                     reboots_, static_cast<double>(flushed_));
+    recovery_pending_journal_ = true;
+    journal_mode(now);  // a queue wipe can leave congested/flooding mode
+  }
 }
 
 void FlocQueue::rotate_secret(std::uint64_t new_secret, TimeSec now) {
   issuer_.rotate(new_secret, now, cfg_.control_interval);
+  if (journal_ != nullptr) {
+    char detail[64];
+    std::snprintf(detail, sizeof(detail), "grace until t=%.3f",
+                  now + cfg_.control_interval);
+    journal_->record(now, telemetry::EventKind::kKeyRotation, "floc", detail);
+  }
 }
 
 void FlocQueue::control(TimeSec now) {
   const TimeSec interval = cfg_.control_interval;
   next_control_ = now + interval;
   ++control_ticks_;
+
+  if (journal_ != nullptr && recovery_pending_journal_ &&
+      now >= recovery_until_) {
+    recovery_pending_journal_ = false;
+    journal_->record(now, telemetry::EventKind::kRecoveryEnd, "floc",
+                     cfg_.recovery_policy == RecoveryPolicy::kFailOpen
+                         ? "fail-open window over"
+                         : "fail-closed window over",
+                     reboots_);
+  }
 
   // --- Expire idle flows; drop empty origin paths ------------------------
   for (auto it = origins_.begin(); it != origins_.end();) {
@@ -433,6 +551,7 @@ void FlocQueue::control(TimeSec now) {
 #endif
     // Hysteresis: a flood holds the condition every interval; a legitimate
     // path crossing it transiently (TCP probing) does not latch.
+    const bool was_attack = agg.attack;
     if (condition) {
       agg.attack_streak++;
       agg.calm_streak = 0;
@@ -441,6 +560,12 @@ void FlocQueue::control(TimeSec now) {
       agg.calm_streak++;
       agg.attack_streak = 0;
       if (agg.calm_streak >= cfg_.attack_release) agg.attack = false;
+    }
+    if (journal_ != nullptr && agg.attack != was_attack) {
+      journal_->record(now,
+                       agg.attack ? telemetry::EventKind::kAttackLatch
+                                  : telemetry::EventKind::kAttackRelease,
+                       "floc", agg.id.to_string(), akey, agg_mtd);
     }
 
     q_max_extra += std::sqrt(std::max(agg.n, 1.0)) * agg.params.peak_window;

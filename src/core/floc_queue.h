@@ -33,6 +33,7 @@
 #include "core/model.h"
 #include "core/token_bucket.h"
 #include "netsim/queue_disc.h"
+#include "telemetry/telemetry.h"
 #include "util/rng.h"
 
 namespace floc {
@@ -110,6 +111,7 @@ class FlocQueue : public QueueDisc {
   // --- Introspection (tests, experiments) --------------------------------
   enum class Mode { kUncongested, kCongested, kFlooding };
   Mode mode() const;
+  static const char* mode_name(Mode m);
   std::size_t q_min() const { return q_min_; }
   std::size_t q_max() const { return q_max_; }
 
@@ -155,7 +157,20 @@ class FlocQueue : public QueueDisc {
   bool audit(TimeSec now, std::string* why) const override;
 
   // Force a control-loop pass at `now` (tests).
-  void run_control(TimeSec now) { control(now); }
+  void run_control(TimeSec now) {
+    control(now);
+    if (journal_ != nullptr) journal_mode(now);
+  }
+
+  // --- Telemetry (src/telemetry) -----------------------------------------
+  // Publish the queue's counters as polled gauges under `prefix` and start
+  // journaling defense events (mode transitions with the triggering queue
+  // measurement, attack-path latch/release with the triggering MTD, key
+  // rotations, capability re-issues, reboots, recovery completion, and every
+  // drop with its DropReason). Detached (the default) the hot path pays one
+  // pointer-null test; nullptr detaches again.
+  void attach_telemetry(telemetry::Telemetry* t,
+                        const std::string& prefix = "floc");
 
  private:
   struct Aggregate {
@@ -182,7 +197,11 @@ class FlocQueue : public QueueDisc {
   Aggregate& aggregate_for(OriginPathState& op);
   std::uint64_t acct_key(const Packet& p) const;
 
+  bool enqueue_impl(Packet&& p, TimeSec now);
   bool admit_data(Packet& p, TimeSec now);
+  // Journal slow paths; callers gate on `journal_ != nullptr`.
+  void journal_mode(TimeSec now);
+  void journal_drop(const Packet& p, DropReason r, TimeSec now);
   void on_drop(const Packet& p, DropReason r, OriginPathState& op,
                Aggregate& agg, FlowRecord* fr, TimeSec now);
   void control(TimeSec now);
@@ -209,13 +228,18 @@ class FlocQueue : public QueueDisc {
 
   TimeSec next_control_ = 0.0;
   int control_ticks_ = 0;
-  std::uint64_t drop_counts_[6] = {};
+  std::uint64_t drop_counts_[kDropReasonCount] = {};
   std::uint64_t cap_violations_ = 0;
   std::uint64_t cap_reissues_ = 0;
   std::uint64_t dequeues_ = 0;
   std::uint64_t flushed_ = 0;  // packets lost to reboot queue wipes
   std::uint64_t reboots_ = 0;
   TimeSec recovery_until_ = -1.0;
+
+  // Telemetry (null = off; the hot path must stay allocation-free then).
+  telemetry::EventJournal* journal_ = nullptr;
+  Mode last_mode_ = Mode::kUncongested;
+  bool recovery_pending_journal_ = false;
 };
 
 }  // namespace floc

@@ -7,8 +7,8 @@ namespace floc {
 
 void FaultPlan::plan(TimeSec at, std::string label, std::function<void()> fn) {
   assert(!installed_ && "fault plan already installed");
-  events_.push_back(PlannedEvent{at, std::move(label)});
-  pending_.push_back(Pending{at, std::move(fn)});
+  events_.push_back(PlannedEvent{at, label});
+  pending_.push_back(Pending{at, std::move(label), std::move(fn)});
 }
 
 void FaultPlan::add_link_flap(Link* link, TimeSec down_at, TimeSec up_at,
@@ -59,7 +59,17 @@ void FaultPlan::install(Simulator* sim) {
   assert(!installed_ && "fault plan already installed");
   installed_ = true;
   for (Pending& p : pending_) {
-    sim->schedule_at(p.time, std::move(p.fn));
+    if (journal_ != nullptr) {
+      sim->schedule_at(
+          p.time, [this, t = p.time, label = std::move(p.label),
+                   fn = std::move(p.fn)] {
+            journal_->record(t, telemetry::EventKind::kFault, "fault-plan",
+                             label);
+            fn();
+          });
+    } else {
+      sim->schedule_at(p.time, std::move(p.fn));
+    }
   }
   pending_.clear();
 }

@@ -18,6 +18,7 @@
 #include "core/floc_queue.h"
 #include "netsim/link.h"
 #include "netsim/simulator.h"
+#include "telemetry/event_journal.h"
 #include "util/rng.h"
 
 namespace floc {
@@ -59,11 +60,16 @@ class FaultPlan {
   // Packets whose capability words a corruption window actually flipped.
   std::uint64_t corrupted_packets() const { return corrupted_; }
 
+  // Record every fault activation as a kFault journal event (detail = the
+  // planned label) when it fires. Set before install(); nullptr detaches.
+  void set_journal(telemetry::EventJournal* j) { journal_ = j; }
+
  private:
   void plan(TimeSec at, std::string label, std::function<void()> fn);
 
   struct Pending {
     TimeSec time;
+    std::string label;
     std::function<void()> fn;
   };
 
@@ -72,6 +78,7 @@ class FaultPlan {
   std::vector<Pending> pending_;
   std::uint64_t corrupted_ = 0;
   bool installed_ = false;
+  telemetry::EventJournal* journal_ = nullptr;
 };
 
 }  // namespace floc

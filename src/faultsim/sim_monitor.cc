@@ -20,6 +20,10 @@ void SimMonitor::run_checks(TimeSec now) {
     std::string detail;
     if (c.fn(now, &detail)) continue;
     violations_.push_back(Violation{now, c.name, detail});
+    if (journal_ != nullptr) {
+      journal_->record(now, telemetry::EventKind::kInvariantViolation, c.name,
+                       detail);
+    }
     if (report_ != nullptr) {
       std::fprintf(report_, "[SimMonitor] t=%.6f invariant '%s' violated: %s\n",
                    now, c.name.c_str(), detail.c_str());

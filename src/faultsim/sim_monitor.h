@@ -16,6 +16,7 @@
 
 #include "netsim/queue_disc.h"
 #include "netsim/simulator.h"
+#include "telemetry/event_journal.h"
 
 namespace floc {
 
@@ -51,6 +52,10 @@ class SimMonitor {
   // (the log is still kept). Default: stderr.
   void set_report_stream(std::FILE* f) { report_ = f; }
 
+  // Also record every violation as a kInvariantViolation journal event
+  // (component = check name, detail = violation text). nullptr detaches.
+  void set_journal(telemetry::EventJournal* j) { journal_ = j; }
+
  private:
   struct Named {
     std::string name;
@@ -61,6 +66,7 @@ class SimMonitor {
   std::vector<Violation> violations_;
   std::uint64_t checks_run_ = 0;
   std::FILE* report_ = stderr;
+  telemetry::EventJournal* journal_ = nullptr;
 };
 
 }  // namespace floc

@@ -61,6 +61,18 @@ void Link::try_transmit() {
   });
 }
 
+void Link::register_metrics(telemetry::MetricRegistry& reg,
+                            const std::string& prefix) const {
+  reg.gauge_fn(prefix + ".bytes_sent",
+               [this] { return static_cast<double>(bytes_sent()); });
+  reg.gauge_fn(prefix + ".packets_sent",
+               [this] { return static_cast<double>(packets_sent()); });
+  reg.gauge_fn(prefix + ".down_drops",
+               [this] { return static_cast<double>(down_drops()); });
+  reg.gauge_fn(prefix + ".up", [this] { return up() ? 1.0 : 0.0; });
+  queue().register_metrics(reg, prefix + ".queue");
+}
+
 double Link::utilization(TimeSec t0, TimeSec t1) const {
   if (t1 <= t0) return 0.0;
   return static_cast<double>(bytes_sent_) * kBitsPerByte /

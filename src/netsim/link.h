@@ -13,6 +13,7 @@
 
 #include "netsim/queue_disc.h"
 #include "netsim/simulator.h"
+#include "telemetry/metrics.h"
 #include "util/units.h"
 
 namespace floc {
@@ -64,6 +65,13 @@ class Link {
   // Mean utilization of the link over [t0, t1] given recorded bytes; caller
   // supplies the measurement window.
   double utilization(TimeSec t0, TimeSec t1) const;
+
+  // Publish link counters as polled gauges under `prefix` (e.g.
+  // "link.target"): bytes_sent, packets_sent, down_drops, up, and the egress
+  // queue's depth in packets/bytes plus its drop/admission totals. Polled at
+  // sample time only — the transmit path is untouched.
+  void register_metrics(telemetry::MetricRegistry& reg,
+                        const std::string& prefix) const;
 
  private:
   void try_transmit();

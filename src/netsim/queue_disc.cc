@@ -1,6 +1,20 @@
 #include "netsim/queue_disc.h"
 
+#include "telemetry/metrics.h"
+
 namespace floc {
+
+void QueueDisc::register_metrics(telemetry::MetricRegistry& reg,
+                                 const std::string& prefix) const {
+  reg.gauge_fn(prefix + ".packets",
+               [this] { return static_cast<double>(packet_count()); });
+  reg.gauge_fn(prefix + ".bytes",
+               [this] { return static_cast<double>(byte_count()); });
+  reg.gauge_fn(prefix + ".drops",
+               [this] { return static_cast<double>(drops()); });
+  reg.gauge_fn(prefix + ".admissions",
+               [this] { return static_cast<double>(admissions()); });
+}
 
 const char* to_string(DropReason r) {
   switch (r) {

@@ -16,6 +16,10 @@
 
 namespace floc {
 
+namespace telemetry {
+class MetricRegistry;
+}
+
 // Reasons a queue discipline may drop a packet; recorded for diagnostics.
 enum class DropReason : std::uint8_t {
   kQueueFull,       // buffer exhausted
@@ -25,6 +29,7 @@ enum class DropReason : std::uint8_t {
   kRateLimit,       // aggregate rate limiter (Pushback)
   kCapability,      // invalid / over-limit capability (FLoc covert defense)
 };
+inline constexpr std::size_t kDropReasonCount = 6;
 
 const char* to_string(DropReason r);
 
@@ -53,6 +58,13 @@ class QueueDisc {
     (void)why;
     return true;
   }
+
+  // Publish the discipline's state as polled gauges under `prefix`
+  // ("<prefix>.packets", ".bytes", ".drops", ".admissions"); overrides add
+  // scheme-specific gauges on top. Registration-time only — nothing on the
+  // packet path.
+  virtual void register_metrics(telemetry::MetricRegistry& reg,
+                                const std::string& prefix) const;
 
   void set_drop_handler(DropHandler h) { drop_handler_ = std::move(h); }
 

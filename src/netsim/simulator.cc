@@ -1,5 +1,7 @@
 #include "netsim/simulator.h"
 
+#include <chrono>
+
 namespace floc {
 
 void Simulator::schedule_at(TimeSec t, Callback cb) {
@@ -12,6 +14,18 @@ void Simulator::schedule_at(TimeSec t, Callback cb) {
   queue_.push(Event{t, next_seq_++, std::move(cb)});
 }
 
+void Simulator::dispatch(Callback& cb) {
+  if (profile_ns_ == nullptr) {
+    cb();
+    return;
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  cb();
+  const auto dt = std::chrono::steady_clock::now() - t0;
+  profile_ns_->observe(static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(dt).count()));
+}
+
 void Simulator::run_until(TimeSec t_end) {
   while (!queue_.empty() && queue_.top().time <= t_end) {
     // priority_queue::top() is const; move out via const_cast is UB-adjacent,
@@ -20,7 +34,7 @@ void Simulator::run_until(TimeSec t_end) {
     queue_.pop();
     now_ = ev.time;
     ++processed_;
-    ev.cb();
+    dispatch(ev.cb);
   }
   if (queue_.empty() && now_ < t_end) now_ = t_end;
 }
@@ -31,8 +45,18 @@ void Simulator::run() {
     queue_.pop();
     now_ = ev.time;
     ++processed_;
-    ev.cb();
+    dispatch(ev.cb);
   }
+}
+
+void Simulator::register_metrics(telemetry::MetricRegistry& reg,
+                                 const std::string& prefix) const {
+  reg.gauge_fn(prefix + ".events_processed",
+               [this] { return static_cast<double>(events_processed()); });
+  reg.gauge_fn(prefix + ".late_events",
+               [this] { return static_cast<double>(late_events()); });
+  reg.gauge_fn(prefix + ".pending_events",
+               [this] { return static_cast<double>(pending_events()); });
 }
 
 }  // namespace floc

@@ -15,6 +15,9 @@ const char* to_string(TraceEvent ev) {
 
 void TraceRecorder::record(TraceRecord r) {
   counts_[static_cast<std::size_t>(r.event)]++;
+  if (r.event == TraceEvent::kDrop) {
+    drop_reasons_[static_cast<std::size_t>(r.reason)]++;
+  }
   if (filter_ && !filter_(r)) return;
   if (records_.size() >= max_records_) {
     records_.pop_front();
@@ -26,6 +29,7 @@ void TraceRecorder::record(TraceRecord r) {
 void TraceRecorder::clear() {
   records_.clear();
   counts_[0] = counts_[1] = counts_[2] = 0;
+  for (std::uint64_t& c : drop_reasons_) c = 0;
   overflowed_ = false;
 }
 
@@ -48,6 +52,18 @@ std::string TraceRecorder::dump() const {
   out.reserve(records_.size() * 48);
   for (const auto& r : records_) {
     out += format(r);
+    out += '\n';
+  }
+  if (count(TraceEvent::kDrop) > 0) {
+    out += "# drops by reason:";
+    for (std::size_t i = 0; i < kDropReasonCount; ++i) {
+      if (drop_reasons_[i] == 0) continue;
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), " %s=%llu",
+                    to_string(static_cast<DropReason>(i)),
+                    static_cast<unsigned long long>(drop_reasons_[i]));
+      out += buf;
+    }
     out += '\n';
   }
   return out;

@@ -55,10 +55,18 @@ class TraceRecorder {
   std::uint64_t total() const {
     return counts_[0] + counts_[1] + counts_[2];
   }
+  // Aggregate drop count per reason. Counted on every record() call — before
+  // filtering and unaffected by ring-buffer eviction — so drop-cause
+  // breakdowns never require replaying `records()` (which under-counts once
+  // old records are evicted).
+  std::uint64_t drops_by_reason(DropReason r) const {
+    return drop_reasons_[static_cast<std::size_t>(r)];
+  }
   bool overflowed() const { return overflowed_; }
   void clear();
 
-  // One line per event: "<time> <+|-|d> flow=<id> <TYPE> <bytes> [reason]".
+  // One line per event: "<time> <+|-|d> flow=<id> <TYPE> <bytes> [reason]",
+  // followed by a "# drops by reason:" summary footer when drops occurred.
   std::string dump() const;
   static std::string format(const TraceRecord& r);
 
@@ -66,6 +74,7 @@ class TraceRecorder {
   std::size_t max_records_;
   std::deque<TraceRecord> records_;
   std::uint64_t counts_[3] = {};
+  std::uint64_t drop_reasons_[kDropReasonCount] = {};
   bool overflowed_ = false;
   Filter filter_;
 };

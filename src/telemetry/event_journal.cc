@@ -1,0 +1,117 @@
+#include "telemetry/event_journal.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace floc::telemetry {
+
+const char* to_string(EventKind k) {
+  switch (k) {
+    case EventKind::kModeTransition: return "mode-transition";
+    case EventKind::kAttackLatch: return "attack-latch";
+    case EventKind::kAttackRelease: return "attack-release";
+    case EventKind::kKeyRotation: return "key-rotation";
+    case EventKind::kCapReissue: return "cap-reissue";
+    case EventKind::kReboot: return "reboot";
+    case EventKind::kRecoveryEnd: return "recovery-end";
+    case EventKind::kDrop: return "drop";
+    case EventKind::kFault: return "fault";
+    case EventKind::kInvariantViolation: return "invariant-violation";
+  }
+  return "?";
+}
+
+EventJournal::EventJournal(std::size_t max_events)
+    : max_events_(std::max<std::size_t>(1, max_events)) {
+  std::fill(enabled_, enabled_ + kEventKindCount, true);
+}
+
+void EventJournal::record(TimeSec time, EventKind kind, std::string component,
+                          std::string detail, std::uint64_t a, double value) {
+  ++counts_[static_cast<std::size_t>(kind)];
+  ++total_;
+  const std::uint64_t seq = next_seq_++;
+  if (!enabled_[static_cast<std::size_t>(kind)]) return;
+  if (events_.size() >= max_events_) {
+    events_.pop_front();
+    overflowed_ = true;
+  }
+  events_.push_back(DefenseEvent{time, seq, kind, std::move(component),
+                                 std::move(detail), a, value});
+}
+
+std::vector<const DefenseEvent*> EventJournal::of_kind(EventKind k) const {
+  std::vector<const DefenseEvent*> out;
+  for (const DefenseEvent& e : events_) {
+    if (e.kind == k) out.push_back(&e);
+  }
+  return out;
+}
+
+void EventJournal::clear() {
+  events_.clear();
+  std::fill(counts_, counts_ + kEventKindCount, 0);
+  total_ = 0;
+  next_seq_ = 0;
+  overflowed_ = false;
+}
+
+std::string EventJournal::format(const DefenseEvent& e) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "%.6f %-19s [%s] %s (a=%llu value=%g)",
+                e.time, to_string(e.kind), e.component.c_str(),
+                e.detail.c_str(), static_cast<unsigned long long>(e.a),
+                e.value);
+  return buf;
+}
+
+std::string EventJournal::dump() const {
+  std::string out;
+  out.reserve(events_.size() * 64);
+  for (const DefenseEvent& e : events_) {
+    out += format(e);
+    out += '\n';
+  }
+  return out;
+}
+
+namespace {
+
+void append_json_escaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+}
+
+}  // namespace
+
+std::string EventJournal::to_json() const {
+  std::string out = "[\n";
+  bool first = true;
+  char buf[128];
+  for (const DefenseEvent& e : events_) {
+    if (!first) out += ",\n";
+    first = false;
+    std::snprintf(buf, sizeof(buf),
+                  "  {\"time\": %.9g, \"seq\": %llu, \"kind\": \"%s\", ",
+                  e.time, static_cast<unsigned long long>(e.seq),
+                  to_string(e.kind));
+    out += buf;
+    out += "\"component\": \"";
+    append_json_escaped(out, e.component);
+    out += "\", \"detail\": \"";
+    append_json_escaped(out, e.detail);
+    std::snprintf(buf, sizeof(buf), "\", \"a\": %llu, \"value\": %.9g}",
+                  static_cast<unsigned long long>(e.a), e.value);
+    out += buf;
+  }
+  out += "\n]\n";
+  return out;
+}
+
+}  // namespace floc::telemetry

@@ -1,0 +1,95 @@
+// Structured journal of semantically meaningful defense events.
+//
+// Where the MetricRegistry answers "how many / how much", the journal answers
+// "what happened, when, and why": FlocQueue mode transitions with the queue
+// measurement that triggered them, attack-aggregate latch/unlatch, capability
+// key rotations and re-issues, reboots and recovery completion, per-reason
+// drops, fault-plan activations, and SimMonitor invariant violations — each
+// stamped with event-time, a monotonic sequence number (total order even
+// among same-timestamp events), the emitting component, and a kind-specific
+// measurement.
+//
+// The journal is a bounded ring: old events are evicted under pressure, but
+// per-kind counts keep covering everything ever recorded. High-frequency
+// kinds (kDrop during a flood) can be disabled per kind; disabled kinds are
+// still counted, just not stored.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "util/units.h"
+
+namespace floc::telemetry {
+
+enum class EventKind : std::uint8_t {
+  kModeTransition,      // FlocQueue uncongested/congested/flooding change
+  kAttackLatch,         // aggregate latched as an attack path
+  kAttackRelease,       // aggregate released after calm intervals
+  kKeyRotation,         // capability secret rotated
+  kCapReissue,          // capability re-stamped during a rotation grace window
+  kReboot,              // router soft state wiped
+  kRecoveryEnd,         // post-reboot relearn window expired
+  kDrop,                // packet dropped; `a` holds the DropReason ordinal
+  kFault,               // fault-plan event fired (link flap, corruption, ...)
+  kInvariantViolation,  // SimMonitor check failed
+};
+inline constexpr std::size_t kEventKindCount = 10;
+
+const char* to_string(EventKind k);
+
+struct DefenseEvent {
+  TimeSec time = 0.0;
+  std::uint64_t seq = 0;  // total order; ties in `time` keep recording order
+  EventKind kind = EventKind::kFault;
+  std::string component;  // emitting instance, e.g. "floc", "link.target"
+  std::string detail;     // human-readable context; may be empty
+  std::uint64_t a = 0;    // kind-specific ordinal (mode, DropReason, ...)
+  double value = 0.0;     // kind-specific measurement (queue length, MTD, ...)
+};
+
+class EventJournal {
+ public:
+  explicit EventJournal(std::size_t max_events = std::size_t{1} << 16);
+
+  void record(TimeSec time, EventKind kind, std::string component,
+              std::string detail = std::string(), std::uint64_t a = 0,
+              double value = 0.0);
+
+  // Storage gate per kind (counts are unaffected). All kinds start enabled.
+  void set_enabled(EventKind k, bool on) {
+    enabled_[static_cast<std::size_t>(k)] = on;
+  }
+  bool enabled(EventKind k) const {
+    return enabled_[static_cast<std::size_t>(k)];
+  }
+
+  const std::deque<DefenseEvent>& events() const { return events_; }
+  std::vector<const DefenseEvent*> of_kind(EventKind k) const;
+
+  // Events ever recorded of `k`, including evicted and disabled ones.
+  std::uint64_t count(EventKind k) const {
+    return counts_[static_cast<std::size_t>(k)];
+  }
+  std::uint64_t total() const { return total_; }
+  bool overflowed() const { return overflowed_; }
+  void clear();
+
+  // One event per line: "<time> <kind> [component] detail (a=..., value=...)".
+  std::string dump() const;
+  std::string to_json() const;
+  static std::string format(const DefenseEvent& e);
+
+ private:
+  std::size_t max_events_;
+  std::deque<DefenseEvent> events_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t counts_[kEventKindCount] = {};
+  std::uint64_t total_ = 0;
+  bool enabled_[kEventKindCount];
+  bool overflowed_ = false;
+};
+
+}  // namespace floc::telemetry

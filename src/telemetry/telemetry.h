@@ -1,0 +1,28 @@
+// The per-run telemetry context: one MetricRegistry plus one EventJournal,
+// passed to components as a single nullable pointer.
+//
+//   telemetry::Telemetry tele;
+//   floc_queue.attach_telemetry(&tele);          // registers + journals
+//   link->register_metrics(tele.registry, "link.target");
+//   telemetry::TimeSeriesSampler sampler(&tele.registry, 0.25);
+//   sampler.attach(&sim, duration);
+//   ...run...
+//   sampler.write_csv("run.csv");
+//   puts(tele.journal.dump().c_str());
+//
+// Components must treat a null Telemetry* / EventJournal* as "telemetry off"
+// and keep that path free of allocation and virtual dispatch.
+#pragma once
+
+#include "telemetry/event_journal.h"
+#include "telemetry/metrics.h"
+#include "telemetry/time_series.h"
+
+namespace floc::telemetry {
+
+struct Telemetry {
+  MetricRegistry registry;
+  EventJournal journal;
+};
+
+}  // namespace floc::telemetry

@@ -1,0 +1,184 @@
+#include "telemetry/time_series.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace floc::telemetry {
+
+namespace {
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+double histogram_column(const LogHistogram& h, int which) {
+  switch (which) {
+    case 0: return static_cast<double>(h.count());
+    case 1: return h.quantile(0.50);
+    case 2: return h.quantile(0.90);
+    case 3: return h.quantile(0.99);
+    case 4: return h.quantile(0.999);
+  }
+  return kNaN;
+}
+
+const char* kHistSuffix[5] = {".count", ".p50", ".p90", ".p99", ".p999"};
+}  // namespace
+
+TimeSeriesSampler::TimeSeriesSampler(MetricRegistry* registry, TimeSec period)
+    : registry_(registry), period_(period) {}
+
+void TimeSeriesSampler::refresh_columns() {
+  // The registry only appends, so existing column indices never move; new
+  // metrics extend the column list at the tail.
+  std::size_t expect = 0;
+  for (const auto& m : registry_->metrics()) {
+    expect += m->kind == MetricKind::kHistogram ? 5 : 1;
+  }
+  if (expect == columns_.size()) return;
+  columns_.clear();
+  columns_.reserve(expect);
+  for (const auto& m : registry_->metrics()) {
+    if (m->kind == MetricKind::kHistogram) {
+      for (const char* suffix : kHistSuffix) columns_.push_back(m->name + suffix);
+    } else {
+      columns_.push_back(m->name);
+    }
+  }
+}
+
+void TimeSeriesSampler::sample(TimeSec now) {
+  refresh_columns();
+  Row row;
+  row.values.reserve(columns_.size());
+  for (const auto& m : registry_->metrics()) {
+    switch (m->kind) {
+      case MetricKind::kCounter:
+        row.values.push_back(static_cast<double>(m->counter->value()));
+        break;
+      case MetricKind::kGauge:
+        row.values.push_back(m->gauge->value());
+        break;
+      case MetricKind::kGaugeFn:
+        row.values.push_back(m->fn ? m->fn() : kNaN);
+        break;
+      case MetricKind::kHistogram:
+        for (int i = 0; i < 5; ++i)
+          row.values.push_back(histogram_column(*m->histogram, i));
+        break;
+    }
+  }
+  times_.push_back(now);
+  rows_.push_back(std::move(row));
+}
+
+void TimeSeriesSampler::add_rate_column(const std::string& name) {
+  if (std::find(rate_columns_.begin(), rate_columns_.end(), name) ==
+      rate_columns_.end()) {
+    rate_columns_.push_back(name);
+  }
+}
+
+double TimeSeriesSampler::value(std::size_t row, const std::string& column) const {
+  if (row >= rows_.size()) return kNaN;
+  // Derived rate column?
+  for (const std::string& src : rate_columns_) {
+    if (column == src + ".rate") {
+      if (row == 0) return kNaN;
+      const double v1 = value(row, src);
+      const double v0 = value(row - 1, src);
+      const double dt = times_[row] - times_[row - 1];
+      return dt > 0.0 ? (v1 - v0) / dt : kNaN;
+    }
+  }
+  const auto it = std::find(columns_.begin(), columns_.end(), column);
+  if (it == columns_.end()) return kNaN;
+  const std::size_t col = static_cast<std::size_t>(it - columns_.begin());
+  if (col >= rows_[row].values.size()) return kNaN;  // registered later
+  return rows_[row].values[col];
+}
+
+std::string TimeSeriesSampler::to_csv() const {
+  std::string out = "time";
+  for (const std::string& c : columns_) {
+    out += ',';
+    out += c;
+  }
+  for (const std::string& src : rate_columns_) {
+    out += ',';
+    out += src;
+    out += ".rate";
+  }
+  out += '\n';
+  char buf[64];
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    std::snprintf(buf, sizeof(buf), "%.9g", times_[r]);
+    out += buf;
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      const double v = c < rows_[r].values.size() ? rows_[r].values[c] : kNaN;
+      if (std::isnan(v)) {
+        out += ",";
+      } else {
+        std::snprintf(buf, sizeof(buf), ",%.9g", v);
+        out += buf;
+      }
+    }
+    for (const std::string& src : rate_columns_) {
+      const double v = value(r, src + ".rate");
+      if (std::isnan(v)) {
+        out += ",";
+      } else {
+        std::snprintf(buf, sizeof(buf), ",%.9g", v);
+        out += buf;
+      }
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string TimeSeriesSampler::to_json() const {
+  std::string out = "[\n";
+  char buf[64];
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    out += r == 0 ? "  {" : ",\n  {";
+    std::snprintf(buf, sizeof(buf), "\"time\": %.9g", times_[r]);
+    out += buf;
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      const double v = c < rows_[r].values.size() ? rows_[r].values[c] : kNaN;
+      out += ", \"";
+      out += columns_[c];
+      out += "\": ";
+      if (std::isnan(v)) {
+        out += "null";
+      } else {
+        std::snprintf(buf, sizeof(buf), "%.9g", v);
+        out += buf;
+      }
+    }
+    for (const std::string& src : rate_columns_) {
+      const double v = value(r, src + ".rate");
+      out += ", \"";
+      out += src;
+      out += ".rate\": ";
+      if (std::isnan(v)) {
+        out += "null";
+      } else {
+        std::snprintf(buf, sizeof(buf), "%.9g", v);
+        out += buf;
+      }
+    }
+    out += '}';
+  }
+  out += "\n]\n";
+  return out;
+}
+
+bool TimeSeriesSampler::write_csv(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string csv = to_csv();
+  const bool ok = std::fwrite(csv.data(), 1, csv.size(), f) == csv.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace floc::telemetry

@@ -121,4 +121,12 @@ double FlowMonitor::total_bytes(FlowId flow) const {
   return it == index_.end() ? 0.0 : cumulative_bytes_[it->second];
 }
 
+double FlowMonitor::class_cumulative_bytes(const FlowPredicate& pred) const {
+  double bytes = 0.0;
+  for (std::size_t i = 0; i < labels_.size(); ++i) {
+    if (pred(labels_[i])) bytes += cumulative_bytes_[i];
+  }
+  return bytes;
+}
+
 }  // namespace floc

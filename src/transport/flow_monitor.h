@@ -69,6 +69,11 @@ class FlowMonitor {
   std::size_t flow_count() const { return labels_.size(); }
   double total_bytes(FlowId flow) const;
 
+  // Cumulative delivered bytes over all flows matching `pred` (no snapshots
+  // needed) — the natural feed for a telemetry gauge, which a sampler turns
+  // into per-interval goodput via a rate column.
+  double class_cumulative_bytes(const FlowPredicate& pred) const;
+
   // Common predicates.
   static bool is_legit_on_legit_path(const FlowLabel& l) {
     return l.cls == FlowClass::kLegitimate && !l.on_attack_path;

@@ -12,6 +12,7 @@
 #include "netsim/network.h"
 #include "netsim/node.h"
 #include "netsim/simulator.h"
+#include "telemetry/metrics.h"
 
 namespace floc {
 
@@ -50,6 +51,14 @@ class TcpSource : public Agent {
   void set_completion_handler(std::function<void(TimeSec)> h) {
     completion_ = std::move(h);
   }
+
+  // Publish connection state as polled gauges under `prefix`: ".cwnd",
+  // ".ssthresh", ".srtt", ".packets_sent", ".retransmits", ".timeouts".
+  void register_metrics(telemetry::MetricRegistry& reg,
+                        const std::string& prefix) const;
+
+  // Feed every RTT sample into `h` (null detaches; one pointer test per ACK).
+  void set_rtt_histogram(telemetry::LogHistogram* h) { rtt_hist_ = h; }
 
  private:
   enum class State { kIdle, kSynSent, kEstablished, kDone };
@@ -100,6 +109,7 @@ class TcpSource : public Agent {
   std::uint64_t retransmits_ = 0;
   std::uint64_t timeouts_ = 0;
   std::function<void(TimeSec)> completion_;
+  telemetry::LogHistogram* rtt_hist_ = nullptr;
 };
 
 }  // namespace floc

@@ -166,6 +166,28 @@ TEST(FaultPlan, RecordsPlannedEventsInOrderAdded) {
   EXPECT_TRUE(d.ab->up());
 }
 
+TEST(FaultPlan, ActivationsJournaledAtFireTime) {
+  Simulator sim;
+  telemetry::EventJournal journal;
+  FaultPlan plan;
+  plan.set_journal(&journal);
+  int fired = 0;
+  plan.add_event(1.0, [&] { ++fired; }, "cut-fiber");
+  plan.add_event(2.5, [&] { ++fired; }, "restore-fiber");
+  plan.install(&sim);
+  EXPECT_EQ(journal.total(), 0u);  // journaled on activation, not install
+  sim.run();
+
+  EXPECT_EQ(fired, 2);
+  const auto events = journal.of_kind(telemetry::EventKind::kFault);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_DOUBLE_EQ(events[0]->time, 1.0);
+  EXPECT_EQ(events[0]->component, "fault-plan");
+  EXPECT_EQ(events[0]->detail, "cut-fiber");
+  EXPECT_DOUBLE_EQ(events[1]->time, 2.5);
+  EXPECT_EQ(events[1]->detail, "restore-fiber");
+}
+
 TEST(Link, UtilizationEmptyWindowIsZero) {
   Simulator sim;
   Network net(&sim);

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "core/floc_queue.h"
+#include "telemetry/event_journal.h"
 
 namespace floc {
 namespace {
@@ -101,6 +102,31 @@ TEST(SimMonitor, FlocQueueAuditCleanUnderLoad) {
   EXPECT_GT(q.drops(), 0u);
   EXPECT_GT(mon.checks_run(), 0u);
   EXPECT_TRUE(mon.violations().empty());
+}
+
+TEST(SimMonitor, ViolationsLandInEventJournal) {
+  SimMonitor mon;
+  mon.set_report_stream(nullptr);
+  telemetry::EventJournal journal;
+  mon.set_journal(&journal);
+  mon.add_check("byte-ledger", [](TimeSec, std::string* detail) {
+    *detail = "bytes out of balance";
+    return false;
+  });
+  mon.add_check("ok", [](TimeSec, std::string*) { return true; });
+  mon.run_checks(1.5);
+
+  const auto events =
+      journal.of_kind(telemetry::EventKind::kInvariantViolation);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_DOUBLE_EQ(events[0]->time, 1.5);
+  EXPECT_EQ(events[0]->component, "byte-ledger");
+  EXPECT_EQ(events[0]->detail, "bytes out of balance");
+  // Detach: later violations still recorded by the monitor, not journaled.
+  mon.set_journal(nullptr);
+  mon.run_checks(2.0);
+  EXPECT_EQ(journal.count(telemetry::EventKind::kInvariantViolation), 1u);
+  EXPECT_EQ(mon.violations().size(), 2u);
 }
 
 }  // namespace

@@ -88,5 +88,41 @@ TEST(Trace, ClearResets) {
   EXPECT_FALSE(rec.overflowed());
 }
 
+TEST(Trace, DropsByReasonAggregated) {
+  TraceRecorder rec(/*max_records=*/2);  // tiny ring: counts must survive
+  rec.set_filter([](const TraceRecord& r) {
+    return r.event != TraceEvent::kDrop;  // and so must filtered-out drops
+  });
+  for (int i = 0; i < 3; ++i) {
+    rec.record(TraceRecord{0.1 * i, TraceEvent::kDrop, 1, 0,
+                           PacketType::kData, 1500, DropReason::kToken});
+  }
+  rec.record(TraceRecord{0.5, TraceEvent::kDrop, 2, 0, PacketType::kSyn,
+                         40, DropReason::kQueueFull});
+  rec.record(TraceRecord{0.6, TraceEvent::kEnqueue, 3, 0, PacketType::kData,
+                         1500, DropReason::kQueueFull});  // not a drop
+
+  EXPECT_EQ(rec.drops_by_reason(DropReason::kToken), 3u);
+  EXPECT_EQ(rec.drops_by_reason(DropReason::kQueueFull), 1u);
+  EXPECT_EQ(rec.drops_by_reason(DropReason::kCapability), 0u);
+  rec.clear();
+  EXPECT_EQ(rec.drops_by_reason(DropReason::kToken), 0u);
+}
+
+TEST(Trace, DumpIncludesDropReasonFooter) {
+  TraceRecorder rec;
+  TracedQueue q(std::make_unique<DropTailQueue>(1), &rec);
+  q.enqueue(pkt(1), 0.0);
+  q.enqueue(pkt(2), 0.1);  // queue-full drop
+  const std::string dump = rec.dump();
+  EXPECT_NE(dump.find("# drops by reason:"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("queue-full=1"), std::string::npos) << dump;
+  // No footer when nothing was dropped.
+  TraceRecorder clean;
+  TracedQueue q2(std::make_unique<DropTailQueue>(10), &clean);
+  q2.enqueue(pkt(1), 0.0);
+  EXPECT_EQ(clean.dump().find("# drops by reason:"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace floc

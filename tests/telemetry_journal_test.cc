@@ -1,0 +1,94 @@
+// EventJournal: total ordering (monotonic seq even among same-timestamp
+// events), bounded ring with count preservation, per-kind storage gating,
+// text and JSON export.
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "telemetry/event_journal.h"
+
+namespace floc::telemetry {
+namespace {
+
+TEST(Journal, RecordsFieldsInOrder) {
+  EventJournal j;
+  j.record(1.0, EventKind::kModeTransition, "floc", "uncongested->congested",
+           1, 21.0);
+  j.record(1.5, EventKind::kDrop, "floc", "", 2, 1500.0);
+  ASSERT_EQ(j.events().size(), 2u);
+  const DefenseEvent& e = j.events()[0];
+  EXPECT_DOUBLE_EQ(e.time, 1.0);
+  EXPECT_EQ(e.kind, EventKind::kModeTransition);
+  EXPECT_EQ(e.component, "floc");
+  EXPECT_EQ(e.detail, "uncongested->congested");
+  EXPECT_EQ(e.a, 1u);
+  EXPECT_DOUBLE_EQ(e.value, 21.0);
+  EXPECT_EQ(j.total(), 2u);
+}
+
+TEST(Journal, SameTimestampEventsKeepRecordingOrder) {
+  EventJournal j;
+  // A burst of events at one simulated instant (e.g. a reboot wiping the
+  // queue and flipping the mode) must stay totally ordered.
+  for (int i = 0; i < 10; ++i) {
+    j.record(2.0, i % 2 == 0 ? EventKind::kDrop : EventKind::kModeTransition,
+             "floc", std::to_string(i));
+  }
+  for (std::size_t i = 1; i < j.events().size(); ++i) {
+    EXPECT_LT(j.events()[i - 1].seq, j.events()[i].seq);
+    EXPECT_EQ(j.events()[i].detail, std::to_string(i));
+  }
+  // of_kind preserves the same relative order.
+  const auto drops = j.of_kind(EventKind::kDrop);
+  ASSERT_EQ(drops.size(), 5u);
+  for (std::size_t i = 1; i < drops.size(); ++i) {
+    EXPECT_LT(drops[i - 1]->seq, drops[i]->seq);
+  }
+}
+
+TEST(Journal, BoundedRingEvictsButCountsEverything) {
+  EventJournal j(4);
+  for (int i = 0; i < 10; ++i) {
+    j.record(static_cast<double>(i), EventKind::kDrop, "q");
+  }
+  EXPECT_EQ(j.events().size(), 4u);
+  EXPECT_TRUE(j.overflowed());
+  EXPECT_EQ(j.count(EventKind::kDrop), 10u);  // eviction does not under-count
+  EXPECT_EQ(j.total(), 10u);
+  // The survivors are the newest four.
+  EXPECT_DOUBLE_EQ(j.events().front().time, 6.0);
+  EXPECT_DOUBLE_EQ(j.events().back().time, 9.0);
+}
+
+TEST(Journal, DisabledKindsCountedNotStored) {
+  EventJournal j;
+  j.set_enabled(EventKind::kDrop, false);
+  j.record(0.1, EventKind::kDrop, "q");
+  j.record(0.2, EventKind::kModeTransition, "q");
+  EXPECT_EQ(j.events().size(), 1u);
+  EXPECT_EQ(j.events()[0].kind, EventKind::kModeTransition);
+  EXPECT_EQ(j.count(EventKind::kDrop), 1u);
+  EXPECT_FALSE(j.enabled(EventKind::kDrop));
+  j.set_enabled(EventKind::kDrop, true);
+  j.record(0.3, EventKind::kDrop, "q");
+  EXPECT_EQ(j.events().size(), 2u);
+  EXPECT_EQ(j.count(EventKind::kDrop), 2u);
+}
+
+TEST(Journal, DumpAndJson) {
+  EventJournal j;
+  j.record(1.25, EventKind::kAttackLatch, "floc", "1.2", 7, 0.004);
+  const std::string dump = j.dump();
+  EXPECT_NE(dump.find("attack-latch"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("floc"), std::string::npos);
+  const std::string json = j.to_json();
+  EXPECT_NE(json.find("\"kind\": \"attack-latch\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"component\": \"floc\""), std::string::npos);
+  j.clear();
+  EXPECT_EQ(j.total(), 0u);
+  EXPECT_TRUE(j.events().empty());
+  EXPECT_FALSE(j.overflowed());
+}
+
+}  // namespace
+}  // namespace floc::telemetry

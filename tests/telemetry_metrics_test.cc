@@ -1,0 +1,143 @@
+// MetricRegistry and LogHistogram unit + property tests. The histogram's
+// contract — every quantile within `relative_error` of the exact order
+// statistic — is checked against a sorted reference across distributions
+// spanning nine orders of magnitude.
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "telemetry/metrics.h"
+#include "util/rng.h"
+
+namespace floc::telemetry {
+namespace {
+
+TEST(MetricRegistry, CounterGaugeBasics) {
+  MetricRegistry reg;
+  Counter* c = reg.counter("floc.drops.total");
+  c->add();
+  c->add(4);
+  EXPECT_EQ(c->value(), 5u);
+  EXPECT_EQ(reg.counter("floc.drops.total"), c);  // same handle on re-register
+  EXPECT_DOUBLE_EQ(reg.value("floc.drops.total"), 5.0);
+
+  Gauge* g = reg.gauge("floc.queue.packets");
+  g->set(17.0);
+  EXPECT_DOUBLE_EQ(reg.value("floc.queue.packets"), 17.0);
+
+  double polled = 3.0;
+  reg.gauge_fn("sim.pending", [&polled] { return polled; });
+  EXPECT_DOUBLE_EQ(reg.value("sim.pending"), 3.0);
+  polled = 8.0;
+  EXPECT_DOUBLE_EQ(reg.value("sim.pending"), 8.0);
+  // Re-registering a gauge_fn replaces the callback.
+  reg.gauge_fn("sim.pending", [] { return -1.0; });
+  EXPECT_DOUBLE_EQ(reg.value("sim.pending"), -1.0);
+
+  EXPECT_EQ(reg.size(), 3u);
+  EXPECT_EQ(reg.find("nope"), nullptr);
+  EXPECT_DOUBLE_EQ(reg.value("nope"), 0.0);
+  // Registration order is stable.
+  EXPECT_EQ(reg.metrics()[0]->name, "floc.drops.total");
+  EXPECT_EQ(reg.metrics()[2]->name, "sim.pending");
+}
+
+TEST(LogHistogram, BasicMoments) {
+  LogHistogram h(0.01);
+  for (double v : {1.0, 2.0, 3.0, 4.0}) h.observe(v);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 10.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 4.0);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(LogHistogram, ZeroAndNegativeLandInZeroBucket) {
+  LogHistogram h(0.01);
+  h.observe(0.0);
+  h.observe(-5.0);
+  h.observe(1e-12);  // below min_value
+  h.observe(10.0);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+  EXPECT_NEAR(h.quantile(1.0), 10.0, 10.0 * 0.011);
+}
+
+// Exact reference: the same order statistic quantile() targets.
+double exact_quantile(std::vector<double> sorted, double q) {
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+void check_distribution(const std::vector<double>& values, double eps) {
+  LogHistogram h(eps);
+  for (double v : values) h.observe(v);
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  for (double q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0}) {
+    const double exact = exact_quantile(sorted, q);
+    const double est = h.quantile(q);
+    if (exact < 1e-9) {
+      EXPECT_DOUBLE_EQ(est, 0.0) << "q=" << q;
+    } else {
+      // eps plus a little fp slack.
+      EXPECT_NEAR(est, exact, exact * (eps * 1.01 + 1e-12))
+          << "q=" << q << " exact=" << exact << " est=" << est;
+    }
+  }
+}
+
+TEST(LogHistogramProperty, UniformWithinRelativeError) {
+  Rng rng(1);
+  std::vector<double> v;
+  for (int i = 0; i < 20000; ++i) v.push_back(rng.uniform(1.0, 100.0));
+  check_distribution(v, 0.01);
+}
+
+TEST(LogHistogramProperty, LogUniformNineDecades) {
+  Rng rng(2);
+  std::vector<double> v;
+  // Event-processing latencies span ns..s: 1e-9 .. 1e0.
+  for (int i = 0; i < 20000; ++i)
+    v.push_back(std::pow(10.0, rng.uniform(-9.0, 0.0)));
+  check_distribution(v, 0.01);
+  check_distribution(v, 0.05);
+}
+
+TEST(LogHistogramProperty, ExponentialTail) {
+  Rng rng(3);
+  std::vector<double> v;
+  for (int i = 0; i < 20000; ++i)
+    v.push_back(-std::log(1.0 - rng.uniform()) * 0.05);
+  check_distribution(v, 0.02);
+}
+
+TEST(LogHistogramProperty, ConstantAndMixtureWithZeros) {
+  std::vector<double> constant(1000, 42.0);
+  check_distribution(constant, 0.01);
+
+  Rng rng(4);
+  std::vector<double> mix;
+  for (int i = 0; i < 5000; ++i) {
+    mix.push_back(rng.chance(0.2) ? 0.0 : rng.uniform(0.5, 2.0));
+  }
+  check_distribution(mix, 0.01);
+}
+
+TEST(HistogramRegistry, RegisteredByNameWithChosenError) {
+  MetricRegistry reg;
+  LogHistogram* h = reg.histogram("sim.event_ns", 0.02);
+  EXPECT_DOUBLE_EQ(h->relative_error(), 0.02);
+  h->observe(100.0);
+  EXPECT_EQ(reg.histogram("sim.event_ns"), h);
+  EXPECT_DOUBLE_EQ(reg.value("sim.event_ns"), 1.0);  // scalar view = count
+}
+
+}  // namespace
+}  // namespace floc::telemetry
