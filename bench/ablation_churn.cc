@@ -82,7 +82,8 @@ struct CaseResult {
   std::uint64_t mode_transitions = 0;
 };
 
-CaseResult run_case(DefenseScheme scheme, FaultKind fault, const BenchArgs& a) {
+CaseResult run_case(DefenseScheme scheme, FaultKind fault, const BenchArgs& a,
+                    RunManifest& manifest) {
   TreeScenarioConfig cfg = fig5_config(a);
   cfg.scheme = scheme;
   cfg.attack = AttackType::kCbr;
@@ -174,14 +175,24 @@ CaseResult run_case(DefenseScheme scheme, FaultKind fault, const BenchArgs& a) {
   r.violations = mon.violations().size();
   r.mode_transitions = tel.journal.count(telemetry::EventKind::kModeTransition);
 
-  // Per-interval time series for the FLoc cases: mode, per-reason drops,
-  // legitimate goodput, link/sim gauges.
+  // Per-interval time series + defense-event journal for the FLoc cases:
+  // mode, per-reason drops, legitimate goodput, link/sim gauges.
   if (fq != nullptr) {
     sampler.add_rate_column("legit.bytes_delivered");
     char name[64];
+    std::string err;
     std::snprintf(name, sizeof(name), "ablation_churn_%s.csv",
                   to_string(fault));
-    sampler.write_csv(name);
+    if (!sampler.save(name, &err)) {
+      std::fprintf(stderr, "ablation_churn: %s\n", err.c_str());
+    }
+    manifest.add_artifact(name);
+    std::snprintf(name, sizeof(name), "ablation_churn_%s.journal.json",
+                  to_string(fault));
+    if (!tel.journal.save(name, &err)) {
+      std::fprintf(stderr, "ablation_churn: %s\n", err.c_str());
+    }
+    manifest.add_artifact(name);
   }
   return r;
 }
@@ -198,6 +209,7 @@ int main(int argc, char** argv) {
   std::printf("%-10s %-13s %8s %8s %8s %10s %9s %9s %10s  %s\n", "scheme",
               "fault", "pre", "during", "after", "after/pre", "relatch",
               "reissues", "mode-trans", "invariant-violations");
+  RunManifest manifest("ablation_churn", a);
   std::uint64_t total_violations = 0;
   bool floc_reconverged = true;
   for (DefenseScheme scheme :
@@ -205,7 +217,7 @@ int main(int argc, char** argv) {
         DefenseScheme::kDropTail}) {
     for (FaultKind fault : {FaultKind::kReboot, FaultKind::kKeyRotation,
                             FaultKind::kLinkFlap}) {
-      const CaseResult r = run_case(scheme, fault, a);
+      const CaseResult r = run_case(scheme, fault, a, manifest);
       char relatch[16];
       if (r.relatch_intervals >= 0) {
         std::snprintf(relatch, sizeof relatch, "%d ivl", r.relatch_intervals);
@@ -233,5 +245,6 @@ int main(int argc, char** argv) {
               "invariant violations: %llu\n",
               floc_reconverged ? "yes" : "NO",
               static_cast<unsigned long long>(total_violations));
+  manifest.write();
   return (total_violations == 0 && floc_reconverged) ? 0 : 1;
 }

@@ -10,9 +10,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "telemetry/file_util.h"
+#include "telemetry/profiler.h"
 #include "topology/tree_scenario.h"
 #include "util/stats.h"
 
@@ -49,6 +53,113 @@ struct BenchArgs {
     }
     return a;
   }
+};
+
+// Source revision of the running binary's checkout, for run provenance.
+// "unknown" when git (or the .git directory) is unavailable.
+inline std::string git_describe() {
+  std::FILE* p = ::popen("git describe --always --dirty --tags 2>/dev/null",
+                         "r");
+  if (p == nullptr) return "unknown";
+  char buf[128] = {};
+  std::string out;
+  if (std::fgets(buf, sizeof(buf), p) != nullptr) out = buf;
+  ::pclose(p);
+  while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) {
+    out.pop_back();
+  }
+  return out.empty() ? "unknown" : out;
+}
+
+// Run manifest: one "<bench>.manifest.json" per bench run recording
+// provenance — source revision, configuration, seed, wall time, and the
+// artifacts the run produced — so any CSV/trace in a results directory can
+// be traced back to the exact code and parameters that made it.
+class RunManifest {
+ public:
+  RunManifest(std::string bench, const BenchArgs& a)
+      : bench_(std::move(bench)),
+        seed_(a.seed),
+        start_unix_(std::time(nullptr)),
+        start_ns_(telemetry::clock_ns()) {
+    note("scale", a.scale);
+    note("paper", a.paper ? "true" : "false");
+    note("duration_s", a.duration);
+    note("measure_start_s", a.measure_start);
+  }
+
+  void note(const std::string& key, const std::string& value) {
+    config_.emplace_back(key, value);
+  }
+  void note(const std::string& key, double value) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%g", value);
+    note(key, std::string(buf));
+  }
+
+  void add_artifact(const std::string& path) { artifacts_.push_back(path); }
+
+  std::string json() const {
+    std::string out = "{\n";
+    out += "  \"bench\": \"" + escaped(bench_) + "\",\n";
+    out += "  \"git\": \"" + escaped(git_describe()) + "\",\n";
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "  \"seed\": %llu,\n",
+                  static_cast<unsigned long long>(seed_));
+    out += buf;
+    std::snprintf(buf, sizeof(buf), "  \"start_unix\": %lld,\n",
+                  static_cast<long long>(start_unix_));
+    out += buf;
+    std::snprintf(buf, sizeof(buf), "  \"wall_seconds\": %.3f,\n",
+                  static_cast<double>(telemetry::clock_ns() - start_ns_) / 1e9);
+    out += buf;
+    out += "  \"config\": {";
+    for (std::size_t i = 0; i < config_.size(); ++i) {
+      if (i != 0) out += ", ";
+      out += "\"" + escaped(config_[i].first) + "\": \"" +
+             escaped(config_[i].second) + "\"";
+    }
+    out += "},\n  \"artifacts\": [";
+    for (std::size_t i = 0; i < artifacts_.size(); ++i) {
+      if (i != 0) out += ", ";
+      out += "\"" + escaped(artifacts_[i]) + "\"";
+    }
+    out += "]\n}\n";
+    return out;
+  }
+
+  // Write "<bench>.manifest.json" next to the other artifacts; returns the
+  // path. A manifest failure is reported, never fatal.
+  std::string write() const {
+    const std::string path = bench_ + ".manifest.json";
+    std::string err;
+    if (!telemetry::write_text_file(path, json(), &err)) {
+      std::fprintf(stderr, "manifest: %s\n", err.c_str());
+    }
+    return path;
+  }
+
+ private:
+  static std::string escaped(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      if (c == '\n') {
+        out += "\\n";
+        continue;
+      }
+      out += c;
+    }
+    return out;
+  }
+
+  std::string bench_;
+  std::uint64_t seed_;
+  std::time_t start_unix_;
+  std::uint64_t start_ns_;
+  std::vector<std::pair<std::string, std::string>> config_;
+  std::vector<std::string> artifacts_;
 };
 
 // The Fig. 5 scenario with the bench's scale applied.

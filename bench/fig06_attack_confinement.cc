@@ -11,19 +11,25 @@
 // bytes from the metric registry once per second and writes the series (the
 // form of the paper's plots) to fig06_<attack>.csv in the working directory:
 // one wide row per sample with "path.L<i>.bytes" columns plus their
-// ".rate" (bytes/s) derivatives.
+// ".rate" (bytes/s) derivatives. Each case also records a causal span trace
+// (TCP send -> queue residency with the FLoc admission verdict -> link
+// transmission) and exports it to fig06_<attack>.trace.json in Chrome
+// trace-event format — open it in https://ui.perfetto.dev or
+// chrome://tracing. A fig06.manifest.json records provenance + artifacts.
 #include <cstdio>
 
 #include "bench/bench_common.h"
 #include "telemetry/metrics.h"
 #include "telemetry/time_series.h"
+#include "telemetry/trace_export.h"
+#include "telemetry/tracing.h"
 
 using namespace floc;
 using namespace floc::bench;
 
 namespace {
 
-void run_case(AttackType attack, const BenchArgs& a) {
+void run_case(AttackType attack, const BenchArgs& a, RunManifest& manifest) {
   TreeScenarioConfig cfg = fig5_config(a);
   cfg.scheme = DefenseScheme::kFloc;
   cfg.attack = attack;
@@ -45,14 +51,36 @@ void run_case(AttackType attack, const BenchArgs& a) {
   telemetry::TimeSeriesSampler sampler(&reg, cfg.path_series_bucket);
   sampler.attach(&s.sim(), cfg.duration);
 
+  // Ring-bounded: the export keeps the most recent ~32k spans (~10 MB of
+  // JSON) — plenty of full send->queue->link chains without a gigabyte dump.
+  telemetry::Tracer tracer(std::size_t{1} << 15);
+  s.attach_tracer(&tracer);
+
+  telemetry::Profiler prof(&reg);
+  if (s.floc_queue() != nullptr) s.floc_queue()->set_profiler(&prof);
+  s.sim().set_profile_section(prof.section("sim.dispatch"));
+
   s.run();
 
   for (int leaf = 0; leaf < s.leaf_count(); ++leaf) {
     sampler.add_rate_column("path.L" + std::to_string(leaf) + ".bytes");
   }
   char name[64];
+  std::string err;
   std::snprintf(name, sizeof(name), "fig06_%s.csv", to_string(attack));
-  sampler.write_csv(name);
+  if (!sampler.save(name, &err)) {
+    std::fprintf(stderr, "fig06: %s\n", err.c_str());
+  }
+  manifest.add_artifact(name);
+
+  std::snprintf(name, sizeof(name), "fig06_%s.trace.json", to_string(attack));
+  telemetry::TraceExportOptions opts;
+  opts.process_names.emplace_back(s.target_link()->to()->id(),
+                                  "target link (server gateway)");
+  if (!telemetry::write_chrome_trace(tracer, name, opts, &err)) {
+    std::fprintf(stderr, "fig06: %s\n", err.c_str());
+  }
+  manifest.add_artifact(name);
 
   const double fair_path = s.scaled_target_bw() / s.leaf_count();
   const auto per_path = s.per_path_bps();
@@ -71,6 +99,8 @@ void run_case(AttackType attack, const BenchArgs& a) {
               cb.legit_legit_bps / s.scaled_target_bw(),
               (cb.legit_legit_bps + cb.legit_attack_bps + cb.attack_bps) /
                   s.scaled_target_bw());
+  std::printf("\nwall-clock profile (%s):\n%s\n", to_string(attack),
+              prof.report().c_str());
 }
 
 }  // namespace
@@ -82,12 +112,14 @@ int main(int argc, char** argv) {
          "population attack; legit paths gain under CBR/Shrew as fixed "
          "buckets pin the attack paths; Shrew handled ~as well as CBR",
          a);
+  RunManifest manifest("fig06", a);
   std::printf("%-18s %11s %11s %11s %11s %11s\n", "attack",
               "legit(xfair)", "stdev", "attack(xfair)", "legit link%", "util");
-  run_case(AttackType::kTcpPopulation, a);
-  run_case(AttackType::kCbr, a);
-  run_case(AttackType::kShrew, a);
+  run_case(AttackType::kTcpPopulation, a, manifest);
+  run_case(AttackType::kCbr, a, manifest);
+  run_case(AttackType::kShrew, a, manifest);
   std::printf("\n(fair = link/27 per path; legit link%% = legit-path traffic "
               "as a fraction of the link)\n");
+  manifest.write();
   return 0;
 }

@@ -6,6 +6,7 @@ int main(int argc, char** argv) {
   using namespace floc::bench;
   const BenchArgs a = BenchArgs::parse(argc, argv);
   run_inet_figure(
+      "fig13",
       "Fig. 13 - Internet-scale, localized attack (100 attack ASes)",
       "ND: legit denied (~0%); FF: legit ~20% (above its ~9% fair share via "
       "priority); FLoc NA: legit-path flows ~70-75%; aggregation (A-*) "

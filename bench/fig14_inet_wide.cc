@@ -6,6 +6,7 @@ int main(int argc, char** argv) {
   using namespace floc::bench;
   const BenchArgs a = BenchArgs::parse(argc, argv);
   run_inet_figure(
+      "fig14",
       "Fig. 14 - Internet-scale, wide attack dispersion (300 attack ASes)",
       "vs Fig. 13: legit-path bandwidth under NA decreases (more active "
       "paths dilute each share, more ASes turn attack) while legit flows in "

@@ -6,6 +6,7 @@ int main(int argc, char** argv) {
   using namespace floc::bench;
   const BenchArgs a = BenchArgs::parse(argc, argv);
   run_inet_figure(
+      "fig15",
       "Fig. 15 - Internet-scale, separated legit/attack ASes (overlap 0)",
       "with legitimate ASes disjoint from attack ASes, localization is "
       "cleanest: legit-path bandwidth is highest and legit traffic inside "

@@ -6,12 +6,16 @@
 
 namespace floc::bench {
 
-inline void run_inet_figure(const char* title, const char* claim,
-                            int attack_ases, double overlap,
+inline void run_inet_figure(const char* name, const char* title,
+                            const char* claim, int attack_ases, double overlap,
                             const BenchArgs& a) {
   BenchArgs args = a;
   header(title, claim, args);
+  RunManifest manifest(name, args);
+  manifest.note("attack_ases", static_cast<double>(attack_ases));
+  manifest.note("legit_overlap", overlap);
   const double scale = a.paper ? 1.0 : 0.05;
+  manifest.note("inet_scale", scale);
   // Cross-topology spread of the FLoc rows, accumulated with the shared
   // RunningStats instead of per-figure sum variables.
   RunningStats floc_legit, floc_util;
@@ -48,6 +52,7 @@ inline void run_inet_figure(const char* title, const char* claim,
                 floc_legit.mean(), floc_legit.stddev(), floc_util.mean(),
                 floc_util.stddev());
   }
+  manifest.write();
 }
 
 }  // namespace floc::bench

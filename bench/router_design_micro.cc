@@ -13,6 +13,8 @@
 #include "core/drop_filter.h"
 #include "core/floc_queue.h"
 #include "core/token_bucket.h"
+#include "telemetry/profiler.h"
+#include "telemetry/tracing.h"
 #include "util/siphash.h"
 
 namespace floc {
@@ -89,7 +91,9 @@ void BM_DropFilterQuery(benchmark::State& state) {
 BENCHMARK(BM_DropFilterQuery);
 
 void run_floc_enqueue_dequeue(benchmark::State& state,
-                              telemetry::Telemetry* tel) {
+                              telemetry::Telemetry* tel,
+                              telemetry::Tracer* tracer = nullptr,
+                              telemetry::Profiler* prof = nullptr) {
   FlocConfig cfg;
   cfg.link_bandwidth = gbps(10);
   cfg.buffer_packets = 4096;
@@ -99,6 +103,8 @@ void run_floc_enqueue_dequeue(benchmark::State& state,
     tel->journal.set_enabled(telemetry::EventKind::kDrop, false);
     q.attach_telemetry(tel);
   }
+  if (tracer != nullptr) q.set_tracer(tracer);
+  if (prof != nullptr) q.set_profiler(prof);
   const int paths = static_cast<int>(state.range(0));
   std::vector<PathId> ids;
   for (int i = 0; i < paths; ++i)
@@ -112,8 +118,17 @@ void run_floc_enqueue_dequeue(benchmark::State& state,
     p.dst = 9999;
     p.path = ids[static_cast<std::size_t>(flow % static_cast<FlowId>(paths))];
     ++flow;
+    telemetry::SpanId span = 0;
+    if (tracer != nullptr) {
+      // Play the link's role: root a queue-residency span at the hop so the
+      // FLoc admission verdict has a span to annotate.
+      span = tracer->begin(t, p.flow, 0, telemetry::SpanKind::kQueue,
+                           /*pid=*/1, /*tid=*/0, p.seq, p.size_bytes);
+      p.span = SpanContext{p.flow, span, 0};
+    }
     q.enqueue(std::move(p), t);
     q.dequeue(t);
+    if (tracer != nullptr) tracer->end(span, t);
     t += 1.2e-6;  // ~10 Gbps of full-size packets
   }
 }
@@ -130,6 +145,25 @@ void BM_FlocEnqueueDequeueTelemetry(benchmark::State& state) {
   run_floc_enqueue_dequeue(state, &tel);
 }
 BENCHMARK(BM_FlocEnqueueDequeueTelemetry)->Arg(8)->Arg(64)->Arg(512);
+
+// Data path with causal span tracing attached: every packet gets a queue
+// span and FLoc annotates its admission verdict. The delta over
+// BM_FlocEnqueueDequeue is the attached tracing overhead; the detached cost
+// is the null pointer test already included in the baseline run.
+void BM_FlocEnqueueDequeueTraced(benchmark::State& state) {
+  telemetry::Tracer tracer(/*max_spans=*/4096);
+  run_floc_enqueue_dequeue(state, nullptr, &tracer);
+}
+BENCHMARK(BM_FlocEnqueueDequeueTraced)->Arg(8)->Arg(64)->Arg(512);
+
+// Data path with the wall-clock profiler attached (scoped timers around
+// enqueue/dequeue/control/cap-verify). Delta over the baseline = two
+// steady-clock reads per packet.
+void BM_FlocEnqueueDequeueProfiled(benchmark::State& state) {
+  telemetry::Profiler prof;
+  run_floc_enqueue_dequeue(state, nullptr, nullptr, &prof);
+}
+BENCHMARK(BM_FlocEnqueueDequeueProfiled)->Arg(8)->Arg(64)->Arg(512);
 
 void BM_AggregationPlan(benchmark::State& state) {
   const int paths = static_cast<int>(state.range(0));

@@ -26,11 +26,15 @@ check_no_stray_artifacts() {
   # `git ls-files -o` WITHOUT --exclude-standard also lists gitignored
   # files, so artifacts .gitignore hides (fig*.csv, ablation*.csv) are
   # still caught. Build trees and editor/tooling caches are exempt.
+  # Matched explicitly on top of the generic extensions: exported causal
+  # traces (*.trace.json), run manifests (*manifest.json), and journal dumps
+  # (*.journal.json) — the observability artifacts every bench now writes.
   local stray
   stray="$(git ls-files -o \
     | grep -vE '^(build[^/]*|\.cache|\.ccache|\.vscode|\.idea)/' \
     | grep -vE '^compile_commands\.json$' \
-    | grep -E '\.(csv|json)$' || true)"
+    | grep -E '(\.trace\.json|manifest\.json|\.journal\.json|\.(csv|json))$' \
+    || true)"
   if [[ -n "$stray" ]]; then
     echo "error: generated artifacts left in the source tree:" >&2
     echo "$stray" >&2

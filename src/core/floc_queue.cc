@@ -1,6 +1,7 @@
 #include "core/floc_queue.h"
 
 #include "core/conformance.h"
+#include "telemetry/tracing.h"
 
 #include <algorithm>
 #include <cassert>
@@ -104,6 +105,30 @@ void FlocQueue::journal_drop(const Packet& p, DropReason r, TimeSec now) {
                    static_cast<double>(p.size_bytes));
 }
 
+void FlocQueue::set_profiler(telemetry::Profiler* prof,
+                             const std::string& prefix) {
+  prof_enqueue_ = prof != nullptr ? prof->section(prefix + ".enqueue") : nullptr;
+  prof_dequeue_ = prof != nullptr ? prof->section(prefix + ".dequeue") : nullptr;
+  prof_control_ = prof != nullptr ? prof->section(prefix + ".control") : nullptr;
+  prof_cap_verify_ =
+      prof != nullptr ? prof->section(prefix + ".cap_verify") : nullptr;
+}
+
+void FlocQueue::trace_verdict(const Packet& p, const Aggregate& agg,
+                              TimeSec now, const char* verdict) {
+  telemetry::Tracer* t = tracer();
+  t->annotate(p.span.span, "mode", mode_name(mode()));
+  t->annotate(p.span.span, "verdict", verdict);
+  if (agg.bucket.configured()) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.0f/%.0f",
+                  agg.bucket.peek_tokens(now, true),
+                  agg.bucket.capacity_bytes(true));
+    t->annotate(p.span.span, "tokens", buf);
+  }
+  t->annotate(p.span.span, "path", p.path.to_string());
+}
+
 OriginPathState& FlocQueue::origin_state(const PathId& path) {
   const std::uint64_t key = path.key();
   auto it = origins_.find(key);
@@ -163,6 +188,9 @@ TimeSec FlocQueue::measured_flow_mtd(const OriginPathState&, std::uint64_t key,
 
 void FlocQueue::on_drop(const Packet& p, DropReason r, OriginPathState& op,
                         Aggregate& agg, FlowRecord* fr, TimeSec now) {
+  if (tracer() != nullptr && p.span.active()) {
+    trace_verdict(p, agg, now, "drop");  // DropReason added by the base hook
+  }
   if (journal_ != nullptr) journal_drop(p, r, now);
   drop_counts_[static_cast<std::size_t>(r)]++;
   op.drops++;
@@ -179,6 +207,7 @@ void FlocQueue::on_drop(const Packet& p, DropReason r, OriginPathState& op,
 }
 
 bool FlocQueue::enqueue(Packet&& p, TimeSec now) {
+  telemetry::ScopedTimer timer(prof_enqueue_);
   const bool admitted = enqueue_impl(std::move(p), now);
   // Telemetry off: one pointer test. On: detect mode transitions caused by
   // this arrival (queue growth or a control-tick q_max change).
@@ -252,24 +281,33 @@ bool FlocQueue::admit_data(Packet& p, TimeSec now) {
   // under the new secret instead (dropping would cut off every established
   // legitimate flow whose source still echoes pre-rotation capabilities).
   if (cfg_.enable_capabilities && p.cap0 != 0) {
-    const auto vr = issuer_.verify_at(p, now);
+    CapabilityIssuer::VerifyResult vr;
+    {
+      telemetry::ScopedTimer timer(prof_cap_verify_);
+      vr = issuer_.verify_at(p, now);
+    }
+    const bool traced = tracer() != nullptr && p.span.active();
     if (vr != CapabilityIssuer::VerifyResult::kOk) {
       if (issuer_.in_grace(now)) {
         const auto caps = issuer_.issue(p.src, p.dst, p.path);
         p.cap0 = caps.cap0;
         p.cap1 = caps.cap1;
         ++cap_reissues_;
+        if (traced) tracer()->annotate(p.span.span, "cap", "reissued");
         if (journal_ != nullptr) {
           journal_->record(now, telemetry::EventKind::kCapReissue, "floc",
                            std::string(), p.flow, 0.0);
         }
       } else {
         ++cap_violations_;
+        if (traced) trace_verdict(p, agg, now, "drop");
         if (journal_ != nullptr) journal_drop(p, DropReason::kCapability, now);
         drop_counts_[static_cast<std::size_t>(DropReason::kCapability)]++;
         note_drop(p, DropReason::kCapability, now);
         return false;
       }
+    } else if (traced) {
+      tracer()->annotate(p.span.span, "cap", "ok");
     }
   }
 
@@ -299,6 +337,9 @@ bool FlocQueue::admit_data(Packet& p, TimeSec now) {
       if (!agg.bucket.try_consume(p.size_bytes, now,
                                   !cfg_.force_base_bucket)) {
         op.token_misses++;
+      }
+      if (tracer() != nullptr && p.span.active()) {
+        trace_verdict(p, agg, now, "admit");
       }
       return true;
     }
@@ -346,7 +387,12 @@ bool FlocQueue::admit_data(Packet& p, TimeSec now) {
   } else {
     token_ok = agg.bucket.try_consume(p.size_bytes, now, use_increased);
   }
-  if (token_ok) return true;
+  if (token_ok) {
+    if (tracer() != nullptr && p.span.active()) {
+      trace_verdict(p, agg, now, "admit-token");
+    }
+    return true;
+  }
 
   // Post-reboot relearn window: parameters and attack flags are cold, so the
   // usual mode-derived strictness is unreliable. The configured policy picks
@@ -372,10 +418,14 @@ bool FlocQueue::admit_data(Packet& p, TimeSec now) {
     return false;
   }
   op.token_misses++;  // shortfall admitted neutrally: still an MTD signal
+  if (tracer() != nullptr && p.span.active()) {
+    trace_verdict(p, agg, now, "admit-neutral");
+  }
   return true;
 }
 
 std::optional<Packet> FlocQueue::dequeue(TimeSec now) {
+  telemetry::ScopedTimer timer(prof_dequeue_);
   if (q_.empty()) return std::nullopt;
   Packet p = std::move(q_.front());
   q_.pop_front();
@@ -423,6 +473,7 @@ void FlocQueue::rotate_secret(std::uint64_t new_secret, TimeSec now) {
 }
 
 void FlocQueue::control(TimeSec now) {
+  telemetry::ScopedTimer timer(prof_control_);
   const TimeSec interval = cfg_.control_interval;
   next_control_ = now + interval;
   ++control_ticks_;

@@ -33,6 +33,7 @@
 #include "core/model.h"
 #include "core/token_bucket.h"
 #include "netsim/queue_disc.h"
+#include "telemetry/profiler.h"
 #include "telemetry/telemetry.h"
 #include "util/rng.h"
 
@@ -172,6 +173,12 @@ class FlocQueue : public QueueDisc {
   void attach_telemetry(telemetry::Telemetry* t,
                         const std::string& prefix = "floc");
 
+  // Attribute the queue's wall-clock cost to profiler sections
+  // "<prefix>.enqueue", ".dequeue", ".control" (the lazy control loop) and
+  // ".cap_verify" (SipHash capability verification). nullptr detaches.
+  void set_profiler(telemetry::Profiler* prof,
+                    const std::string& prefix = "floc");
+
  private:
   struct Aggregate {
     PathId id;
@@ -202,6 +209,11 @@ class FlocQueue : public QueueDisc {
   // Journal slow paths; callers gate on `journal_ != nullptr`.
   void journal_mode(TimeSec now);
   void journal_drop(const Packet& p, DropReason r, TimeSec now);
+  // Span-annotation slow path: record the admission verdict (mode, verdict,
+  // token-bucket fill, path) on the packet's queue span. Callers gate on
+  // `tracer() != nullptr && p.span.active()`.
+  void trace_verdict(const Packet& p, const Aggregate& agg, TimeSec now,
+                     const char* verdict);
   void on_drop(const Packet& p, DropReason r, OriginPathState& op,
                Aggregate& agg, FlowRecord* fr, TimeSec now);
   void control(TimeSec now);
@@ -240,6 +252,12 @@ class FlocQueue : public QueueDisc {
   telemetry::EventJournal* journal_ = nullptr;
   Mode last_mode_ = Mode::kUncongested;
   bool recovery_pending_journal_ = false;
+
+  // Profiler sections (null = off).
+  telemetry::Profiler::Section* prof_enqueue_ = nullptr;
+  telemetry::Profiler::Section* prof_dequeue_ = nullptr;
+  telemetry::Profiler::Section* prof_control_ = nullptr;
+  telemetry::Profiler::Section* prof_cap_verify_ = nullptr;
 };
 
 }  // namespace floc

@@ -17,6 +17,15 @@ Link::Link(Simulator* sim, Node* to, BitsPerSec bandwidth, TimeSec delay,
 void Link::set_queue(std::unique_ptr<QueueDisc> q) {
   assert(q);
   queue_ = std::move(q);
+  queue_->set_tracer(tracer_);
+}
+
+void Link::set_tracer(telemetry::Tracer* tracer, std::int32_t pid,
+                      std::uint64_t tid) {
+  tracer_ = tracer;
+  trace_pid_ = pid;
+  trace_tid_ = tid;
+  queue_->set_tracer(tracer);
 }
 
 void Link::send(Packet&& p) {
@@ -24,9 +33,24 @@ void Link::send(Packet&& p) {
     ++down_drops_;
     return;
   }
-  if (queue_->enqueue(std::move(p), sim_->now())) {
-    try_transmit();
+  if (tracer_ != nullptr) trace_enqueue(p);
+  bool admitted;
+  {
+    telemetry::ScopedTimer timer(prof_enqueue_);
+    admitted = queue_->enqueue(std::move(p), sim_->now());
   }
+  if (admitted) try_transmit();
+}
+
+void Link::trace_enqueue(Packet& p) {
+  // Untraced traffic (e.g. raw attack sources) still gets a residency span
+  // rooted at this hop, keyed by its flow id.
+  const std::uint64_t trace = p.span.trace != 0 ? p.span.trace : p.flow;
+  const telemetry::SpanId qs =
+      tracer_->begin(sim_->now(), trace, p.span.span,
+                     telemetry::SpanKind::kQueue, trace_pid_, trace_tid_,
+                     p.seq, p.size_bytes);
+  p.span = SpanContext{trace, qs, p.span.span};
 }
 
 void Link::set_up(bool up, DownQueuePolicy policy) {
@@ -43,13 +67,18 @@ void Link::set_up(bool up, DownQueuePolicy policy) {
 
 void Link::try_transmit() {
   if (busy_ || !up_) return;
-  auto pkt = queue_->dequeue(sim_->now());
+  std::optional<Packet> pkt;
+  {
+    telemetry::ScopedTimer timer(prof_dequeue_);
+    pkt = queue_->dequeue(sim_->now());
+  }
   if (!pkt) return;
   busy_ = true;
   if (tamper_) tamper_(*pkt);
   const TimeSec tx = transmission_time(pkt->size_bytes, bandwidth_);
   bytes_sent_ += static_cast<std::uint64_t>(pkt->size_bytes);
   ++packets_sent_;
+  if (tracer_ != nullptr && pkt->span.active()) trace_transmit(*pkt, tx);
   // Transmitter frees after serialization; the packet lands after the
   // additional propagation delay.
   sim_->schedule_in(tx, [this] {
@@ -59,6 +88,20 @@ void Link::try_transmit() {
   sim_->schedule_in(tx + delay_, [this, p = std::move(*pkt)]() mutable {
     to_->receive(std::move(p));
   });
+}
+
+void Link::trace_transmit(Packet& p, TimeSec tx) {
+  const TimeSec now = sim_->now();
+  // Close the residency span (a no-op if the queue's drop hook already
+  // terminated it) and record the pre-known serialization+propagation
+  // interval, then hand the packet onward parented under the wire span.
+  tracer_->end(p.span.span, now);
+  const telemetry::SpanId wire = tracer_->complete(
+      now, now + tx + delay_, p.span.trace, p.span.span,
+      telemetry::SpanKind::kLinkTx, trace_pid_, trace_tid_, p.seq,
+      p.size_bytes);
+  p.span.parent = p.span.span;
+  p.span.span = wire;
 }
 
 void Link::register_metrics(telemetry::MetricRegistry& reg,

@@ -14,6 +14,8 @@
 #include "netsim/queue_disc.h"
 #include "netsim/simulator.h"
 #include "telemetry/metrics.h"
+#include "telemetry/profiler.h"
+#include "telemetry/tracing.h"
 #include "util/units.h"
 
 namespace floc {
@@ -73,8 +75,29 @@ class Link {
   void register_metrics(telemetry::MetricRegistry& reg,
                         const std::string& prefix) const;
 
+  // Attach causal span tracing: each offered packet gets a kQueue residency
+  // span (parented under the packet's current span, closed at dequeue or by
+  // the queue's drop hook), and each transmission records a kLinkTx span
+  // covering serialization + propagation. `pid`/`tid` label the exported
+  // lanes (by convention: pid = receiving node id, tid = link ordinal). The
+  // tracer also propagates to the queue discipline so drops terminate the
+  // residency span with their DropReason. Null detaches; the detached send
+  // path does zero tracing work.
+  void set_tracer(telemetry::Tracer* tracer, std::int32_t pid = 0,
+                  std::uint64_t tid = 0);
+
+  // Attach wall-clock profiling of the queue discipline's enqueue/dequeue
+  // calls (sections from telemetry::Profiler::section); null detaches.
+  void set_profiler(telemetry::Profiler::Section* enqueue_section,
+                    telemetry::Profiler::Section* dequeue_section) {
+    prof_enqueue_ = enqueue_section;
+    prof_dequeue_ = dequeue_section;
+  }
+
  private:
   void try_transmit();
+  void trace_enqueue(Packet& p);
+  void trace_transmit(Packet& p, TimeSec tx);
 
   Simulator* sim_;
   Node* to_;
@@ -82,6 +105,11 @@ class Link {
   TimeSec delay_;
   std::unique_ptr<QueueDisc> queue_;
   std::function<void(Packet&)> tamper_;
+  telemetry::Tracer* tracer_ = nullptr;
+  std::int32_t trace_pid_ = 0;
+  std::uint64_t trace_tid_ = 0;
+  telemetry::Profiler::Section* prof_enqueue_ = nullptr;
+  telemetry::Profiler::Section* prof_dequeue_ = nullptr;
   bool busy_ = false;
   bool up_ = true;
   std::uint64_t bytes_sent_ = 0;

@@ -58,6 +58,18 @@ enum class PacketType : std::uint8_t {
 
 const char* to_string(PacketType t);
 
+// Causal tracing context carried by a packet (see src/telemetry/tracing.h):
+// the trace (by convention the flow id) and the packet's current span, so the
+// next component can parent its own span under it. All-zero when tracing is
+// detached — three words copied per hop, nothing else.
+struct SpanContext {
+  std::uint64_t trace = 0;
+  std::uint64_t span = 0;    // the packet's current (innermost) span
+  std::uint64_t parent = 0;  // that span's parent
+
+  bool active() const { return span != 0; }
+};
+
 struct Packet {
   FlowId flow = 0;
   HostAddr src = 0;
@@ -74,6 +86,8 @@ struct Packet {
   std::uint64_t cap1 = 0;
 
   double sent_time = 0.0;  // origin timestamp (for RTT sampling)
+
+  SpanContext span;        // causal tracing context; all-zero when detached
 };
 
 }  // namespace floc

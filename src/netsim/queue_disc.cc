@@ -1,8 +1,15 @@
 #include "netsim/queue_disc.h"
 
 #include "telemetry/metrics.h"
+#include "telemetry/tracing.h"
 
 namespace floc {
+
+void QueueDisc::trace_drop(const Packet& p, DropReason r, TimeSec now) {
+  // Status 0 means "completed normally", so shift the ordinal by one.
+  tracer_->end_dropped(p.span.span, now,
+                       static_cast<std::uint32_t>(r) + 1, to_string(r));
+}
 
 void QueueDisc::register_metrics(telemetry::MetricRegistry& reg,
                                  const std::string& prefix) const {
@@ -26,6 +33,17 @@ const char* to_string(DropReason r) {
     case DropReason::kCapability: return "capability";
   }
   return "?";
+}
+
+bool from_string(const std::string& name, DropReason* out) {
+  for (std::size_t i = 0; i < kDropReasonCount; ++i) {
+    const DropReason r = static_cast<DropReason>(i);
+    if (name == to_string(r)) {
+      *out = r;
+      return true;
+    }
+  }
+  return false;
 }
 
 }  // namespace floc

@@ -18,6 +18,7 @@ namespace floc {
 
 namespace telemetry {
 class MetricRegistry;
+class Tracer;
 }
 
 // Reasons a queue discipline may drop a packet; recorded for diagnostics.
@@ -32,6 +33,9 @@ enum class DropReason : std::uint8_t {
 inline constexpr std::size_t kDropReasonCount = 6;
 
 const char* to_string(DropReason r);
+// Inverse of to_string; returns false (and leaves *out alone) for unknown
+// names. Round-tripped exhaustively in tests.
+bool from_string(const std::string& name, DropReason* out);
 
 class QueueDisc {
  public:
@@ -68,18 +72,30 @@ class QueueDisc {
 
   void set_drop_handler(DropHandler h) { drop_handler_ = std::move(h); }
 
+  // Attach causal span tracing. A traced drop (any scheme, any reason)
+  // terminates the packet's queue span with the DropReason — this base-class
+  // hook is the only tracing touchpoint the baseline disciplines need.
+  // Virtual so decorators can propagate the tracer to their inner queue.
+  virtual void set_tracer(telemetry::Tracer* tracer) { tracer_ = tracer; }
+
   std::uint64_t drops() const { return drops_; }
   std::uint64_t admissions() const { return admissions_; }
 
  protected:
   void note_drop(const Packet& p, DropReason r, TimeSec now) {
     ++drops_;
+    if (tracer_ != nullptr && p.span.active()) trace_drop(p, r, now);
     if (drop_handler_) drop_handler_(p, r, now);
   }
   void note_admit() { ++admissions_; }
 
+  telemetry::Tracer* tracer() const { return tracer_; }
+
  private:
+  void trace_drop(const Packet& p, DropReason r, TimeSec now);  // out-of-line
+
   DropHandler drop_handler_;
+  telemetry::Tracer* tracer_ = nullptr;
   std::uint64_t drops_ = 0;
   std::uint64_t admissions_ = 0;
 };

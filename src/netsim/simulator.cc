@@ -15,15 +15,17 @@ void Simulator::schedule_at(TimeSec t, Callback cb) {
 }
 
 void Simulator::dispatch(Callback& cb) {
-  if (profile_ns_ == nullptr) {
+  if (profile_ns_ == nullptr && profile_section_ == nullptr) {
     cb();
     return;
   }
   const auto t0 = std::chrono::steady_clock::now();
   cb();
   const auto dt = std::chrono::steady_clock::now() - t0;
-  profile_ns_->observe(static_cast<double>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(dt).count()));
+  const auto ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(dt).count());
+  if (profile_ns_ != nullptr) profile_ns_->observe(static_cast<double>(ns));
+  if (profile_section_ != nullptr) profile_section_->record(ns);
 }
 
 void Simulator::run_until(TimeSec t_end) {

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "telemetry/metrics.h"
+#include "telemetry/profiler.h"
 #include "util/units.h"
 
 namespace floc {
@@ -51,6 +52,12 @@ class Simulator {
   // nullptr detaches.
   void set_profiler(telemetry::LogHistogram* event_ns) { profile_ns_ = event_ns; }
 
+  // Attribute event-dispatch wall time to a Profiler section (e.g.
+  // "sim.dispatch"); composes with set_profiler(). nullptr detaches.
+  void set_profile_section(telemetry::Profiler::Section* section) {
+    profile_section_ = section;
+  }
+
   // Publish scheduler counters as polled gauges: <prefix>.events_processed,
   // <prefix>.late_events, <prefix>.pending_events.
   void register_metrics(telemetry::MetricRegistry& reg,
@@ -76,6 +83,7 @@ class Simulator {
   std::uint64_t processed_ = 0;
   std::uint64_t late_ = 0;
   telemetry::LogHistogram* profile_ns_ = nullptr;
+  telemetry::Profiler::Section* profile_section_ = nullptr;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
 };
 

@@ -13,6 +13,17 @@ const char* to_string(TraceEvent ev) {
   return "?";
 }
 
+bool from_string(const std::string& name, TraceEvent* out) {
+  for (std::size_t i = 0; i < kTraceEventCount; ++i) {
+    const TraceEvent ev = static_cast<TraceEvent>(i);
+    if (name == to_string(ev)) {
+      *out = ev;
+      return true;
+    }
+  }
+  return false;
+}
+
 void TraceRecorder::record(TraceRecord r) {
   counts_[static_cast<std::size_t>(r.event)]++;
   if (r.event == TraceEvent::kDrop) {

@@ -23,8 +23,12 @@
 namespace floc {
 
 enum class TraceEvent : std::uint8_t { kEnqueue, kDequeue, kDrop };
+inline constexpr std::size_t kTraceEventCount = 3;
 
 const char* to_string(TraceEvent ev);
+// Inverse of to_string; returns false (and leaves *out alone) for unknown
+// names. Round-tripped exhaustively in tests.
+bool from_string(const std::string& name, TraceEvent* out);
 
 struct TraceRecord {
   TimeSec time = 0.0;
@@ -89,6 +93,20 @@ class TracedQueue : public QueueDisc {
   bool empty() const override { return inner_->empty(); }
   std::size_t packet_count() const override { return inner_->packet_count(); }
   std::size_t byte_count() const override { return inner_->byte_count(); }
+
+  // The decorator is transparent to observability: metrics, invariant audits
+  // and causal tracing all reach the inner discipline.
+  void register_metrics(telemetry::MetricRegistry& reg,
+                        const std::string& prefix) const override {
+    inner_->register_metrics(reg, prefix);
+  }
+  bool audit(TimeSec now, std::string* why) const override {
+    return inner_->audit(now, why);
+  }
+  void set_tracer(telemetry::Tracer* tracer) override {
+    QueueDisc::set_tracer(tracer);
+    inner_->set_tracer(tracer);
+  }
 
   QueueDisc& inner() { return *inner_; }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "telemetry/file_util.h"
+
 namespace floc::telemetry {
 
 const char* to_string(EventKind k) {
@@ -19,6 +21,17 @@ const char* to_string(EventKind k) {
     case EventKind::kInvariantViolation: return "invariant-violation";
   }
   return "?";
+}
+
+bool from_string(const std::string& name, EventKind* out) {
+  for (std::size_t i = 0; i < kEventKindCount; ++i) {
+    const EventKind k = static_cast<EventKind>(i);
+    if (name == to_string(k)) {
+      *out = k;
+      return true;
+    }
+  }
+  return false;
 }
 
 EventJournal::EventJournal(std::size_t max_events)
@@ -112,6 +125,12 @@ std::string EventJournal::to_json() const {
   }
   out += "\n]\n";
   return out;
+}
+
+bool EventJournal::save(const std::string& path, std::string* err) const {
+  const bool json = path.size() >= 5 &&
+                    path.compare(path.size() - 5, 5, ".json") == 0;
+  return write_text_file(path, json ? to_json() : dump(), err);
 }
 
 }  // namespace floc::telemetry

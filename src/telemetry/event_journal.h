@@ -39,6 +39,9 @@ enum class EventKind : std::uint8_t {
 inline constexpr std::size_t kEventKindCount = 10;
 
 const char* to_string(EventKind k);
+// Inverse of to_string; returns false (and leaves *out alone) for unknown
+// names. Round-tripped exhaustively in tests.
+bool from_string(const std::string& name, EventKind* out);
 
 struct DefenseEvent {
   TimeSec time = 0.0;
@@ -81,6 +84,11 @@ class EventJournal {
   std::string dump() const;
   std::string to_json() const;
   static std::string format(const DefenseEvent& e);
+
+  // Write the journal to `path`, choosing the format from the extension
+  // (".json" -> to_json(), anything else -> dump()). On failure returns
+  // false and fills `err` ("<path>: <strerror>") when non-null.
+  bool save(const std::string& path, std::string* err = nullptr) const;
 
  private:
   std::size_t max_events_;

@@ -1,0 +1,31 @@
+#include "telemetry/file_util.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace floc::telemetry {
+
+namespace {
+
+void fill_err(std::string* err, const std::string& path) {
+  if (err != nullptr) *err = path + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+bool write_text_file(const std::string& path, const std::string& text,
+                     std::string* err) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    fill_err(err, path);
+    return false;
+  }
+  const bool wrote = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  if (!wrote) fill_err(err, path);
+  const bool closed = std::fclose(f) == 0;
+  if (wrote && !closed) fill_err(err, path);
+  return wrote && closed;
+}
+
+}  // namespace floc::telemetry

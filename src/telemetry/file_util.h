@@ -1,0 +1,17 @@
+// One shared "write this string to that file" helper so every telemetry
+// exporter (time-series CSV, journal JSON, trace JSON, manifests) reports
+// I/O failures the same way instead of silently returning false — or worse,
+// hand-rolling an unchecked ofstream block per bench.
+#pragma once
+
+#include <string>
+
+namespace floc::telemetry {
+
+// Writes `text` to `path` (truncating). Returns true on success; on failure
+// returns false and, when `err` is non-null, fills it with
+// "<path>: <strerror>" so callers can report without touching errno.
+bool write_text_file(const std::string& path, const std::string& text,
+                     std::string* err = nullptr);
+
+}  // namespace floc::telemetry

@@ -1,0 +1,92 @@
+// Wall-clock profiler: attribute the simulator's real CPU time to named
+// components (event dispatch, each queue-disc class, TCP processing,
+// capability verification) so benches can print where a run's seconds went.
+//
+// A component asks the Profiler for a named Section once at attach time and
+// keeps the raw pointer; hot paths then open a ScopedTimer on that pointer.
+// The pointer is null by default — the same fast path contract as Tracer and
+// MetricRegistry: a detached component pays one pointer-null test and zero
+// allocations (pinned by tests/telemetry_fastpath_test.cc).
+//
+// Every section feeds a per-call latency LogHistogram registered in the
+// MetricRegistry as "<prefix>.<name>.ns" (when a registry is attached), so
+// profiler data exports through the same samplers as everything else, and
+// report() prints the human table benches show at exit.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "telemetry/metrics.h"
+
+namespace floc::telemetry {
+
+// Monotonic wall clock in nanoseconds.
+std::uint64_t clock_ns();
+
+class Profiler {
+ public:
+  struct Section {
+    std::string name;
+    std::uint64_t calls = 0;
+    std::uint64_t total_ns = 0;
+    LogHistogram* hist = nullptr;  // per-call ns; null without a registry
+
+    void record(std::uint64_t ns) {
+      ++calls;
+      total_ns += ns;
+      if (hist != nullptr) hist->observe(static_cast<double>(ns));
+    }
+  };
+
+  // When `registry` is non-null, each section registers a histogram named
+  // "<prefix>.<section>.ns".
+  explicit Profiler(MetricRegistry* registry = nullptr,
+                    std::string prefix = "prof");
+
+  // Get-or-create; the returned pointer is stable for the Profiler's
+  // lifetime. Not for hot paths — call once at attach time.
+  Section* section(const std::string& name);
+
+  const std::vector<std::unique_ptr<Section>>& sections() const {
+    return sections_;
+  }
+  std::uint64_t total_ns() const;
+
+  // Human-readable table, one row per section, sorted by total time:
+  //   section  calls  total  %  mean  p50  p99
+  // Percentages are of the profiler-attributed total (sections may nest, so
+  // rows can legitimately sum past 100%).
+  std::string report() const;
+
+  void reset();
+
+ private:
+  MetricRegistry* registry_;
+  std::string prefix_;
+  std::vector<std::unique_ptr<Section>> sections_;
+  std::unordered_map<std::string, std::size_t> index_;
+};
+
+// RAII: times its scope into a Section. A null section is a no-op, so hot
+// paths can open one unconditionally on their (maybe-null) section pointer.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Profiler::Section* section)
+      : section_(section), start_ns_(section != nullptr ? clock_ns() : 0) {}
+  ~ScopedTimer() {
+    if (section_ != nullptr) section_->record(clock_ns() - start_ns_);
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Profiler::Section* section_;
+  std::uint64_t start_ns_;
+};
+
+}  // namespace floc::telemetry

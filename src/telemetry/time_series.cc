@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <limits>
 
+#include "telemetry/file_util.h"
+
 namespace floc::telemetry {
 
 namespace {
@@ -174,11 +176,20 @@ std::string TimeSeriesSampler::to_json() const {
 }
 
 bool TimeSeriesSampler::write_csv(const std::string& path) const {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) return false;
-  const std::string csv = to_csv();
-  const bool ok = std::fwrite(csv.data(), 1, csv.size(), f) == csv.size();
-  return std::fclose(f) == 0 && ok;
+  return write_text_file(path, to_csv());
+}
+
+namespace {
+bool has_suffix(const std::string& s, const char* suffix) {
+  const std::string suf(suffix);
+  return s.size() >= suf.size() &&
+         s.compare(s.size() - suf.size(), suf.size(), suf) == 0;
+}
+}  // namespace
+
+bool TimeSeriesSampler::save(const std::string& path, std::string* err) const {
+  return write_text_file(path, has_suffix(path, ".json") ? to_json() : to_csv(),
+                         err);
 }
 
 }  // namespace floc::telemetry

@@ -61,6 +61,12 @@ class TimeSeriesSampler {
   // Write to_csv() to `path`; returns false on I/O failure.
   bool write_csv(const std::string& path) const;
 
+  // Write the series to `path`, choosing the format from the extension
+  // (".json" -> to_json(), anything else -> to_csv()). On failure returns
+  // false and fills `err` ("<path>: <strerror>") when non-null, so benches
+  // can report instead of silently producing nothing.
+  bool save(const std::string& path, std::string* err = nullptr) const;
+
  private:
   template <typename Sched>
   void schedule_next(Sched* sched, TimeSec t0, TimeSec until, std::uint64_t k) {

@@ -1,0 +1,130 @@
+#include "telemetry/tracing.h"
+
+#include <algorithm>
+
+namespace floc::telemetry {
+
+const char* to_string(SpanKind k) {
+  switch (k) {
+    case SpanKind::kTcpHandshake: return "tcp.syn";
+    case SpanKind::kTcpSend: return "tcp.send";
+    case SpanKind::kQueue: return "queue";
+    case SpanKind::kLinkTx: return "link.tx";
+    case SpanKind::kOther: return "other";
+  }
+  return "?";
+}
+
+bool from_string(const std::string& name, SpanKind* out) {
+  for (std::size_t i = 0; i < kSpanKindCount; ++i) {
+    const SpanKind k = static_cast<SpanKind>(i);
+    if (name == to_string(k)) {
+      *out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+Tracer::Tracer(std::size_t max_spans)
+    : max_spans_(std::max<std::size_t>(1, max_spans)) {}
+
+SpanId Tracer::begin(TimeSec now, std::uint64_t trace, SpanId parent,
+                     SpanKind kind, std::int32_t pid, std::uint64_t tid,
+                     std::uint64_t seq, int bytes) {
+  const SpanId id = next_id_++;
+  Span s;
+  s.trace = trace;
+  s.id = id;
+  s.parent = parent;
+  s.kind = kind;
+  s.pid = pid;
+  s.tid = tid;
+  s.begin = now;
+  s.seq = seq;
+  s.bytes = bytes;
+  open_.emplace(id, std::move(s));
+  ++begun_;
+  ++kind_counts_[static_cast<std::size_t>(kind)];
+  return id;
+}
+
+void Tracer::annotate(SpanId id, const char* key, const char* value) {
+  const auto it = open_.find(id);
+  if (it == open_.end()) return;
+  std::string& a = it->second.annot;
+  if (!a.empty()) a += ';';
+  a += key;
+  a += '=';
+  a += value;
+}
+
+void Tracer::end(SpanId id, TimeSec now) {
+  const auto it = open_.find(id);
+  if (it == open_.end()) return;
+  Span s = std::move(it->second);
+  open_.erase(it);
+  s.end = now;
+  push_closed(std::move(s));
+}
+
+void Tracer::end_dropped(SpanId id, TimeSec now, std::uint32_t status,
+                         const char* reason) {
+  const auto it = open_.find(id);
+  if (it == open_.end()) return;
+  annotate(id, "drop", reason);
+  Span s = std::move(it->second);
+  open_.erase(it);
+  s.end = now;
+  s.status = status;
+  ++dropped_;
+  push_closed(std::move(s));
+}
+
+SpanId Tracer::complete(TimeSec begin, TimeSec end, std::uint64_t trace,
+                        SpanId parent, SpanKind kind, std::int32_t pid,
+                        std::uint64_t tid, std::uint64_t seq, int bytes) {
+  const SpanId id = next_id_++;
+  Span s;
+  s.trace = trace;
+  s.id = id;
+  s.parent = parent;
+  s.kind = kind;
+  s.pid = pid;
+  s.tid = tid;
+  s.begin = begin;
+  s.end = end;
+  s.seq = seq;
+  s.bytes = bytes;
+  ++begun_;
+  ++kind_counts_[static_cast<std::size_t>(kind)];
+  push_closed(std::move(s));
+  return id;
+}
+
+void Tracer::push_closed(Span&& s) {
+  if (closed_.size() >= max_spans_) {
+    closed_.pop_front();
+    overflowed_ = true;
+  }
+  ++closed_count_;
+  closed_.push_back(std::move(s));
+}
+
+const Span* Tracer::find(SpanId id) const {
+  for (const Span& s : closed_) {
+    if (s.id == id) return &s;
+  }
+  return nullptr;
+}
+
+void Tracer::clear() {
+  open_.clear();
+  closed_.clear();
+  begun_ = closed_count_ = dropped_ = 0;
+  std::fill(kind_counts_, kind_counts_ + kSpanKindCount, 0);
+  overflowed_ = false;
+  next_id_ = 1;
+}
+
+}  // namespace floc::telemetry

@@ -1,0 +1,137 @@
+// Causal span tracing: follow one packet (or one flow) through
+// source -> queue -> link -> ... -> ACK, with begin/end timestamps and
+// component annotations, so "which packets survive the flooded link and why"
+// can be answered per packet instead of only in aggregate.
+//
+// A span is a timed interval owned by one component: a TCP segment's
+// send-to-ACK lifetime, a packet's residency in a queue discipline, a link
+// serialization+propagation. Spans form a causal tree via parent ids; the
+// packet carries its current span in `Packet::span` (a plain
+// `floc::SpanContext`, three words, zero when tracing is detached), so each
+// hop parents its span under the previous one without any global lookup.
+//
+// Layering: this header is component-agnostic — it knows nothing about
+// Packet, Link, or DropReason. The netsim/transport/core glue begins, ends,
+// and annotates spans behind the same pointer-null fast path the metric
+// registry established: a component holds a `Tracer*` that is null by
+// default, and the detached packet path performs zero tracing work and zero
+// allocations (pinned by tests/telemetry_fastpath_test.cc).
+//
+// Storage is a bounded ring of closed spans (oldest evicted under pressure;
+// per-kind counts keep covering everything) plus an open-span table keyed by
+// span id. `end()` on an unknown or already-closed id is a no-op, so two
+// layers may both try to close a span (e.g. a queue's drop hook and the link
+// that offered the packet) without coordination.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/units.h"
+
+namespace floc::telemetry {
+
+using SpanId = std::uint64_t;
+
+enum class SpanKind : std::uint8_t {
+  kTcpHandshake,  // SYN sent -> SYN-ACK received
+  kTcpSend,       // data segment transmitted -> covering ACK received
+  kQueue,         // offered to a queue discipline -> dequeued (or dropped)
+  kLinkTx,        // serialization start -> delivery at the far node
+  kOther,         // glue-defined
+};
+inline constexpr std::size_t kSpanKindCount = 5;
+
+const char* to_string(SpanKind k);
+// Inverse of to_string; returns false (and leaves *out alone) for unknown
+// names. Exhaustively round-tripped in tests so new kinds cannot print "?".
+bool from_string(const std::string& name, SpanKind* out);
+
+struct Span {
+  std::uint64_t trace = 0;  // trace id; by convention the flow id
+  SpanId id = 0;
+  SpanId parent = 0;        // 0 = root
+  SpanKind kind = SpanKind::kOther;
+  std::int32_t pid = 0;     // owning process lane; by convention the node id
+  std::uint64_t tid = 0;    // sub-lane; by convention the link ordinal or flow
+  TimeSec begin = 0.0;
+  TimeSec end = -1.0;       // < 0 while the span is still open
+  std::uint64_t seq = 0;    // transport sequence number, when meaningful
+  int bytes = 0;
+  // 0 = completed normally; nonzero = terminated abnormally with a
+  // glue-defined code (the queue glue uses DropReason ordinal + 1).
+  std::uint32_t status = 0;
+  // Accumulated "key=value" annotations, ';'-separated, appended by
+  // annotate(). Components put their verdicts here (FLoc: admission mode,
+  // token-bucket fill, capability check, drop reason).
+  std::string annot;
+
+  bool open() const { return end < 0.0; }
+  double duration() const { return open() ? 0.0 : end - begin; }
+};
+
+class Tracer {
+ public:
+  explicit Tracer(std::size_t max_spans = std::size_t{1} << 18);
+
+  // Open a span; returns its id (never 0). `parent` 0 makes it a root.
+  SpanId begin(TimeSec now, std::uint64_t trace, SpanId parent, SpanKind kind,
+               std::int32_t pid, std::uint64_t tid, std::uint64_t seq = 0,
+               int bytes = 0);
+
+  // Append "key=value" to an open span's annotation. No-op once closed.
+  void annotate(SpanId id, const char* key, const char* value);
+  void annotate(SpanId id, const char* key, const std::string& value) {
+    annotate(id, key, value.c_str());
+  }
+
+  // Close a span normally. Unknown / already-closed ids are a no-op, so
+  // multiple layers can race to close the same span safely.
+  void end(SpanId id, TimeSec now);
+
+  // Close a span abnormally: status code plus a "drop=<reason>" annotation.
+  void end_dropped(SpanId id, TimeSec now, std::uint32_t status,
+                   const char* reason);
+
+  // Record a span whose interval is already known (e.g. link serialization,
+  // where the landing time is computed at transmission start).
+  SpanId complete(TimeSec begin, TimeSec end, std::uint64_t trace,
+                  SpanId parent, SpanKind kind, std::int32_t pid,
+                  std::uint64_t tid, std::uint64_t seq = 0, int bytes = 0);
+
+  // Closed spans, oldest first (ring-bounded: see overflowed()).
+  const std::deque<Span>& spans() const { return closed_; }
+  std::size_t open_count() const { return open_.size(); }
+
+  // Lookup a CLOSED span by id (tests, exporters); nullptr if evicted/open.
+  const Span* find(SpanId id) const;
+
+  // Lifetime counters; unaffected by ring eviction.
+  std::uint64_t begun() const { return begun_; }
+  std::uint64_t closed() const { return closed_count_; }
+  std::uint64_t dropped() const { return dropped_; }
+  std::uint64_t count(SpanKind k) const {
+    return kind_counts_[static_cast<std::size_t>(k)];
+  }
+  bool overflowed() const { return overflowed_; }
+
+  void clear();
+
+ private:
+  void push_closed(Span&& s);
+
+  std::size_t max_spans_;
+  SpanId next_id_ = 1;
+  std::unordered_map<SpanId, Span> open_;
+  std::deque<Span> closed_;
+  std::uint64_t begun_ = 0;
+  std::uint64_t closed_count_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t kind_counts_[kSpanKindCount] = {};
+  bool overflowed_ = false;
+};
+
+}  // namespace floc::telemetry

@@ -327,6 +327,13 @@ void TreeScenario::build() {
   net_.build_routes();
 }
 
+void TreeScenario::attach_tracer(telemetry::Tracer* tracer) {
+  for (auto& src : tcp_sources_) src->set_tracer(tracer);
+  // pid = the node receiving the transmission (the server gateway); tid 0 is
+  // the lone bottleneck lane.
+  target_link_->set_tracer(tracer, target_link_->to()->id(), 0);
+}
+
 void TreeScenario::run() {
   sim_.schedule_at(cfg_.measure_start,
                    [this] { monitor_.snapshot("start", sim_.now()); });

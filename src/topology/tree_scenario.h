@@ -123,6 +123,12 @@ class TreeScenario {
   BitsPerSec scaled_target_bw() const { return scaled_target_bw_; }
   int legit_flow_total() const { return legit_flow_total_; }
 
+  // Attach causal span tracing to the interesting components: every
+  // legitimate TCP source (send/ACK spans) and the target link (queue
+  // residency with the defense's admission verdict, wire spans). Call after
+  // construction, before run(). Null detaches.
+  void attach_tracer(telemetry::Tracer* tracer);
+
  private:
   void build();
   int scaled(int count) const;

@@ -19,6 +19,49 @@ void TcpSource::start_at(TimeSec t) {
   });
 }
 
+void TcpSource::set_tracer(telemetry::Tracer* tracer) {
+  tracer_ = tracer;
+  if (tracer_ == nullptr) {
+    syn_span_ = 0;
+    send_spans_.clear();
+  }
+}
+
+void TcpSource::trace_syn(Packet& p) {
+  if (syn_span_ == 0) {
+    syn_span_ = tracer_->begin(sim_->now(), cfg_.flow, /*parent=*/0,
+                               telemetry::SpanKind::kTcpHandshake,
+                               host_->id(), cfg_.flow, /*seq=*/0,
+                               p.size_bytes);
+  } else {
+    tracer_->annotate(syn_span_, "retx", "1");  // SYN timeout: same span
+  }
+  p.span = SpanContext{cfg_.flow, syn_span_, 0};
+}
+
+void TcpSource::trace_send(Packet& p, std::uint64_t seq, bool is_retransmit) {
+  auto it = send_spans_.find(seq);
+  if (it == send_spans_.end()) {
+    const telemetry::SpanId id = tracer_->begin(
+        sim_->now(), cfg_.flow, /*parent=*/0, telemetry::SpanKind::kTcpSend,
+        host_->id(), cfg_.flow, seq, p.size_bytes);
+    it = send_spans_.emplace(seq, id).first;
+  } else if (is_retransmit) {
+    tracer_->annotate(it->second, "retx", "1");
+  }
+  p.span = SpanContext{cfg_.flow, it->second, 0};
+}
+
+void TcpSource::trace_acked(std::uint64_t from_seq,
+                            std::uint64_t acked_through) {
+  for (std::uint64_t seq = from_seq; seq < acked_through; ++seq) {
+    const auto it = send_spans_.find(seq);
+    if (it == send_spans_.end()) continue;
+    tracer_->end(it->second, sim_->now());
+    send_spans_.erase(it);
+  }
+}
+
 void TcpSource::send_syn() {
   state_ = State::kSynSent;
   Packet p;
@@ -29,6 +72,7 @@ void TcpSource::send_syn() {
   p.type = PacketType::kSyn;
   p.size_bytes = kAckPacketBytes;
   p.sent_time = sim_->now();
+  if (tracer_ != nullptr) trace_syn(p);
   Link* out = host_->network()->next_hop(host_->id(), cfg_.dst);
   assert(out && "source host must have a route to the destination");
   out->send(std::move(p));
@@ -37,12 +81,16 @@ void TcpSource::send_syn() {
 }
 
 void TcpSource::on_packet(Packet&& p) {
+  telemetry::ScopedTimer timer(prof_on_packet_);
   switch (p.type) {
     case PacketType::kSynAck:
       if (state_ == State::kSynSent) {
         state_ = State::kEstablished;
         cap0_ = p.cap0;
         cap1_ = p.cap1;
+        if (tracer_ != nullptr && syn_span_ != 0) {
+          tracer_->end(syn_span_, sim_->now());
+        }
         // The handshake gives the first RTT sample.
         on_new_ack(0, sim_->now() - p.sent_time);
         send_available();
@@ -87,6 +135,7 @@ void TcpSource::transmit(std::uint64_t seq, bool is_retransmit) {
   p.cap0 = cap0_;
   p.cap1 = cap1_;
   p.sent_time = sim_->now();
+  if (tracer_ != nullptr) trace_send(p, seq, is_retransmit);
   Link* out = host_->network()->next_hop(host_->id(), cfg_.dst);
   out->send(std::move(p));
   ++packets_sent_;
@@ -108,6 +157,7 @@ void TcpSource::handle_ack(const Packet& p) {
       rtt_sample = sim_->now() - timed_sent_;
       timed_sent_ = -1.0;
     }
+    if (tracer_ != nullptr) trace_acked(snd_una_, p.ack);
     snd_una_ = p.ack;
     dupacks_ = 0;
     if (in_recovery_) {

@@ -8,11 +8,14 @@
 
 #include <cstdint>
 #include <functional>
+#include <unordered_map>
 
 #include "netsim/network.h"
 #include "netsim/node.h"
 #include "netsim/simulator.h"
 #include "telemetry/metrics.h"
+#include "telemetry/profiler.h"
+#include "telemetry/tracing.h"
 
 namespace floc {
 
@@ -60,6 +63,19 @@ class TcpSource : public Agent {
   // Feed every RTT sample into `h` (null detaches; one pointer test per ACK).
   void set_rtt_histogram(telemetry::LogHistogram* h) { rtt_hist_ = h; }
 
+  // Attach causal span tracing: the SYN handshake becomes a kTcpHandshake
+  // span, and every data segment a kTcpSend span opened at (re)transmission
+  // and closed by the covering ACK. Outgoing packets carry the span in
+  // Packet::span so downstream queue/link spans parent under it (trace id =
+  // flow, pid = source host, tid = flow). Null detaches; detached sends do
+  // zero tracing work and zero allocations.
+  void set_tracer(telemetry::Tracer* tracer);
+
+  // Attribute on_packet (ACK processing) wall time to a profiler section.
+  void set_profiler(telemetry::Profiler::Section* section) {
+    prof_on_packet_ = section;
+  }
+
  private:
   enum class State { kIdle, kSynSent, kEstablished, kDone };
 
@@ -73,6 +89,11 @@ class TcpSource : public Agent {
   void on_timer();
   void complete();
   TimeSec rto() const;
+
+  // Tracing slow paths; callers gate on `tracer_ != nullptr`.
+  void trace_syn(Packet& p);
+  void trace_send(Packet& p, std::uint64_t seq, bool is_retransmit);
+  void trace_acked(std::uint64_t from_seq, std::uint64_t acked_through);
 
   Simulator* sim_;
   Host* host_;
@@ -110,6 +131,12 @@ class TcpSource : public Agent {
   std::uint64_t timeouts_ = 0;
   std::function<void(TimeSec)> completion_;
   telemetry::LogHistogram* rtt_hist_ = nullptr;
+
+  // Tracing (null = off; populated only while attached).
+  telemetry::Tracer* tracer_ = nullptr;
+  telemetry::SpanId syn_span_ = 0;
+  std::unordered_map<std::uint64_t, telemetry::SpanId> send_spans_;
+  telemetry::Profiler::Section* prof_on_packet_ = nullptr;
 };
 
 }  // namespace floc

@@ -1,0 +1,148 @@
+// Decorator composition: TracedQueue wrapping a FlocQueue must be
+// transparent to every observability surface at once — ns-2-style event
+// records (its own job), drop handlers, QueueDisc counters, the metric
+// registry, SimMonitor invariant audits, and causal span tracing all reach
+// or reflect the inner discipline.
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/floc_queue.h"
+#include "faultsim/sim_monitor.h"
+#include "netsim/trace.h"
+#include "telemetry/metrics.h"
+#include "telemetry/tracing.h"
+
+namespace floc {
+namespace {
+
+FlocConfig tiny_cfg() {
+  FlocConfig cfg;
+  cfg.link_bandwidth = mbps(10);
+  cfg.buffer_packets = 4;  // overflow quickly
+  return cfg;
+}
+
+Packet make_packet(FlowId flow) {
+  Packet p;
+  p.flow = flow;
+  p.src = static_cast<HostAddr>(flow + 1);
+  p.dst = 42;
+  p.path = PathId::of({1, 7});
+  p.type = PacketType::kData;
+  return p;
+}
+
+TEST(TracedQueueComposition, EventsDropsAndCountersReflectInnerFlocQueue) {
+  TraceRecorder recorder;
+  TracedQueue traced(std::make_unique<FlocQueue>(tiny_cfg()), &recorder);
+
+  int handler_drops = 0;
+  traced.set_drop_handler(
+      [&handler_drops](const Packet&, DropReason, TimeSec) {
+        ++handler_drops;
+      });
+
+  // Offer well past the 4-packet buffer without draining: overflow drops.
+  std::uint64_t admitted = 0;
+  for (int i = 0; i < 12; ++i) {
+    if (traced.enqueue(make_packet(static_cast<FlowId>(i)), 0.01 * i)) {
+      ++admitted;
+    }
+  }
+  ASSERT_GT(admitted, 0u);
+  ASSERT_LT(admitted, 12u);
+  const std::uint64_t dropped = 12 - admitted;
+
+  // Recorder saw exactly the admissions and (via the inner queue's drop
+  // handler) the inner FlocQueue's drops, with the real reason.
+  EXPECT_EQ(recorder.count(TraceEvent::kEnqueue), admitted);
+  EXPECT_EQ(recorder.count(TraceEvent::kDrop), dropped);
+  EXPECT_EQ(recorder.drops_by_reason(DropReason::kQueueFull), dropped);
+
+  // The decorator forwards drops up its own note_drop chain: QueueDisc
+  // counters and the user-installed drop handler both fire.
+  EXPECT_EQ(traced.drops(), dropped);
+  EXPECT_EQ(traced.admissions(), admitted);
+  EXPECT_EQ(handler_drops, static_cast<int>(dropped));
+
+  // Dequeue events come from the inner queue's packets.
+  std::uint64_t drained = 0;
+  while (traced.dequeue(1.0).has_value()) ++drained;
+  EXPECT_EQ(drained, admitted);
+  EXPECT_EQ(recorder.count(TraceEvent::kDequeue), admitted);
+  EXPECT_TRUE(traced.empty());
+}
+
+TEST(TracedQueueComposition, RegisterMetricsDelegatesToInnerQueue) {
+  TraceRecorder recorder;
+  TracedQueue traced(std::make_unique<FlocQueue>(tiny_cfg()), &recorder);
+
+  telemetry::MetricRegistry reg;
+  traced.register_metrics(reg, "floc");
+  ASSERT_NE(reg.find("floc.packets"), nullptr);
+  ASSERT_NE(reg.find("floc.drops"), nullptr);
+
+  for (int i = 0; i < 12; ++i) {
+    traced.enqueue(make_packet(static_cast<FlowId>(i)), 0.01 * i);
+  }
+  // The gauges read the INNER discipline (where buffering and dropping
+  // actually happen), not the decorator shell.
+  EXPECT_DOUBLE_EQ(reg.value("floc.packets"),
+                   static_cast<double>(traced.inner().packet_count()));
+  EXPECT_DOUBLE_EQ(reg.value("floc.drops"),
+                   static_cast<double>(traced.inner().drops()));
+  EXPECT_GT(reg.value("floc.drops"), 0.0);
+}
+
+TEST(TracedQueueComposition, AuditDelegatesToInnerUnderSimMonitor) {
+  TraceRecorder recorder;
+  TracedQueue traced(std::make_unique<FlocQueue>(tiny_cfg()), &recorder);
+  for (int i = 0; i < 8; ++i) {
+    traced.enqueue(make_packet(static_cast<FlowId>(i)), 0.01 * i);
+  }
+
+  // Direct delegation: the decorator runs the FlocQueue's self-check.
+  std::string why;
+  EXPECT_TRUE(traced.audit(0.2, &why)) << why;
+
+  // And through the monitor: a healthy wrapped queue raises no violations.
+  SimMonitor mon;
+  mon.set_report_stream(nullptr);
+  mon.watch_queue("traced-floc", &traced);
+  mon.run_checks(0.3);
+  EXPECT_GT(mon.checks_run(), 0u);
+  EXPECT_TRUE(mon.violations().empty());
+}
+
+TEST(TracedQueueComposition, SetTracerReachesInnerFlocVerdicts) {
+  TraceRecorder recorder;
+  TracedQueue traced(std::make_unique<FlocQueue>(tiny_cfg()), &recorder);
+  telemetry::Tracer tracer;
+  traced.set_tracer(&tracer);
+
+  // Fill the buffer with traced packets until one is dropped; its queue
+  // span must be terminated by the INNER FlocQueue with the admission
+  // verdict (mode + drop reason), proving set_tracer propagated.
+  telemetry::SpanId dropped_span = 0;
+  for (int i = 0; i < 12 && dropped_span == 0; ++i) {
+    Packet p = make_packet(static_cast<FlowId>(i));
+    const telemetry::SpanId s =
+        tracer.begin(0.01 * i, p.flow, 0, telemetry::SpanKind::kQueue, 1, 0);
+    p.span = SpanContext{p.flow, s, 0};
+    if (!traced.enqueue(std::move(p), 0.01 * i)) dropped_span = s;
+  }
+  ASSERT_NE(dropped_span, 0u);
+
+  const telemetry::Span* sp = tracer.find(dropped_span);
+  ASSERT_NE(sp, nullptr);
+  EXPECT_NE(sp->status, 0u);
+  EXPECT_NE(sp->annot.find("mode="), std::string::npos) << sp->annot;
+  EXPECT_NE(sp->annot.find("verdict=drop"), std::string::npos) << sp->annot;
+  EXPECT_NE(sp->annot.find("drop=queue-full"), std::string::npos) << sp->annot;
+  EXPECT_EQ(tracer.dropped(), 1u);
+}
+
+}  // namespace
+}  // namespace floc

@@ -20,7 +20,9 @@
 #include <gtest/gtest.h>
 
 #include "core/floc_queue.h"
+#include "telemetry/profiler.h"
 #include "telemetry/telemetry.h"
+#include "telemetry/tracing.h"
 
 namespace {
 
@@ -135,6 +137,59 @@ TEST(TelemetryFastPath, AttachedButQuiescentAddsNoAllocations) {
   EXPECT_EQ(attached_steady, plain_steady);
   // And the shared baseline is bounded by deque block churn alone.
   EXPECT_LT(plain_steady, 50000u / 2);
+}
+
+TEST(TelemetryFastPath, DetachedTracerAndProfilerAllocateLikeSeedQueue) {
+  constexpr int kPackets = 50000;
+
+  FlocQueue plain(bench_cfg());
+  run_workload(plain, kPackets);  // warm up flow tables, deque blocks
+  const std::uint64_t p0 = g_allocs.load();
+  const std::uint64_t plain_admitted = run_workload(plain, kPackets);
+  const std::uint64_t plain_steady = g_allocs.load() - p0;
+
+  // Tracer and profiler attached, then detached again: the packet path must
+  // be byte-for-byte the seed path (one pointer test per hook site).
+  FlocQueue detached(bench_cfg());
+  run_workload(detached, kPackets);
+  {
+    telemetry::Tracer tracer;
+    telemetry::Profiler prof;
+    detached.set_tracer(&tracer);
+    detached.set_profiler(&prof);
+    detached.set_tracer(nullptr);
+    detached.set_profiler(nullptr);
+  }
+  const std::uint64_t d0 = g_allocs.load();
+  const std::uint64_t detached_admitted = run_workload(detached, kPackets);
+  const std::uint64_t detached_steady = g_allocs.load() - d0;
+
+  EXPECT_EQ(plain_admitted, detached_admitted);
+  EXPECT_EQ(plain_steady, detached_steady);
+}
+
+TEST(TelemetryFastPath, AttachedTracerIgnoresUntracedPackets) {
+  // A tracer may be attached while most packets carry no span (tracing is
+  // opt-in per packet via Packet::span). Untraced packets must not allocate
+  // beyond the seed path: the guard is `tracer != null && span.active()`.
+  constexpr int kPackets = 50000;
+
+  FlocQueue plain(bench_cfg());
+  run_workload(plain, kPackets);
+  const std::uint64_t p0 = g_allocs.load();
+  run_workload(plain, kPackets);
+  const std::uint64_t plain_steady = g_allocs.load() - p0;
+
+  FlocQueue traced(bench_cfg());
+  telemetry::Tracer tracer;
+  run_workload(traced, kPackets);
+  traced.set_tracer(&tracer);
+  const std::uint64_t t0 = g_allocs.load();
+  run_workload(traced, kPackets);
+  const std::uint64_t traced_steady = g_allocs.load() - t0;
+
+  EXPECT_EQ(tracer.begun(), 0u);
+  EXPECT_EQ(traced_steady, plain_steady);
 }
 
 TEST(TelemetryFastPath, PerPacketCostStaysBounded) {

@@ -1,0 +1,91 @@
+// Profiler unit tests: section get-or-create, ScopedTimer accounting, the
+// registry-backed per-call histograms, report() content, and reset().
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "telemetry/metrics.h"
+#include "telemetry/profiler.h"
+
+namespace floc::telemetry {
+namespace {
+
+TEST(Profiler, SectionIsGetOrCreateWithStablePointers) {
+  Profiler prof;
+  Profiler::Section* enq = prof.section("enqueue");
+  Profiler::Section* deq = prof.section("dequeue");
+  ASSERT_NE(enq, nullptr);
+  ASSERT_NE(deq, nullptr);
+  EXPECT_NE(enq, deq);
+  EXPECT_EQ(prof.section("enqueue"), enq);
+  EXPECT_EQ(prof.sections().size(), 2u);
+  EXPECT_EQ(enq->name, "enqueue");
+  EXPECT_EQ(enq->calls, 0u);
+  EXPECT_EQ(enq->hist, nullptr);  // no registry attached
+}
+
+TEST(Profiler, RecordAndScopedTimerAccumulate) {
+  Profiler prof;
+  Profiler::Section* s = prof.section("work");
+  s->record(100);
+  s->record(50);
+  EXPECT_EQ(s->calls, 2u);
+  EXPECT_EQ(s->total_ns, 150u);
+  EXPECT_EQ(prof.total_ns(), 150u);
+
+  { ScopedTimer t(s); }
+  EXPECT_EQ(s->calls, 3u);  // real clock delta added, >= 0
+
+  // Null section: the no-op fast path.
+  { ScopedTimer t(nullptr); }
+  EXPECT_EQ(prof.section("work")->calls, 3u);
+}
+
+TEST(Profiler, RegistryBackedSectionsRegisterHistograms) {
+  MetricRegistry reg;
+  Profiler prof(&reg, "prof.test");
+  Profiler::Section* s = prof.section("verify");
+  ASSERT_NE(s->hist, nullptr);
+  s->record(1000);
+  s->record(2000);
+
+  const MetricRegistry::Metric* m = reg.find("prof.test.verify.ns");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->kind, MetricKind::kHistogram);
+  ASSERT_NE(m->histogram, nullptr);
+  EXPECT_EQ(m->histogram.get(), s->hist);
+  EXPECT_EQ(s->hist->count(), 2u);
+  EXPECT_NEAR(s->hist->mean(), 1500.0, 1500.0 * 0.02);
+}
+
+TEST(Profiler, ReportListsSectionsSortedByTotal) {
+  Profiler prof;
+  prof.section("small")->record(10);
+  prof.section("big")->record(1000000);
+  const std::string rep = prof.report();
+  EXPECT_NE(rep.find("big"), std::string::npos);
+  EXPECT_NE(rep.find("small"), std::string::npos);
+  EXPECT_NE(rep.find("calls"), std::string::npos);
+  EXPECT_LT(rep.find("big"), rep.find("small"));  // sorted desc by total
+}
+
+TEST(Profiler, ResetZeroesCountersButKeepsSections) {
+  Profiler prof;
+  Profiler::Section* s = prof.section("x");
+  s->record(42);
+  prof.reset();
+  EXPECT_EQ(prof.section("x"), s);
+  EXPECT_EQ(s->calls, 0u);
+  EXPECT_EQ(s->total_ns, 0u);
+  EXPECT_EQ(prof.total_ns(), 0u);
+}
+
+TEST(Profiler, EmptyReportDoesNotDivideByZero) {
+  Profiler prof;
+  prof.section("never-hit");
+  const std::string rep = prof.report();
+  EXPECT_NE(rep.find("never-hit"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace floc::telemetry

@@ -1,0 +1,340 @@
+// Trace exporters, validated by parsing: chrome_trace_json() must be real
+// Chrome trace-event JSON (a minimal recursive-descent parser asserts the
+// schema event by event), and a fig06-style TreeScenario run must contain at
+// least one full causal chain — TCP send span -> queue-residency span with
+// the FLoc admission verdict (mode; DropReason on drops) -> link
+// serialization slice. spans_csv() is checked for shape on the same data.
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "telemetry/trace_export.h"
+#include "telemetry/tracing.h"
+#include "topology/tree_scenario.h"
+
+namespace floc::telemetry {
+namespace {
+
+// --- Minimal JSON parser (objects/arrays/strings/numbers/bools/null) -------
+
+struct JsonValue {
+  enum Kind { kNull, kBool, kNumber, kString, kArray, kObject } kind = kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> items;
+  std::map<std::string, JsonValue> fields;
+
+  const JsonValue* get(const std::string& key) const {
+    const auto it = fields.find(key);
+    return it == fields.end() ? nullptr : &it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  bool parse(JsonValue* out) {
+    skip_ws();
+    if (!value(out)) return false;
+    skip_ws();
+    return pos_ == s_.size();  // no trailing garbage
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool literal(const char* lit) {
+    const std::size_t n = std::string(lit).size();
+    if (s_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+  bool string(std::string* out) {
+    if (pos_ >= s_.size() || s_[pos_] != '"') return false;
+    ++pos_;
+    out->clear();
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char c = s_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= s_.size()) return false;
+        const char esc = s_[pos_++];
+        switch (esc) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case '/': c = '/'; break;
+          default: return false;  // \uXXXX etc. not produced by the exporter
+        }
+      }
+      *out += c;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+  bool value(JsonValue* out) {
+    if (pos_ >= s_.size()) return false;
+    const char c = s_[pos_];
+    if (c == '{') return object(out);
+    if (c == '[') return array(out);
+    if (c == '"') {
+      out->kind = JsonValue::kString;
+      return string(&out->str);
+    }
+    if (literal("true")) {
+      out->kind = JsonValue::kBool;
+      out->boolean = true;
+      return true;
+    }
+    if (literal("false")) {
+      out->kind = JsonValue::kBool;
+      out->boolean = false;
+      return true;
+    }
+    if (literal("null")) {
+      out->kind = JsonValue::kNull;
+      return true;
+    }
+    char* end = nullptr;
+    out->number = std::strtod(s_.c_str() + pos_, &end);
+    if (end == s_.c_str() + pos_) return false;
+    pos_ = static_cast<std::size_t>(end - s_.c_str());
+    out->kind = JsonValue::kNumber;
+    return true;
+  }
+  bool object(JsonValue* out) {
+    out->kind = JsonValue::kObject;
+    ++pos_;  // '{'
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!string(&key)) return false;
+      skip_ws();
+      if (pos_ >= s_.size() || s_[pos_] != ':') return false;
+      ++pos_;
+      skip_ws();
+      JsonValue v;
+      if (!value(&v)) return false;
+      out->fields.emplace(std::move(key), std::move(v));
+      skip_ws();
+      if (pos_ >= s_.size()) return false;
+      if (s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (s_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+  bool array(JsonValue* out) {
+    out->kind = JsonValue::kArray;
+    ++pos_;  // '['
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      JsonValue v;
+      if (!value(&v)) return false;
+      out->items.push_back(std::move(v));
+      skip_ws();
+      if (pos_ >= s_.size()) return false;
+      if (s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (s_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+// Every trace event must carry the fields its phase requires.
+void check_event_schema(const JsonValue& ev) {
+  ASSERT_EQ(ev.kind, JsonValue::kObject);
+  const JsonValue* ph = ev.get("ph");
+  ASSERT_NE(ph, nullptr);
+  ASSERT_EQ(ph->kind, JsonValue::kString);
+  const JsonValue* name = ev.get("name");
+  ASSERT_NE(name, nullptr);
+  const JsonValue* pid = ev.get("pid");
+  ASSERT_NE(pid, nullptr);
+  EXPECT_EQ(pid->kind, JsonValue::kNumber);
+  if (ph->str == "M") return;  // metadata: name/pid/args only
+  ASSERT_NE(ev.get("ts"), nullptr);
+  EXPECT_EQ(ev.get("ts")->kind, JsonValue::kNumber);
+  ASSERT_NE(ev.get("tid"), nullptr);
+  if (ph->str == "X") {
+    ASSERT_NE(ev.get("dur"), nullptr);
+    EXPECT_GE(ev.get("dur")->number, 0.0);
+  } else if (ph->str == "b" || ph->str == "e") {
+    ASSERT_NE(ev.get("id"), nullptr);  // async pairing key
+  } else {
+    FAIL() << "unexpected phase '" << ph->str << "'";
+  }
+}
+
+TEST(TraceExport, HandBuiltSpansExportValidChromeJson) {
+  Tracer tr;
+  const SpanId send = tr.begin(1.0, 7, 0, SpanKind::kTcpSend, 2, 7, 11, 1500);
+  const SpanId queue = tr.begin(1.1, 7, send, SpanKind::kQueue, 3, 0);
+  tr.annotate(queue, "mode", "congested");
+  tr.end(queue, 1.2);
+  tr.complete(1.2, 1.25, 7, queue, SpanKind::kLinkTx, 3, 0, 11, 1500);
+  tr.end(send, 1.5);
+  const SpanId dropped = tr.begin(2.0, 8, 0, SpanKind::kQueue, 3, 0);
+  tr.annotate(dropped, "esc\"ape\\check", "line\nbreak");
+  tr.end_dropped(dropped, 2.1, 1, "queue-full");
+
+  TraceExportOptions opts;
+  opts.process_names.emplace_back(3, "router \"R\"");
+  const std::string json = chrome_trace_json(tr, opts);
+
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(json).parse(&root)) << json;
+  ASSERT_EQ(root.kind, JsonValue::kObject);
+  const JsonValue* events = root.get("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->kind, JsonValue::kArray);
+
+  int meta = 0, complete = 0, begins = 0, ends = 0;
+  for (const JsonValue& ev : events->items) {
+    check_event_schema(ev);
+    const std::string& ph = ev.get("ph")->str;
+    if (ph == "M") ++meta;
+    if (ph == "X") ++complete;
+    if (ph == "b") ++begins;
+    if (ph == "e") ++ends;
+  }
+  EXPECT_EQ(meta, 1);
+  EXPECT_EQ(complete, 1);  // the one kLinkTx span
+  EXPECT_EQ(begins, 3);    // send, queue, dropped-queue
+  EXPECT_EQ(begins, ends); // async pairs balance
+
+  // The dropped span's verdict survives escaping and lands in args.
+  bool saw_drop_annot = false;
+  for (const JsonValue& ev : events->items) {
+    const JsonValue* args = ev.get("args");
+    if (args == nullptr) continue;
+    const JsonValue* annot = args->get("annot");
+    if (annot != nullptr &&
+        annot->str.find("drop=queue-full") != std::string::npos) {
+      saw_drop_annot = true;
+      EXPECT_EQ(args->get("status")->number, 1.0);
+    }
+  }
+  EXPECT_TRUE(saw_drop_annot);
+}
+
+TEST(TraceExport, Fig06ScenarioProducesFullSpanChain) {
+  // Shrunk fig06(b): CBR flood over the FLoc-defended target link, long
+  // enough for handshakes, data, ACKs, and congestion drops.
+  TreeScenarioConfig cfg;
+  cfg.tree_degree = 3;
+  cfg.tree_height = 2;  // 9 leaves
+  cfg.legit_per_leaf = 2;
+  cfg.attack_leaf_count = 2;
+  cfg.attack_per_leaf = 3;
+  cfg.target_link = mbps(10);
+  cfg.internal_link = mbps(40);
+  cfg.access_link = mbps(5);
+  cfg.legit_file_bytes = 200'000;
+  cfg.legit_start_spread = 1.0;
+  cfg.attack = AttackType::kCbr;
+  cfg.attack_rate = mbps(2.0);
+  cfg.attack_start = 2.0;
+  cfg.scheme = DefenseScheme::kFloc;
+  cfg.duration = 12.0;
+  cfg.measure_start = 2.0;
+  cfg.measure_end = 12.0;
+  TreeScenario s(cfg);
+
+  Tracer tracer;
+  s.attach_tracer(&tracer);
+  s.run();
+
+  ASSERT_GT(tracer.count(SpanKind::kTcpSend), 0u);
+  ASSERT_GT(tracer.count(SpanKind::kQueue), 0u);
+  ASSERT_GT(tracer.count(SpanKind::kLinkTx), 0u);
+  ASSERT_GT(tracer.dropped(), 0u) << "flood did not cause traced drops";
+
+  // Index closed spans and hunt for one full causal chain:
+  // tcp.send -> queue (FLoc verdict annotated) -> link.tx.
+  std::map<SpanId, const Span*> by_id;
+  for (const Span& sp : tracer.spans()) by_id.emplace(sp.id, &sp);
+  bool chain = false;
+  for (const Span& sp : tracer.spans()) {
+    if (sp.kind != SpanKind::kLinkTx || sp.parent == 0) continue;
+    const auto qit = by_id.find(sp.parent);
+    if (qit == by_id.end() || qit->second->kind != SpanKind::kQueue) continue;
+    const Span& q = *qit->second;
+    if (q.annot.find("mode=") == std::string::npos) continue;
+    if (q.annot.find("verdict=admit") == std::string::npos) continue;
+    const auto tit = by_id.find(q.parent);
+    if (tit == by_id.end() || tit->second->kind != SpanKind::kTcpSend) continue;
+    chain = true;
+    break;
+  }
+  EXPECT_TRUE(chain) << "no tcp.send -> queue -> link.tx chain found";
+
+  // A traced drop carries the FLoc verdict: mode plus the DropReason.
+  bool dropped_with_reason = false;
+  for (const Span& sp : tracer.spans()) {
+    if (sp.kind == SpanKind::kQueue && sp.status != 0 &&
+        sp.annot.find("mode=") != std::string::npos &&
+        sp.annot.find("drop=") != std::string::npos) {
+      dropped_with_reason = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(dropped_with_reason);
+
+  // The whole run exports as parseable Chrome trace JSON...
+  TraceExportOptions opts;
+  opts.process_names.emplace_back(s.target_link()->to()->id(), "target");
+  const std::string json = chrome_trace_json(tracer, opts);
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(json).parse(&root));
+  const JsonValue* events = root.get("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_GT(events->items.size(), 10u);
+  for (const JsonValue& ev : events->items) check_event_schema(ev);
+
+  // ...and as the flat CSV with one row per closed span.
+  const std::string csv = spans_csv(tracer);
+  ASSERT_EQ(csv.rfind("trace,span,parent,kind,", 0), 0u);
+  std::size_t rows = 0;
+  for (char c : csv) rows += c == '\n' ? 1 : 0;
+  EXPECT_EQ(rows, tracer.spans().size() + 1);  // header + rows
+}
+
+}  // namespace
+}  // namespace floc::telemetry

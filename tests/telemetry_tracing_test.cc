@@ -1,0 +1,132 @@
+// Tracer unit tests: span lifecycle (begin/annotate/end/end_dropped/
+// complete), parent links, the bounded closed-span ring, and the lifetime
+// counters that survive eviction.
+#include <gtest/gtest.h>
+
+#include "telemetry/tracing.h"
+
+namespace floc::telemetry {
+namespace {
+
+TEST(Tracer, BeginEndProducesClosedSpanWithParentLink) {
+  Tracer tr;
+  const SpanId root = tr.begin(1.0, /*trace=*/7, /*parent=*/0,
+                               SpanKind::kTcpSend, /*pid=*/3, /*tid=*/7,
+                               /*seq=*/100, /*bytes=*/1500);
+  const SpanId child = tr.begin(1.5, 7, root, SpanKind::kQueue, 4, 0);
+  EXPECT_NE(root, 0u);
+  EXPECT_NE(child, root);
+  EXPECT_EQ(tr.open_count(), 2u);
+
+  tr.end(child, 2.0);
+  tr.end(root, 3.0);
+  ASSERT_EQ(tr.spans().size(), 2u);
+  EXPECT_EQ(tr.open_count(), 0u);
+
+  const Span* r = tr.find(root);
+  const Span* c = tr.find(child);
+  ASSERT_NE(r, nullptr);
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(r->trace, 7u);
+  EXPECT_EQ(r->parent, 0u);
+  EXPECT_EQ(c->parent, root);
+  EXPECT_EQ(r->kind, SpanKind::kTcpSend);
+  EXPECT_EQ(c->kind, SpanKind::kQueue);
+  EXPECT_DOUBLE_EQ(r->begin, 1.0);
+  EXPECT_DOUBLE_EQ(r->end, 3.0);
+  EXPECT_DOUBLE_EQ(r->duration(), 2.0);
+  EXPECT_EQ(r->seq, 100u);
+  EXPECT_EQ(r->bytes, 1500);
+  EXPECT_EQ(r->status, 0u);
+}
+
+TEST(Tracer, AnnotateAccumulatesWhileOpenOnly) {
+  Tracer tr;
+  const SpanId s = tr.begin(0.0, 1, 0, SpanKind::kQueue, 0, 0);
+  tr.annotate(s, "mode", "attack");
+  tr.annotate(s, "tokens", std::string("300/1500"));
+  tr.end(s, 1.0);
+  tr.annotate(s, "late", "ignored");  // closed: no-op
+
+  const Span* sp = tr.find(s);
+  ASSERT_NE(sp, nullptr);
+  EXPECT_EQ(sp->annot, "mode=attack;tokens=300/1500");
+}
+
+TEST(Tracer, EndDroppedRecordsStatusAndReason) {
+  Tracer tr;
+  const SpanId s = tr.begin(0.0, 1, 0, SpanKind::kQueue, 0, 0);
+  tr.end_dropped(s, 0.5, /*status=*/4, "token-exhausted");
+
+  const Span* sp = tr.find(s);
+  ASSERT_NE(sp, nullptr);
+  EXPECT_EQ(sp->status, 4u);
+  EXPECT_NE(sp->annot.find("drop=token-exhausted"), std::string::npos);
+  EXPECT_EQ(tr.dropped(), 1u);
+}
+
+TEST(Tracer, EndIsIdempotentAcrossLayers) {
+  // Two layers may race to close the same span (queue drop hook + link).
+  Tracer tr;
+  const SpanId s = tr.begin(0.0, 1, 0, SpanKind::kQueue, 0, 0);
+  tr.end_dropped(s, 0.5, 2, "buffer-overflow");
+  tr.end(s, 9.0);           // second close: no-op
+  tr.end(12345, 9.0);       // unknown id: no-op
+  tr.end_dropped(s, 9.5, 7, "other");
+
+  ASSERT_EQ(tr.spans().size(), 1u);
+  const Span* sp = tr.find(s);
+  ASSERT_NE(sp, nullptr);
+  EXPECT_DOUBLE_EQ(sp->end, 0.5);
+  EXPECT_EQ(sp->status, 2u);
+  EXPECT_EQ(tr.closed(), 1u);
+}
+
+TEST(Tracer, CompleteRecordsKnownInterval) {
+  Tracer tr;
+  const SpanId s = tr.complete(1.0, 1.012, /*trace=*/9, /*parent=*/0,
+                               SpanKind::kLinkTx, 5, 2, 42, 1500);
+  const Span* sp = tr.find(s);
+  ASSERT_NE(sp, nullptr);
+  EXPECT_DOUBLE_EQ(sp->begin, 1.0);
+  EXPECT_DOUBLE_EQ(sp->end, 1.012);
+  EXPECT_EQ(sp->kind, SpanKind::kLinkTx);
+  EXPECT_EQ(tr.begun(), 1u);
+  EXPECT_EQ(tr.closed(), 1u);
+  EXPECT_EQ(tr.count(SpanKind::kLinkTx), 1u);
+}
+
+TEST(Tracer, RingEvictsOldestButCountersSurvive) {
+  Tracer tr(/*max_spans=*/8);
+  for (int i = 0; i < 50; ++i) {
+    tr.complete(i, i + 0.5, 1, 0, SpanKind::kOther, 0, 0);
+  }
+  EXPECT_TRUE(tr.overflowed());
+  EXPECT_EQ(tr.spans().size(), 8u);
+  EXPECT_EQ(tr.begun(), 50u);
+  EXPECT_EQ(tr.closed(), 50u);
+  EXPECT_EQ(tr.count(SpanKind::kOther), 50u);
+  // Oldest first: the retained window is the most recent 8 spans.
+  EXPECT_DOUBLE_EQ(tr.spans().front().begin, 42.0);
+  EXPECT_DOUBLE_EQ(tr.spans().back().begin, 49.0);
+}
+
+TEST(Tracer, ClearResetsEverything) {
+  Tracer tr(4);
+  const SpanId open = tr.begin(0.0, 1, 0, SpanKind::kQueue, 0, 0);
+  for (int i = 0; i < 10; ++i) tr.complete(i, i + 1, 1, 0, SpanKind::kOther, 0, 0);
+  ASSERT_TRUE(tr.overflowed());
+  tr.clear();
+  EXPECT_EQ(tr.spans().size(), 0u);
+  EXPECT_EQ(tr.open_count(), 0u);
+  EXPECT_EQ(tr.begun(), 0u);
+  EXPECT_EQ(tr.closed(), 0u);
+  EXPECT_EQ(tr.dropped(), 0u);
+  EXPECT_EQ(tr.count(SpanKind::kOther), 0u);
+  EXPECT_FALSE(tr.overflowed());
+  tr.end(open, 1.0);  // stale id after clear: no-op
+  EXPECT_EQ(tr.spans().size(), 0u);
+}
+
+}  // namespace
+}  // namespace floc::telemetry
