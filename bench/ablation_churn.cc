@@ -80,10 +80,14 @@ struct CaseResult {
   std::uint64_t reissues = 0;
   std::uint64_t violations = 0;
   std::uint64_t mode_transitions = 0;
+  std::uint64_t seed = 0;
+  double wall_seconds = 0.0;
+  std::vector<std::string> artifacts;  // merged into the manifest in order
 };
 
-CaseResult run_case(DefenseScheme scheme, FaultKind fault, const BenchArgs& a,
-                    RunManifest& manifest) {
+CaseResult run_case(DefenseScheme scheme, FaultKind fault, std::uint64_t seed,
+                    const BenchArgs& a) {
+  const std::uint64_t t0 = telemetry::clock_ns();
   TreeScenarioConfig cfg = fig5_config(a);
   cfg.scheme = scheme;
   cfg.attack = AttackType::kCbr;
@@ -92,6 +96,7 @@ CaseResult run_case(DefenseScheme scheme, FaultKind fault, const BenchArgs& a,
   cfg.duration = kFaultTime + 2.0 * kWindow + 2.0;
   cfg.measure_start = kFaultTime - kWindow;
   cfg.measure_end = cfg.duration;
+  cfg.seed = seed;
   TreeScenario s(cfg);
 
   FlocQueue* fq = s.floc_queue();
@@ -122,7 +127,7 @@ CaseResult run_case(DefenseScheme scheme, FaultKind fault, const BenchArgs& a,
     });
   }
 
-  FaultPlan plan(cfg.seed ^ 0xFA17);
+  FaultPlan plan(derive_seed(cfg.seed, 0, kSeedStreamFaultPlan));
   plan.set_journal(&tel.journal);
   switch (fault) {
     case FaultKind::kReboot:
@@ -163,6 +168,7 @@ CaseResult run_case(DefenseScheme scheme, FaultKind fault, const BenchArgs& a,
     return l.cls == FlowClass::kLegitimate;
   };
   CaseResult r;
+  r.seed = seed;
   const double link = s.scaled_target_bw();
   r.pre = s.monitor().class_bps(legit, "w0", "w1") / link;
   r.during = s.monitor().class_bps(legit, "w1", "w2") / link;
@@ -186,14 +192,15 @@ CaseResult run_case(DefenseScheme scheme, FaultKind fault, const BenchArgs& a,
     if (!sampler.save(name, &err)) {
       std::fprintf(stderr, "ablation_churn: %s\n", err.c_str());
     }
-    manifest.add_artifact(name);
+    r.artifacts.emplace_back(name);
     std::snprintf(name, sizeof(name), "ablation_churn_%s.journal.json",
                   to_string(fault));
     if (!tel.journal.save(name, &err)) {
       std::fprintf(stderr, "ablation_churn: %s\n", err.c_str());
     }
-    manifest.add_artifact(name);
+    r.artifacts.emplace_back(name);
   }
+  r.wall_seconds = static_cast<double>(telemetry::clock_ns() - t0) / 1e9;
   return r;
 }
 
@@ -212,30 +219,44 @@ int main(int argc, char** argv) {
   RunManifest manifest("ablation_churn", a);
   std::uint64_t total_violations = 0;
   bool floc_reconverged = true;
-  for (DefenseScheme scheme :
-       {DefenseScheme::kFloc, DefenseScheme::kPushback, DefenseScheme::kRedPd,
-        DefenseScheme::kDropTail}) {
-    for (FaultKind fault : {FaultKind::kReboot, FaultKind::kKeyRotation,
-                            FaultKind::kLinkFlap}) {
-      const CaseResult r = run_case(scheme, fault, a, manifest);
-      char relatch[16];
-      if (r.relatch_intervals >= 0) {
-        std::snprintf(relatch, sizeof relatch, "%d ivl", r.relatch_intervals);
-      } else {
-        std::snprintf(relatch, sizeof relatch, "-");
-      }
-      const double ratio = r.pre > 0.0 ? r.after / r.pre : 0.0;
-      std::printf(
-          "%-10s %-13s %8.3f %8.3f %8.3f %10.3f %9s %9llu %10llu  %llu\n",
-          floc::to_string(scheme), to_string(fault), r.pre, r.during, r.after,
-          ratio, relatch, static_cast<unsigned long long>(r.reissues),
-          static_cast<unsigned long long>(r.mode_transitions),
-          static_cast<unsigned long long>(r.violations));
-      total_violations += r.violations;
-      if (scheme == DefenseScheme::kFloc && ratio < 0.8)
-        floc_reconverged = false;
+  const DefenseScheme schemes[] = {DefenseScheme::kFloc,
+                                   DefenseScheme::kPushback,
+                                   DefenseScheme::kRedPd,
+                                   DefenseScheme::kDropTail};
+  const FaultKind faults[] = {FaultKind::kReboot, FaultKind::kKeyRotation,
+                              FaultKind::kLinkFlap};
+  const std::size_t n_faults = std::size(faults);
+  const auto results = runner::run_indexed<CaseResult>(
+      a.jobs, std::size(schemes) * n_faults, [&](std::size_t i) {
+        return run_case(schemes[i / n_faults], faults[i % n_faults],
+                        a.run_seed(i, kSeedStreamTreeScenario), a);
+      });
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const DefenseScheme scheme = schemes[i / n_faults];
+    const FaultKind fault = faults[i % n_faults];
+    const CaseResult& r = results[i];
+    char relatch[16];
+    if (r.relatch_intervals >= 0) {
+      std::snprintf(relatch, sizeof relatch, "%d ivl", r.relatch_intervals);
+    } else {
+      std::snprintf(relatch, sizeof relatch, "-");
     }
-    std::printf("\n");
+    const double ratio = r.pre > 0.0 ? r.after / r.pre : 0.0;
+    std::printf(
+        "%-10s %-13s %8.3f %8.3f %8.3f %10.3f %9s %9llu %10llu  %llu\n",
+        floc::to_string(scheme), to_string(fault), r.pre, r.during, r.after,
+        ratio, relatch, static_cast<unsigned long long>(r.reissues),
+        static_cast<unsigned long long>(r.mode_transitions),
+        static_cast<unsigned long long>(r.violations));
+    total_violations += r.violations;
+    if (scheme == DefenseScheme::kFloc && ratio < 0.8)
+      floc_reconverged = false;
+    char label[48];
+    std::snprintf(label, sizeof(label), "%s/%s", floc::to_string(scheme),
+                  to_string(fault));
+    manifest.add_run(label, r.seed, r.wall_seconds);
+    for (const auto& path : r.artifacts) manifest.add_artifact(path);
+    if (i % n_faults == n_faults - 1) std::printf("\n");
   }
   std::printf("goodput = legitimate-flow goodput as a fraction of the target "
               "link;\nfault at t=%.0fs, windows of %.0fs; reboot/rotation are "

@@ -18,13 +18,15 @@ using namespace floc::bench;
 
 namespace {
 
-void run_case(const char* label, const BenchArgs& a,
-              const std::function<void(TreeScenarioConfig&)>& tweak) {
+std::string run_case(const char* label, std::uint64_t seed,
+                     const BenchArgs& a,
+                     const std::function<void(TreeScenarioConfig&)>& tweak) {
   TreeScenarioConfig cfg = fig5_config(a);
   cfg.scheme = DefenseScheme::kFloc;
   cfg.attack = AttackType::kCbr;
   cfg.attack_rate = mbps(2.0);
   cfg.floc.s_max = 25;
+  cfg.seed = seed;
   tweak(cfg);
   TreeScenario s(cfg);
   s.run();
@@ -34,10 +36,13 @@ void run_case(const char* label, const BenchArgs& a,
       FlowMonitor::is_legit_on_attack_path, "start", "end");
   const Cdf attack = s.monitor().bandwidth_cdf(FlowMonitor::is_attack,
                                                "start", "end");
-  std::printf("%-18s %12.3f %12.3f %12.3f %13.0f %13.0f\n", label,
-              cb.legit_legit_bps / link, cb.legit_attack_bps / link,
-              cb.attack_bps / link, legit_attack.mean() / 1e3,
-              attack.mean() / 1e3);
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "%-18s %12.3f %12.3f %12.3f %13.0f %13.0f\n", label,
+                cb.legit_legit_bps / link, cb.legit_attack_bps / link,
+                cb.attack_bps / link, legit_attack.mean() / 1e3,
+                attack.mean() / 1e3);
+  return line;
 }
 
 }  // namespace
@@ -51,34 +56,47 @@ int main(int argc, char** argv) {
   std::printf("%-18s %12s %12s %12s %13s %13s\n", "variant", "legit/legitP",
               "legit/attackP", "attack", "legitA kbps/f", "atk kbps/f");
 
-  run_case("full", a, [](TreeScenarioConfig&) {});
-  run_case("no-preferential", a, [](TreeScenarioConfig& c) {
-    c.floc.enable_preferential_drop = false;
-  });
-  run_case("no-aggregation", a, [](TreeScenarioConfig& c) {
-    c.floc.enable_aggregation = false;
-  });
-  run_case("scalable-filter", a, [](TreeScenarioConfig& c) {
-    c.floc.use_scalable_filter = true;
-    c.floc.filter.bits = 16;
-  });
-  run_case("flow-estimation", a, [](TreeScenarioConfig& c) {
-    c.floc.estimate_flow_count = true;
-  });
-  run_case("fully-scalable", a, [](TreeScenarioConfig& c) {
-    c.floc.use_scalable_filter = true;
-    c.floc.filter.bits = 16;
-    c.floc.estimate_flow_count = true;
-  });
-  run_case("no-capabilities", a, [](TreeScenarioConfig& c) {
-    c.floc.enable_capabilities = false;
-  });
-  run_case("base-bucket-only", a, [](TreeScenarioConfig& c) {
-    c.floc.force_base_bucket = true;  // N instead of N' (Eq. IV.3 ablated)
-  });
-  run_case("no-rtt-damping", a, [](TreeScenarioConfig& c) {
-    c.floc.rtt_damping = 1.0;  // use the raw over-estimated path RTT
-  });
+  struct Variant {
+    const char* label;
+    std::function<void(TreeScenarioConfig&)> tweak;
+  };
+  const std::vector<Variant> variants = {
+      {"full", [](TreeScenarioConfig&) {}},
+      {"no-preferential",
+       [](TreeScenarioConfig& c) { c.floc.enable_preferential_drop = false; }},
+      {"no-aggregation",
+       [](TreeScenarioConfig& c) { c.floc.enable_aggregation = false; }},
+      {"scalable-filter",
+       [](TreeScenarioConfig& c) {
+         c.floc.use_scalable_filter = true;
+         c.floc.filter.bits = 16;
+       }},
+      {"flow-estimation",
+       [](TreeScenarioConfig& c) { c.floc.estimate_flow_count = true; }},
+      {"fully-scalable",
+       [](TreeScenarioConfig& c) {
+         c.floc.use_scalable_filter = true;
+         c.floc.filter.bits = 16;
+         c.floc.estimate_flow_count = true;
+       }},
+      {"no-capabilities",
+       [](TreeScenarioConfig& c) { c.floc.enable_capabilities = false; }},
+      // N instead of N' (Eq. IV.3 ablated).
+      {"base-bucket-only",
+       [](TreeScenarioConfig& c) { c.floc.force_base_bucket = true; }},
+      // Use the raw over-estimated path RTT.
+      {"no-rtt-damping",
+       [](TreeScenarioConfig& c) { c.floc.rtt_damping = 1.0; }},
+  };
+  // Every variant sees the same derived traffic seed: the ablation isolates
+  // the mechanism, not the draw.
+  const auto rows = runner::run_indexed<std::string>(
+      a.jobs, variants.size(), [&](std::size_t i) {
+        return run_case(variants[i].label,
+                        a.run_seed(0, kSeedStreamTreeScenario), a,
+                        variants[i].tweak);
+      });
+  for (const auto& r : rows) std::fputs(r.c_str(), stdout);
   std::printf("\n(first three columns: fractions of the link; last two: mean "
               "per-flow kbps of legit-in-attack-path vs attack flows)\n");
   return 0;

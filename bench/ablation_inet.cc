@@ -6,8 +6,7 @@
 //   full (A)     — plus conformance-driven aggregation
 #include <cmath>
 
-#include "bench/bench_common.h"
-#include "inetsim/inet_experiment.h"
+#include "bench/inet_bench_common.h"
 #include "topology/bot_distribution.h"
 
 using namespace floc;
@@ -24,14 +23,16 @@ int main(int argc, char** argv) {
   const double scale = a.paper ? 1.0 : 0.05;
   SkitterConfig scfg;
   scfg.as_count = std::max(300, static_cast<int>(2000 * std::sqrt(scale)));
-  scfg.seed = a.seed + 4;
+  // Derived, not offset: `a.seed + 4` collided across adjacent master seeds
+  // (util/seed.h); topology/placement/tick are separate streams.
+  scfg.seed = inet_topology_seed(a);
   const AsGraph graph = generate_skitter_tree(scfg);
   PlacementConfig pcfg;
   pcfg.legit_sources = std::max(100, static_cast<int>(10000 * scale));
   pcfg.legit_ases = std::max(20, static_cast<int>(200 * std::sqrt(scale)));
   pcfg.attack_sources = std::max(1000, static_cast<int>(100000 * scale));
   pcfg.attack_ases = std::max(10, static_cast<int>(100 * std::sqrt(scale)));
-  pcfg.seed = (a.seed + 4) ^ 0xB07;
+  pcfg.seed = a.run_seed(0, kSeedStreamInetPlacement);
   const SourcePlacement placement = place_sources(graph, pcfg);
 
   TickConfig base;
@@ -39,7 +40,7 @@ int main(int argc, char** argv) {
   base.internal_capacity = 4 * base.bottleneck_capacity;
   base.ticks = a.paper ? 6000 : 3000;
   base.warmup_ticks = base.ticks / 3;
-  base.seed = (a.seed + 4) ^ 0x51;
+  base.seed = a.run_seed(0, kSeedStreamInetTick);
 
   struct Variant {
     const char* label;
@@ -67,14 +68,38 @@ int main(int argc, char** argv) {
 
   std::printf("%-14s %16s %17s %10s %8s\n", "variant", "legit(legitAS)%",
               "legit(attackAS)%", "attack%", "paths");
-  for (const auto& v : variants) {
-    TickSim sim(graph, placement, v.cfg);
-    const TickResults r = sim.run();
-    std::printf("%-14s %15.1f%% %16.1f%% %9.1f%% %8d\n", v.label,
-                100.0 * r.legit_legit_frac, 100.0 * r.legit_attack_frac,
-                100.0 * r.attack_frac, r.aggregate_count);
+  RunManifest manifest("ablation_inet", a);
+  manifest.note("inet_scale", scale);
+  // The graph and placement are shared read-only across the variant runs;
+  // each TickSim owns its world (tick state + Rng seeded from v.cfg.seed).
+  struct CaseOutput {
+    std::string row;
+    double wall_seconds;
+  };
+  const auto cases = runner::run_indexed<CaseOutput>(
+      a.jobs, variants.size(), [&](std::size_t i) {
+        const Variant& v = variants[i];
+        CaseOutput out;
+        out.wall_seconds = runner::timed_seconds([&] {
+          TickSim sim(graph, placement, v.cfg);
+          const TickResults r = sim.run();
+          char line[160];
+          std::snprintf(line, sizeof(line),
+                        "%-14s %15.1f%% %16.1f%% %9.1f%% %8d\n", v.label,
+                        100.0 * r.legit_legit_frac,
+                        100.0 * r.legit_attack_frac, 100.0 * r.attack_frac,
+                        r.aggregate_count);
+          out.row = line;
+        });
+        return out;
+      });
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    std::fputs(cases[i].row.c_str(), stdout);
+    manifest.add_run(variants[i].label, variants[i].cfg.seed,
+                     cases[i].wall_seconds);
   }
   std::printf("\n(each mechanism should add legitimate-path bandwidth on top "
               "of the previous row)\n");
+  manifest.write();
   return 0;
 }

@@ -14,10 +14,12 @@ using namespace floc::bench;
 
 namespace {
 
-void run_case(DefenseScheme scheme, AttackType attack, const BenchArgs& a) {
+std::string run_case(DefenseScheme scheme, AttackType attack,
+                     std::uint64_t seed, const BenchArgs& a) {
   TreeScenarioConfig cfg = fig5_config(a);
   cfg.scheme = scheme;
   cfg.attack = attack;
+  cfg.seed = seed;
   // Peak rate scaled so the time-average matches a steady 2 Mbps/bot flood.
   if (attack == AttackType::kOnOff) {
     cfg.onoff_on = 4.0;
@@ -33,9 +35,12 @@ void run_case(DefenseScheme scheme, AttackType attack, const BenchArgs& a) {
   s.run();
   const auto cb = s.class_bandwidth();
   const double link = s.scaled_target_bw();
-  std::printf("%-10s %-10s %14.3f %14.3f %12.3f\n", to_string(scheme),
-              to_string(attack), cb.legit_legit_bps / link,
-              cb.legit_attack_bps / link, cb.attack_bps / link);
+  char line[128];
+  std::snprintf(line, sizeof(line), "%-10s %-10s %14.3f %14.3f %12.3f\n",
+                to_string(scheme), to_string(attack),
+                cb.legit_legit_bps / link, cb.legit_attack_bps / link,
+                cb.attack_bps / link);
+  return line;
 }
 
 }  // namespace
@@ -48,12 +53,19 @@ int main(int argc, char** argv) {
          a);
   std::printf("%-10s %-10s %14s %14s %12s\n", "scheme", "attack",
               "legit/legitP", "legit/attackP", "attack");
-  for (DefenseScheme scheme : {DefenseScheme::kFloc, DefenseScheme::kPushback}) {
-    for (AttackType attack :
-         {AttackType::kCbr, AttackType::kOnOff, AttackType::kRolling}) {
-      run_case(scheme, attack, a);
-    }
-    std::printf("\n");
+  const DefenseScheme schemes[] = {DefenseScheme::kFloc,
+                                   DefenseScheme::kPushback};
+  const AttackType attacks[] = {AttackType::kCbr, AttackType::kOnOff,
+                                AttackType::kRolling};
+  const std::size_t n_attacks = std::size(attacks);
+  const auto rows = runner::run_indexed<std::string>(
+      a.jobs, std::size(schemes) * n_attacks, [&](std::size_t i) {
+        return run_case(schemes[i / n_attacks], attacks[i % n_attacks],
+                        a.run_seed(i, kSeedStreamTreeScenario), a);
+      });
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    std::fputs(rows[i].c_str(), stdout);
+    if (i % n_attacks == n_attacks - 1) std::printf("\n");
   }
   std::printf("(equal time-averaged attack strength in all three rows of a "
               "scheme; lower attack share + higher legit share = better)\n");

@@ -11,13 +11,16 @@
 #include <cstdlib>
 #include <cstring>
 #include <ctime>
+#include <iterator>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "runner/scenario_runner.h"
 #include "telemetry/file_util.h"
 #include "telemetry/profiler.h"
 #include "topology/tree_scenario.h"
+#include "util/seed.h"
 #include "util/stats.h"
 
 namespace floc::bench {
@@ -28,6 +31,7 @@ struct BenchArgs {
   TimeSec duration = 60.0;
   TimeSec measure_start = 20.0;
   std::uint64_t seed = 1;
+  int jobs = 1;          // --jobs N: scenario-grid parallelism (0 = auto)
 
   static BenchArgs parse(int argc, char** argv) {
     BenchArgs a;
@@ -44,14 +48,25 @@ struct BenchArgs {
         a.scale = std::atof(argv[++i]);
       } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
         a.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+      } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+        a.jobs = std::atoi(argv[++i]);
+        if (a.jobs <= 0) a.jobs = runner::default_jobs();
       } else {
         std::fprintf(stderr,
-                     "usage: %s [--paper|--quick] [--scale F] [--seed N]\n",
+                     "usage: %s [--paper|--quick] [--scale F] [--seed N] "
+                     "[--jobs N]\n",
                      argv[0]);
         std::exit(2);
       }
     }
     return a;
+  }
+
+  // Seed of the `index`-th run of logical stream `salt` in this sweep.
+  // Runs must derive (never offset) their seeds so every (master, run)
+  // world is independent and identical at any --jobs value.
+  std::uint64_t run_seed(std::uint64_t index, std::uint64_t salt = 0) const {
+    return derive_seed(seed, index, salt);
   }
 };
 
@@ -86,6 +101,7 @@ class RunManifest {
     note("paper", a.paper ? "true" : "false");
     note("duration_s", a.duration);
     note("measure_start_s", a.measure_start);
+    note("jobs", static_cast<double>(a.jobs));
   }
 
   void note(const std::string& key, const std::string& value) {
@@ -98,6 +114,16 @@ class RunManifest {
   }
 
   void add_artifact(const std::string& path) { artifacts_.push_back(path); }
+
+  // Per-run provenance of a parallel sweep: label, the seed derived for the
+  // run, and its wall-clock cost. Appended on the main thread in submission
+  // order after the sweep merges, so manifests are byte-stable across
+  // --jobs values (apart from the timings themselves). The sum of run walls
+  // versus the manifest's total wall_seconds is the sweep's speedup.
+  void add_run(const std::string& label, std::uint64_t run_seed,
+               double wall_seconds) {
+    runs_.push_back({label, run_seed, wall_seconds});
+  }
 
   std::string json() const {
     std::string out = "{\n";
@@ -119,7 +145,15 @@ class RunManifest {
       out += "\"" + escaped(config_[i].first) + "\": \"" +
              escaped(config_[i].second) + "\"";
     }
-    out += "},\n  \"artifacts\": [";
+    out += "},\n  \"runs\": [";
+    for (std::size_t i = 0; i < runs_.size(); ++i) {
+      if (i != 0) out += ", ";
+      std::snprintf(buf, sizeof(buf), "\"seed\": %llu, \"wall_s\": %.3f}",
+                    static_cast<unsigned long long>(runs_[i].seed),
+                    runs_[i].wall_seconds);
+      out += "{\"label\": \"" + escaped(runs_[i].label) + "\", " + buf;
+    }
+    out += "],\n  \"artifacts\": [";
     for (std::size_t i = 0; i < artifacts_.size(); ++i) {
       if (i != 0) out += ", ";
       out += "\"" + escaped(artifacts_[i]) + "\"";
@@ -154,11 +188,18 @@ class RunManifest {
     return out;
   }
 
+  struct RunRecord {
+    std::string label;
+    std::uint64_t seed;
+    double wall_seconds;
+  };
+
   std::string bench_;
   std::uint64_t seed_;
   std::time_t start_unix_;
   std::uint64_t start_ns_;
   std::vector<std::pair<std::string, std::string>> config_;
+  std::vector<RunRecord> runs_;
   std::vector<std::string> artifacts_;
 };
 
@@ -177,8 +218,9 @@ inline void header(const std::string& title, const std::string& paper_claim,
                    const BenchArgs& a) {
   std::printf("==== %s ====\n", title.c_str());
   std::printf("paper: %s\n", paper_claim.c_str());
-  std::printf("run:   scale=%.2f duration=%.0fs (measured from %.0fs)%s\n\n",
-              a.scale, a.duration, a.measure_start,
+  std::printf("run:   scale=%.2f duration=%.0fs (measured from %.0fs) "
+              "jobs=%d%s\n\n",
+              a.scale, a.duration, a.measure_start, a.jobs,
               a.paper ? " [PAPER SCALE]" : "");
 }
 

@@ -27,7 +27,8 @@ struct Result {
   double mean_window;
 };
 
-Result run_flows(int n, BitsPerSec bw, const BenchArgs& a) {
+Result run_flows(int n, BitsPerSec bw, std::uint64_t seed,
+                 const BenchArgs& a) {
   Simulator sim;
   Network net(&sim);
   Router* r = net.add_router("r", 2);
@@ -40,7 +41,7 @@ Result run_flows(int n, BitsPerSec bw, const BenchArgs& a) {
   TcpSink sink(&sim, server, &monitor);
 
   std::vector<std::unique_ptr<TcpSource>> sources;
-  Rng rng(a.seed);
+  Rng rng(seed);
   for (int i = 0; i < n; ++i) {
     Host* h = net.add_host("h" + std::to_string(i), 1);
     net.connect(h, r, bw * 4, 0.005);
@@ -98,13 +99,18 @@ int main(int argc, char** argv) {
   const BitsPerSec bw = mbps(a.paper ? 100 : 40);
   std::printf("%6s %12s %12s %12s %10s %10s %10s\n", "flows", "service(p/s)",
               "drops(p/s)", "drop ratio", "gamma(W)", "meanW", "est flows");
-  for (int n : {4, 8, 16, 32}) {
-    const Result r = run_flows(n, bw, a);
+  const int flow_counts[] = {4, 8, 16, 32};
+  const auto results = runner::run_indexed<Result>(
+      a.jobs, std::size(flow_counts),
+      [&](std::size_t i) { return run_flows(flow_counts[i], bw,
+                                            a.run_seed(i), a); });
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const Result& r = results[i];
     // Model drop ratio at the mean measured window (3/4 of peak => peak =
     // 4/3 * mean).
     const double w_peak = r.mean_window * 4.0 / 3.0;
-    std::printf("%6d %12.1f %12.2f %12.5f %10.5f %10.1f %10.1f\n", n,
-                r.service_pps, r.drop_pps, r.drop_ratio,
+    std::printf("%6d %12.1f %12.2f %12.5f %10.5f %10.1f %10.1f\n",
+                flow_counts[i], r.service_pps, r.drop_pps, r.drop_ratio,
                 model::drop_ratio(std::max(2.0, w_peak)), r.mean_window,
                 r.est_flows);
   }

@@ -29,11 +29,28 @@ using namespace floc::bench;
 
 namespace {
 
-void run_case(AttackType attack, const BenchArgs& a, RunManifest& manifest) {
+// One fully isolated world per attack case: its own scenario (Simulator +
+// Rng), MetricRegistry, Tracer, and Profiler, so the three cases can run on
+// pool threads. Nothing is printed here — the caller merges the returned
+// rows/artifacts in submission order (the --jobs determinism contract).
+struct CaseOutput {
+  std::string row;        // summary table line
+  std::string profile;    // wall-clock profiler block
+  std::vector<std::string> artifacts;
+  std::uint64_t seed = 0;
+  double wall_seconds = 0.0;
+};
+
+CaseOutput run_case(AttackType attack, std::uint64_t seed,
+                    const BenchArgs& a) {
+  CaseOutput out;
+  out.seed = seed;
+  const std::uint64_t t0 = telemetry::clock_ns();
   TreeScenarioConfig cfg = fig5_config(a);
   cfg.scheme = DefenseScheme::kFloc;
   cfg.attack = attack;
   cfg.attack_rate = mbps(2.0);
+  cfg.seed = seed;
   if (attack == AttackType::kShrew) {
     cfg.shrew_period = 0.05;
     cfg.shrew_duty = 0.25;
@@ -71,7 +88,7 @@ void run_case(AttackType attack, const BenchArgs& a, RunManifest& manifest) {
   if (!sampler.save(name, &err)) {
     std::fprintf(stderr, "fig06: %s\n", err.c_str());
   }
-  manifest.add_artifact(name);
+  out.artifacts.emplace_back(name);
 
   std::snprintf(name, sizeof(name), "fig06_%s.trace.json", to_string(attack));
   telemetry::TraceExportOptions opts;
@@ -80,7 +97,7 @@ void run_case(AttackType attack, const BenchArgs& a, RunManifest& manifest) {
   if (!telemetry::write_chrome_trace(tracer, name, opts, &err)) {
     std::fprintf(stderr, "fig06: %s\n", err.c_str());
   }
-  manifest.add_artifact(name);
+  out.artifacts.emplace_back(name);
 
   const double fair_path = s.scaled_target_bw() / s.leaf_count();
   const auto per_path = s.per_path_bps();
@@ -93,14 +110,20 @@ void run_case(AttackType attack, const BenchArgs& a, RunManifest& manifest) {
   }
   const auto cb = s.class_bandwidth();
 
-  std::printf("%-18s", to_string(attack));
-  std::printf(" %11.3f %11.3f %11.3f %11.3f %11.3f\n", legit_paths.mean(),
-              legit_paths.stddev(), attack_paths.mean(),
-              cb.legit_legit_bps / s.scaled_target_bw(),
-              (cb.legit_legit_bps + cb.legit_attack_bps + cb.attack_bps) /
-                  s.scaled_target_bw());
-  std::printf("\nwall-clock profile (%s):\n%s\n", to_string(attack),
-              prof.report().c_str());
+  char line[192];
+  std::snprintf(line, sizeof(line),
+                "%-18s %11.3f %11.3f %11.3f %11.3f %11.3f\n",
+                to_string(attack), legit_paths.mean(), legit_paths.stddev(),
+                attack_paths.mean(),
+                cb.legit_legit_bps / s.scaled_target_bw(),
+                (cb.legit_legit_bps + cb.legit_attack_bps + cb.attack_bps) /
+                    s.scaled_target_bw());
+  out.row = line;
+  out.profile = "\nwall-clock profile (" + std::string(to_string(attack)) +
+                "):\n" + prof.report() + "\n";
+  out.wall_seconds =
+      static_cast<double>(telemetry::clock_ns() - t0) / 1e9;
+  return out;
 }
 
 }  // namespace
@@ -115,9 +138,20 @@ int main(int argc, char** argv) {
   RunManifest manifest("fig06", a);
   std::printf("%-18s %11s %11s %11s %11s %11s\n", "attack",
               "legit(xfair)", "stdev", "attack(xfair)", "legit link%", "util");
-  run_case(AttackType::kTcpPopulation, a, manifest);
-  run_case(AttackType::kCbr, a, manifest);
-  run_case(AttackType::kShrew, a, manifest);
+  const AttackType attacks[] = {AttackType::kTcpPopulation, AttackType::kCbr,
+                                AttackType::kShrew};
+  const auto cases = runner::run_indexed<CaseOutput>(
+      a.jobs, std::size(attacks), [&](std::size_t i) {
+        return run_case(attacks[i],
+                        a.run_seed(i, kSeedStreamTreeScenario), a);
+      });
+  for (const auto& c : cases) std::fputs(c.row.c_str(), stdout);
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    std::fputs(cases[i].profile.c_str(), stdout);
+    manifest.add_run(to_string(attacks[i]), cases[i].seed,
+                     cases[i].wall_seconds);
+    for (const auto& path : cases[i].artifacts) manifest.add_artifact(path);
+  }
   std::printf("\n(fair = link/27 per path; legit link%% = legit-path traffic "
               "as a fraction of the link)\n");
   manifest.write();

@@ -13,11 +13,13 @@ using namespace floc::bench;
 
 namespace {
 
-Cdf run_case(DefenseScheme scheme, double attack_rate_mbps, const BenchArgs& a) {
+Cdf run_case(DefenseScheme scheme, double attack_rate_mbps,
+             std::uint64_t seed, const BenchArgs& a) {
   TreeScenarioConfig cfg = fig5_config(a);
   cfg.scheme = scheme;
   cfg.attack = attack_rate_mbps > 0.0 ? AttackType::kCbr : AttackType::kNone;
   cfg.attack_rate = mbps(std::max(attack_rate_mbps, 0.1));
+  cfg.seed = seed;
   TreeScenario s(cfg);
   s.run();
   return s.legit_path_flow_cdf();
@@ -38,16 +40,27 @@ int main(int argc, char** argv) {
               fair_flow / 1e3);
 
   const double rates[] = {0.0, 0.5, 1.0, 2.0, 4.0};
-  for (DefenseScheme scheme :
-       {DefenseScheme::kFloc, DefenseScheme::kPushback, DefenseScheme::kRedPd}) {
-    std::printf("--- %s ---\n", to_string(scheme));
+  const DefenseScheme schemes[] = {DefenseScheme::kFloc,
+                                   DefenseScheme::kPushback,
+                                   DefenseScheme::kRedPd};
+  // Flattened (scheme x rate) grid; run index == print position, so rows
+  // merge back into the per-scheme tables in submission order.
+  const std::size_t n_rates = std::size(rates);
+  const auto cdfs = runner::run_indexed<Cdf>(
+      a.jobs, std::size(schemes) * n_rates, [&](std::size_t i) {
+        return run_case(schemes[i / n_rates], rates[i % n_rates],
+                        a.run_seed(i, kSeedStreamTreeScenario), a);
+      });
+  for (std::size_t si = 0; si < std::size(schemes); ++si) {
+    std::printf("--- %s ---\n", to_string(schemes[si]));
     std::printf("%-16s %9s %9s %9s %9s %12s\n", "attack rate", "p10", "p50",
                 "p90", "mean", "frac>=fair/2");
-    for (double rate : rates) {
-      const Cdf cdf = run_case(scheme, rate, a);
+    for (std::size_t ri = 0; ri < n_rates; ++ri) {
+      const double rate = rates[ri];
+      const Cdf& cdf = cdfs[si * n_rates + ri];
       char label[32];
-      std::snprintf(label, sizeof(label), rate == 0.0 ? "no attack" : "%.1f Mbps/bot",
-                    rate);
+      std::snprintf(label, sizeof(label),
+                    rate == 0.0 ? "no attack" : "%.1f Mbps/bot", rate);
       std::printf("%-16s %9.0f %9.0f %9.0f %9.0f %12.2f\n", label,
                   cdf.quantile(0.1) / 1e3, cdf.quantile(0.5) / 1e3,
                   cdf.quantile(0.9) / 1e3, cdf.mean() / 1e3,

@@ -15,21 +15,38 @@ using namespace floc::bench;
 
 namespace {
 
-void run_case(DefenseScheme scheme, double rate_mbps, const BenchArgs& a) {
-  TreeScenarioConfig cfg = fig5_config(a);
-  cfg.scheme = scheme;
-  cfg.attack = AttackType::kCbr;
-  cfg.attack_rate = mbps(rate_mbps);
-  cfg.floc.s_max = 25;  // forces aggregation of >= 4 of the 6 attack paths
-  cfg.floc.aggregation_every = 2;
-  TreeScenario s(cfg);
-  s.run();
-  const auto cb = s.class_bandwidth();
-  const double link = s.scaled_target_bw();
-  std::printf("%-10s %8.1f %14.3f %14.3f %14.3f %8.3f\n", to_string(scheme),
-              rate_mbps, cb.legit_legit_bps / link, cb.legit_attack_bps / link,
-              cb.attack_bps / link,
-              (cb.legit_legit_bps + cb.legit_attack_bps + cb.attack_bps) / link);
+struct CaseOutput {
+  std::string row;
+  std::uint64_t seed = 0;
+  double wall_seconds = 0.0;
+};
+
+CaseOutput run_case(DefenseScheme scheme, double rate_mbps,
+                    std::uint64_t seed, const BenchArgs& a) {
+  CaseOutput out;
+  out.seed = seed;
+  out.wall_seconds = runner::timed_seconds([&] {
+    TreeScenarioConfig cfg = fig5_config(a);
+    cfg.scheme = scheme;
+    cfg.attack = AttackType::kCbr;
+    cfg.attack_rate = mbps(rate_mbps);
+    cfg.floc.s_max = 25;  // forces aggregation of >= 4 of the 6 attack paths
+    cfg.floc.aggregation_every = 2;
+    cfg.seed = seed;
+    TreeScenario s(cfg);
+    s.run();
+    const auto cb = s.class_bandwidth();
+    const double link = s.scaled_target_bw();
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "%-10s %8.1f %14.3f %14.3f %14.3f %8.3f\n",
+                  to_string(scheme), rate_mbps, cb.legit_legit_bps / link,
+                  cb.legit_attack_bps / link, cb.attack_bps / link,
+                  (cb.legit_legit_bps + cb.legit_attack_bps + cb.attack_bps) /
+                      link);
+    out.row = line;
+  });
+  return out;
 }
 
 }  // namespace
@@ -44,13 +61,26 @@ int main(int argc, char** argv) {
          a);
   std::printf("%-10s %8s %14s %14s %14s %8s\n", "scheme", "Mbps/bot",
               "legit/legitP", "legit/attackP", "attack", "util");
-  for (DefenseScheme scheme :
-       {DefenseScheme::kFloc, DefenseScheme::kPushback, DefenseScheme::kRedPd}) {
-    for (double rate : {0.2, 0.4, 0.8, 1.6, 2.4, 3.2, 4.0}) {
-      run_case(scheme, rate, a);
-    }
-    std::printf("\n");
+  RunManifest manifest("fig08", a);
+  const DefenseScheme schemes[] = {DefenseScheme::kFloc,
+                                   DefenseScheme::kPushback,
+                                   DefenseScheme::kRedPd};
+  const double rates[] = {0.2, 0.4, 0.8, 1.6, 2.4, 3.2, 4.0};
+  const std::size_t n_rates = std::size(rates);
+  const auto cases = runner::run_indexed<CaseOutput>(
+      a.jobs, std::size(schemes) * n_rates, [&](std::size_t i) {
+        return run_case(schemes[i / n_rates], rates[i % n_rates],
+                        a.run_seed(i, kSeedStreamTreeScenario), a);
+      });
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    std::fputs(cases[i].row.c_str(), stdout);
+    if (i % n_rates == n_rates - 1) std::printf("\n");
+    char label[48];
+    std::snprintf(label, sizeof(label), "%s@%.1f",
+                  to_string(schemes[i / n_rates]), rates[i % n_rates]);
+    manifest.add_run(label, cases[i].seed, cases[i].wall_seconds);
   }
   std::printf("(fractions of the target-link bandwidth)\n");
+  manifest.write();
   return 0;
 }

@@ -20,8 +20,10 @@ struct CaseResult {
   double spread;  // p90/p10 of legit-path per-flow bandwidth
 };
 
-CaseResult run_case(bool aggregate_legit, const BenchArgs& a) {
+CaseResult run_case(bool aggregate_legit, std::uint64_t seed,
+                    const BenchArgs& a) {
   TreeScenarioConfig cfg = fig5_config(a);
+  cfg.seed = seed;
   cfg.scheme = DefenseScheme::kFloc;
   cfg.attack = AttackType::kCbr;
   cfg.attack_rate = mbps(2.0);
@@ -55,8 +57,15 @@ int main(int argc, char** argv) {
          "less than legit-path flows",
          a);
 
-  const CaseResult off = run_case(false, a);
-  const CaseResult on = run_case(true, a);
+  // Both cases share one derived seed: the comparison is aggregation on/off
+  // over the *same* traffic draw.
+  const bool flags[] = {false, true};
+  const auto results = runner::run_indexed<CaseResult>(
+      a.jobs, std::size(flags), [&](std::size_t i) {
+        return run_case(flags[i], a.run_seed(0, kSeedStreamTreeScenario), a);
+      });
+  const CaseResult& off = results[0];
+  const CaseResult& on = results[1];
 
   std::printf("%-24s %9s %9s %9s %9s %10s\n", "case", "p10", "p50", "p90",
               "mean", "p90/p10");

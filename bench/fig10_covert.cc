@@ -14,22 +14,27 @@ using namespace floc::bench;
 
 namespace {
 
-void run_case(DefenseScheme scheme, int connections, const BenchArgs& a) {
+std::string run_case(DefenseScheme scheme, int connections,
+                     std::uint64_t seed, const BenchArgs& a) {
   TreeScenarioConfig cfg = fig5_config(a);
   cfg.scheme = scheme;
   cfg.attack = AttackType::kCovert;
   cfg.covert_connections = connections;
   cfg.attack_rate = mbps(0.2);  // per connection: exactly one fair share
   cfg.floc.n_max = 2;           // capability slots (Section IV-B.3)
+  cfg.seed = seed;
   TreeScenario s(cfg);
   s.run();
   const auto cb = s.class_bandwidth();
   const double link = s.scaled_target_bw();
-  std::printf("%-10s %6d %14.3f %14.3f %10.3f\n", to_string(scheme),
-              connections,
-              (cb.legit_legit_bps + cb.legit_attack_bps) / link,
-              cb.attack_bps / link,
-              (cb.legit_legit_bps + cb.legit_attack_bps + cb.attack_bps) / link);
+  char line[128];
+  std::snprintf(line, sizeof(line), "%-10s %6d %14.3f %14.3f %10.3f\n",
+                to_string(scheme), connections,
+                (cb.legit_legit_bps + cb.legit_attack_bps) / link,
+                cb.attack_bps / link,
+                (cb.legit_legit_bps + cb.legit_attack_bps + cb.attack_bps) /
+                    link);
+  return line;
 }
 
 }  // namespace
@@ -44,10 +49,19 @@ int main(int argc, char** argv) {
          a);
   std::printf("%-10s %6s %14s %14s %10s\n", "scheme", "k", "legit frac",
               "attack frac", "util");
-  for (DefenseScheme scheme :
-       {DefenseScheme::kFloc, DefenseScheme::kPushback, DefenseScheme::kRedPd}) {
-    for (int k : {1, 2, 5, 10, 20}) run_case(scheme, k, a);
-    std::printf("\n");
+  const DefenseScheme schemes[] = {DefenseScheme::kFloc,
+                                   DefenseScheme::kPushback,
+                                   DefenseScheme::kRedPd};
+  const int ks[] = {1, 2, 5, 10, 20};
+  const std::size_t n_ks = std::size(ks);
+  const auto rows = runner::run_indexed<std::string>(
+      a.jobs, std::size(schemes) * n_ks, [&](std::size_t i) {
+        return run_case(schemes[i / n_ks], ks[i % n_ks],
+                        a.run_seed(i, kSeedStreamTreeScenario), a);
+      });
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    std::fputs(rows[i].c_str(), stdout);
+    if (i % n_ks == n_ks - 1) std::printf("\n");
   }
   std::printf("(fractions of the target link over the measurement window)\n");
   return 0;

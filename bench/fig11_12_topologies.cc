@@ -4,8 +4,7 @@
 // (localized: 100 attack ASes; wide: 300). We print the structural
 // statistics that drive the results: size, depth distribution, attack-AS
 // placement depth, CBL-style bot concentration, and legit/attack overlap.
-#include "bench/bench_common.h"
-#include "inetsim/inet_experiment.h"
+#include "bench/inet_bench_common.h"
 
 using namespace floc;
 using namespace floc::bench;
@@ -21,23 +20,53 @@ int main(int argc, char** argv) {
   std::printf("%-8s %8s %6s %7s %10s %11s %11s %12s %13s\n", "preset",
               "attackAS", "ASes", "depth", "max depth", "atk depth",
               "legit depth", "bots@top17%", "legit-in-atk");
-  for (int attack_ases : {100, 300}) {
-    for (SkitterPreset preset :
-         {SkitterPreset::kFRoot, SkitterPreset::kHRoot, SkitterPreset::kJpn}) {
-      InetExperimentConfig cfg;
-      cfg.preset = preset;
-      cfg.attack_ases = attack_ases;
-      cfg.scale = a.paper ? 1.0 : 0.05;
-      cfg.seed = a.seed + 4;
-      const TopologyStats st = topology_stats(cfg);
-      std::printf("%-8s %8d %6d %7.2f %10d %11.2f %11.2f %11.0f%% %13d\n",
-                  st.preset.c_str(), attack_ases, st.ases, st.mean_depth,
-                  st.max_depth, st.mean_attack_depth, st.mean_legit_depth,
-                  100.0 * st.bot_concentration_top17pct,
-                  st.legit_in_attack_ases);
-    }
+  RunManifest manifest("fig11_12", a);
+  const int attack_cases[] = {100, 300};
+  const SkitterPreset presets[] = {SkitterPreset::kFRoot,
+                                   SkitterPreset::kHRoot, SkitterPreset::kJpn};
+  const std::size_t n_presets = std::size(presets);
+
+  struct CaseOutput {
+    std::string row;
+    std::uint64_t seed;
+    double wall_seconds;
+  };
+  const auto cases = runner::run_indexed<CaseOutput>(
+      a.jobs, std::size(attack_cases) * n_presets, [&](std::size_t i) {
+        InetExperimentConfig cfg;
+        cfg.preset = presets[i % n_presets];
+        cfg.attack_ases = attack_cases[i / n_presets];
+        cfg.scale = a.paper ? 1.0 : 0.05;
+        // Seed matches the preset's simulated world in Figs. 13-15: the
+        // same topologies are rendered here and simulated there.
+        cfg.seed = inet_topology_seed(a, i % n_presets);
+        CaseOutput out;
+        out.seed = cfg.seed;
+        out.wall_seconds = runner::timed_seconds([&] {
+          const TopologyStats st = topology_stats(cfg);
+          char line[192];
+          std::snprintf(line, sizeof(line),
+                        "%-8s %8d %6d %7.2f %10d %11.2f %11.2f %11.0f%% "
+                        "%13d\n",
+                        st.preset.c_str(), cfg.attack_ases, st.ases,
+                        st.mean_depth, st.max_depth, st.mean_attack_depth,
+                        st.mean_legit_depth,
+                        100.0 * st.bot_concentration_top17pct,
+                        st.legit_in_attack_ases);
+          out.row = line;
+        });
+        return out;
+      });
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    std::fputs(cases[i].row.c_str(), stdout);
+    char label[48];
+    std::snprintf(label, sizeof(label), "%s@%d",
+                  to_string(presets[i % n_presets]),
+                  attack_cases[i / n_presets]);
+    manifest.add_run(label, cases[i].seed, cases[i].wall_seconds);
   }
   std::printf("\n(JPN should show the largest mean depth; attack-AS mean "
               "depth >= legit for JPN = better separation)\n");
+  manifest.write();
   return 0;
 }

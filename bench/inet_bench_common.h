@@ -1,10 +1,26 @@
 // Shared driver for the Fig. 13/14/15 Internet-scale harnesses.
+//
+// The three Skitter topologies are independent worlds, so they run through
+// the ScenarioRunner (--jobs N) and their tables are merged in submission
+// order — output is byte-identical at any jobs value.
 #pragma once
+
+#include <iterator>
 
 #include "bench/bench_common.h"
 #include "inetsim/inet_experiment.h"
 
 namespace floc::bench {
+
+// Seed of the `index`-th Internet-scale topology world under this master
+// seed. Shared by Figs. 11-15 and the inet ablation so the topologies
+// Fig. 11/12 renders are the ones Figs. 13-15 simulate. (Historically this
+// was `a.seed + 4`, which collides across adjacent master seeds — master m
+// run k and master m+1 run k-1 were the same world; see util/seed.h.)
+inline std::uint64_t inet_topology_seed(const BenchArgs& a,
+                                        std::uint64_t index = 0) {
+  return a.run_seed(index, kSeedStreamInetTopology);
+}
 
 inline void run_inet_figure(const char* name, const char* title,
                             const char* claim, int attack_ases, double overlap,
@@ -16,35 +32,66 @@ inline void run_inet_figure(const char* name, const char* title,
   manifest.note("legit_overlap", overlap);
   const double scale = a.paper ? 1.0 : 0.05;
   manifest.note("inet_scale", scale);
-  // Cross-topology spread of the FLoc rows, accumulated with the shared
-  // RunningStats instead of per-figure sum variables.
+
+  const SkitterPreset presets[] = {SkitterPreset::kFRoot,
+                                   SkitterPreset::kHRoot, SkitterPreset::kJpn};
+
+  struct TopoResult {
+    std::string table;
+    std::uint64_t seed;
+    double wall_seconds;
+    std::vector<double> floc_legit, floc_util;
+  };
+  auto results = runner::run_indexed<TopoResult>(
+      a.jobs, std::size(presets), [&](std::size_t i) {
+        InetExperimentConfig cfg;
+        cfg.preset = presets[i];
+        cfg.attack_ases = attack_ases;
+        cfg.legit_overlap = overlap;
+        cfg.scale = scale;
+        cfg.ticks = a.paper ? 6000 : 3000;
+        cfg.seed = inet_topology_seed(a, i);
+        TopoResult out;
+        out.seed = cfg.seed;
+        out.wall_seconds = runner::timed_seconds([&] {
+          char line[160];
+          std::snprintf(line, sizeof(line), "--- topology %s ---\n",
+                        to_string(cfg.preset));
+          out.table += line;
+          std::snprintf(line, sizeof(line), "%-8s %16s %17s %10s %8s %7s\n",
+                        "policy", "legit(legitAS)%", "legit(attackAS)%",
+                        "attack%", "util%", "paths");
+          out.table += line;
+          for (const auto& row : run_inet_experiment(cfg)) {
+            std::snprintf(line, sizeof(line),
+                          "%-8s %15.1f%% %16.1f%% %9.1f%% %7.1f%% %7d\n",
+                          row.label.c_str(),
+                          100.0 * row.results.legit_legit_frac,
+                          100.0 * row.results.legit_attack_frac,
+                          100.0 * row.results.attack_frac,
+                          100.0 * row.results.utilization,
+                          row.results.aggregate_count);
+            out.table += line;
+            // FLoc rows are NA (no guarantee) and A-<n> (n guaranteed paths).
+            if (row.label == "NA" || row.label.rfind("A-", 0) == 0) {
+              out.floc_legit.push_back(100.0 * row.results.legit_legit_frac);
+              out.floc_util.push_back(100.0 * row.results.utilization);
+            }
+          }
+        });
+        return out;
+      });
+
+  // Merge in submission (preset) order: tables, manifest run records, and
+  // the cross-topology spread of the FLoc rows.
   RunningStats floc_legit, floc_util;
-  for (SkitterPreset preset :
-       {SkitterPreset::kFRoot, SkitterPreset::kHRoot, SkitterPreset::kJpn}) {
-    InetExperimentConfig cfg;
-    cfg.preset = preset;
-    cfg.attack_ases = attack_ases;
-    cfg.legit_overlap = overlap;
-    cfg.scale = scale;
-    cfg.ticks = a.paper ? 6000 : 3000;
-    cfg.seed = a.seed + 4;
-    std::printf("--- topology %s ---\n", to_string(preset));
-    std::printf("%-8s %16s %17s %10s %8s %7s\n", "policy", "legit(legitAS)%",
-                "legit(attackAS)%", "attack%", "util%", "paths");
-    for (const auto& row : run_inet_experiment(cfg)) {
-      std::printf("%-8s %15.1f%% %16.1f%% %9.1f%% %7.1f%% %7d\n",
-                  row.label.c_str(), 100.0 * row.results.legit_legit_frac,
-                  100.0 * row.results.legit_attack_frac,
-                  100.0 * row.results.attack_frac,
-                  100.0 * row.results.utilization,
-                  row.results.aggregate_count);
-      // FLoc rows are NA (no guarantee) and A-<n> (n guaranteed paths).
-      if (row.label == "NA" || row.label.rfind("A-", 0) == 0) {
-        floc_legit.add(100.0 * row.results.legit_legit_frac);
-        floc_util.add(100.0 * row.results.utilization);
-      }
-    }
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const TopoResult& r = results[i];
+    std::fputs(r.table.c_str(), stdout);
     std::printf("\n");
+    manifest.add_run(to_string(presets[i]), r.seed, r.wall_seconds);
+    for (double v : r.floc_legit) floc_legit.add(v);
+    for (double v : r.floc_util) floc_util.add(v);
   }
   if (floc_legit.count() > 0) {
     std::printf("floc rows (NA, A-*) across topologies: legit(legitAS) "

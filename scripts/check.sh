@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
-# Local pre-PR gate: tier-1 tests, the ASan+UBSan suite, and a churn smoke
-# run of the fault-injection ablation. Any failure aborts with nonzero exit.
+# Local pre-PR gate: tier-1 tests, the ASan+UBSan suite, the TSan run of the
+# multi-threaded (ScenarioRunner) suite, a churn smoke run of the
+# fault-injection ablation, and a parallel bench smoke (fig06 --jobs 4).
+# Any failure aborts with nonzero exit.
 #
 #   scripts/check.sh                 # everything
-#   scripts/check.sh --fast          # tier-1 only (skip sanitizers + smoke)
+#   scripts/check.sh --fast          # tier-1 only (skip sanitizers + smokes)
 #   scripts/check.sh --preset NAME   # one CMakePresets preset: configure,
-#                                    # build, ctest, churn smoke (CI entry)
+#                                    # build, ctest, smokes (CI entry);
+#                                    # NAME=tsan runs only `ctest -L tsan`
 #
 # Benches write their CSV/JSON time-series into the directory they run from;
 # every mode ends by scanning the source tree for stray generated artifacts,
@@ -50,13 +53,30 @@ churn_smoke() {
   (cd "$bindir" && ./bench/ablation_churn --quick)
 }
 
+parallel_bench_smoke() {
+  local bindir="$1"
+  echo "== parallel bench smoke: fig06 sweep on a 4-wide pool =="
+  # Exercises the ScenarioRunner path end-to-end; the run manifest records
+  # jobs plus per-run derived seeds and wall times.
+  (cd "$bindir" && ./bench/fig06_attack_confinement --quick --jobs 4)
+}
+
 if [[ "${1:-}" == "--preset" ]]; then
   PRESET="${2:?usage: scripts/check.sh --preset <name>}"
   echo "== preset $PRESET: configure + build + ctest =="
   cmake --preset "$PRESET" "${LAUNCHER[@]}" > /dev/null
   cmake --build --preset "$PRESET" -j "$JOBS" > /dev/null
   ctest --preset "$PRESET" -j "$JOBS"
-  churn_smoke "build-$PRESET"
+  # The tsan preset's ctest already ran the label-filtered multi-threaded
+  # suite (runner + parallel scenario/telemetry worlds); the serial churn
+  # smoke would only re-run single-threaded code an order of magnitude
+  # slower, so the smokes stay on the non-tsan legs.
+  if [[ "$PRESET" != "tsan" ]]; then
+    churn_smoke "build-$PRESET"
+    if [[ "$PRESET" == "release" ]]; then
+      parallel_bench_smoke "build-$PRESET"
+    fi
+  fi
   check_no_stray_artifacts
   echo "== preset $PRESET passed =="
   exit 0
@@ -78,7 +98,13 @@ cmake --preset sanitize "${LAUNCHER[@]}" > /dev/null
 cmake --build --preset sanitize -j "$JOBS" > /dev/null
 ctest --preset sanitize -j "$JOBS"
 
+echo "== tsan: ThreadSanitizer on the multi-threaded (runner) suite =="
+cmake --preset tsan "${LAUNCHER[@]}" > /dev/null
+cmake --build --preset tsan -j "$JOBS" > /dev/null
+ctest --preset tsan -j "$JOBS"
+
 churn_smoke build
+parallel_bench_smoke build
 check_no_stray_artifacts
 
 echo "== all checks passed =="

@@ -1,0 +1,110 @@
+#include "runner/scenario_runner.h"
+
+#include <algorithm>
+
+namespace floc::runner {
+
+int default_jobs() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::max(1, static_cast<int>(hw));
+}
+
+ScenarioRunner::ScenarioRunner(int jobs) : jobs_(std::max(1, jobs)) {
+  if (jobs_ > 1) {
+    threads_.reserve(static_cast<std::size_t>(jobs_));
+    for (int i = 0; i < jobs_; ++i) {
+      threads_.emplace_back([this] { worker(); });
+    }
+  }
+}
+
+ScenarioRunner::~ScenarioRunner() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+std::size_t ScenarioRunner::submit(std::function<void()> task) {
+  if (jobs_ <= 1) {
+    // Serial mode: run on the caller's thread, defer errors to wait().
+    std::size_t index;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      index = next_index_++;
+    }
+    try {
+      task();
+    } catch (...) {
+      record_exception(index, std::current_exception());
+    }
+    std::lock_guard<std::mutex> lk(mu_);
+    ++completed_;
+    return index;
+  }
+  std::size_t index;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    index = next_index_++;
+    queue_.emplace_back(index, std::move(task));
+  }
+  work_cv_.notify_one();
+  return index;
+}
+
+void ScenarioRunner::wait() {
+  std::unique_lock<std::mutex> lk(mu_);
+  done_cv_.wait(lk, [this] { return completed_ == next_index_; });
+  throw_pending_locked();
+}
+
+std::size_t ScenarioRunner::submitted() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return next_index_;
+}
+
+void ScenarioRunner::worker() {
+  for (;;) {
+    std::pair<std::size_t, std::function<void()>> item;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      work_cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to run
+      item = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    try {
+      item.second();
+    } catch (...) {
+      record_exception(item.first, std::current_exception());
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      ++completed_;
+    }
+    done_cv_.notify_all();
+  }
+}
+
+void ScenarioRunner::record_exception(std::size_t index, std::exception_ptr e) {
+  std::lock_guard<std::mutex> lk(mu_);
+  // Keep the error of the lowest submission index so which run's failure
+  // surfaces does not depend on worker scheduling.
+  if (index < error_index_) {
+    error_index_ = index;
+    error_ = e;
+  }
+}
+
+void ScenarioRunner::throw_pending_locked() {
+  if (error_) {
+    std::exception_ptr e = error_;
+    error_ = nullptr;
+    error_index_ = SIZE_MAX;
+    std::rethrow_exception(e);
+  }
+}
+
+}  // namespace floc::runner

@@ -2,16 +2,10 @@
 
 #include <cmath>
 
+#include "util/seed.h"
+
 namespace floc {
 namespace {
-
-std::uint64_t splitmix64(std::uint64_t& x) {
-  x += 0x9E3779B97F4A7C15ULL;
-  std::uint64_t z = x;
-  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
-  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
-  return z ^ (z >> 31);
-}
 
 std::uint64_t rotl(std::uint64_t x, int k) {
   return (x << k) | (x >> (64 - k));
@@ -20,8 +14,13 @@ std::uint64_t rotl(std::uint64_t x, int k) {
 }  // namespace
 
 void Rng::reseed(std::uint64_t seed) {
+  // SplitMix64 expansion of the single seed into the four state words,
+  // sharing the finalizer with util/seed.h's derive_seed.
   std::uint64_t x = seed;
-  for (auto& s : s_) s = splitmix64(x);
+  for (auto& s : s_) {
+    x += 0x9E3779B97F4A7C15ULL;
+    s = mix64(x);
+  }
 }
 
 std::uint64_t Rng::next_u64() {

@@ -1,0 +1,49 @@
+// Deterministic seed derivation for independent simulation runs.
+//
+// A scenario sweep runs many worlds from one master seed. Deriving the k-th
+// world's seed as `master + k` is unsound: adjacent master seeds collide
+// (master m, run k and master m+1, run k-1 yield the same world), and the
+// xoshiro/SplitMix expansion then produces byte-identical streams. Instead
+// every (master, index, salt) triple is pushed through a SplitMix64-style
+// finalizer chain, so distinct triples map to statistically independent
+// 64-bit seeds with no arithmetic collisions between nearby masters.
+//
+// `salt` names the logical stream inside a run (topology generation, source
+// placement, tick simulation, ...) so sub-components never share a stream
+// just because they share a run index. Use the kSeed* constants below for
+// repo-wide streams; ad-hoc salts only need to be unique per call site.
+#pragma once
+
+#include <cstdint>
+
+namespace floc {
+
+// SplitMix64 finalizer (Steele, Lea & Flood): a bijective avalanche mix.
+// Exactly the mix used by Rng::reseed's expansion, shared here so seed
+// derivation and state expansion agree on one primitive.
+constexpr std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+// Independent seed for run `index` of logical stream `salt` under `master`.
+// Deterministic, collision-free across nearby (master, index) pairs, and
+// order-independent of how many other seeds were derived (stateless).
+constexpr std::uint64_t derive_seed(std::uint64_t master, std::uint64_t index,
+                                    std::uint64_t salt = 0) {
+  std::uint64_t h = mix64(master + 0x9E3779B97F4A7C15ULL);
+  h = mix64(h ^ (index + 0xD1B54A32D192ED03ULL));
+  h = mix64(h ^ (salt + 0x8BB84B93962EEFC9ULL));
+  return h;
+}
+
+// Repo-wide stream salts (bench/ and tests/ share these so e.g. Fig. 11/12
+// renders the same topologies Figs. 13-15 simulate).
+inline constexpr std::uint64_t kSeedStreamTreeScenario = 1;
+inline constexpr std::uint64_t kSeedStreamInetTopology = 2;
+inline constexpr std::uint64_t kSeedStreamInetPlacement = 3;
+inline constexpr std::uint64_t kSeedStreamInetTick = 4;
+inline constexpr std::uint64_t kSeedStreamFaultPlan = 5;
+
+}  // namespace floc

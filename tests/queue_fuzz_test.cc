@@ -1,10 +1,22 @@
 // Randomized robustness sweep over every queue discipline: arbitrary packet
 // streams (mixed types, sizes, paths, timestamps) must never violate the
 // queue invariants — no crash, byte/packet conservation, buffer bounds.
+//
+// Two bodies share the scheme x seed grid:
+//   * InvariantsUnderRandomTraffic — uniform random enqueue/dequeue mix;
+//   * ModeTransitionInterleavings — phase-structured traffic (bursts, drains,
+//     quiet gaps jumping whole control intervals) with FLoc faults (reboot,
+//     secret rotation) and forced control passes interleaved, audited every
+//     phase; for FLoc the defense-event journal is attached and the recorded
+//     mode-transition chain is checked for validity.
 #include <gtest/gtest.h>
 
+#include <string>
+
+#include "telemetry/telemetry.h"
 #include "topology/defense_factory.h"
 #include "util/rng.h"
+#include "util/seed.h"
 
 namespace floc {
 namespace {
@@ -15,6 +27,31 @@ struct FuzzCase {
 };
 
 class QueueFuzz : public ::testing::TestWithParam<FuzzCase> {};
+
+// Random packet shaped like the scenario mix: mostly data, some handshake
+// types, 1-3 hop origin paths.
+Packet random_packet(Rng& rng) {
+  Packet p;
+  p.flow = rng.uniform_int(40);
+  p.src = static_cast<HostAddr>(rng.uniform_int(20) + 1);
+  p.dst = static_cast<HostAddr>(rng.uniform_int(5) + 100);
+  const auto type_pick = rng.uniform_int(10);
+  p.type = type_pick < 7   ? PacketType::kData
+           : type_pick < 8 ? PacketType::kSyn
+           : type_pick < 9 ? PacketType::kAck
+                           : PacketType::kSynAck;
+  p.size_bytes = p.type == PacketType::kData
+                     ? static_cast<int>(rng.uniform_int(1461) + 40)
+                     : 40;
+  p.seq = rng.uniform_int(1000);
+  PathId path;
+  const auto hops = rng.uniform_int(3) + 1;
+  for (std::uint64_t h = 0; h < hops; ++h) {
+    path.push_origin(static_cast<AsNumber>(rng.uniform_int(6) + 1));
+  }
+  p.path = path;
+  return p;
+}
 
 TEST_P(QueueFuzz, InvariantsUnderRandomTraffic) {
   const FuzzCase fc = GetParam();
@@ -33,25 +70,7 @@ TEST_P(QueueFuzz, InvariantsUnderRandomTraffic) {
     t += rng.exponential(2e-4);
     const double action = rng.uniform();
     if (action < 0.7) {
-      Packet p;
-      p.flow = rng.uniform_int(40);
-      p.src = static_cast<HostAddr>(rng.uniform_int(20) + 1);
-      p.dst = static_cast<HostAddr>(rng.uniform_int(5) + 100);
-      const auto type_pick = rng.uniform_int(10);
-      p.type = type_pick < 7   ? PacketType::kData
-               : type_pick < 8 ? PacketType::kSyn
-               : type_pick < 9 ? PacketType::kAck
-                               : PacketType::kSynAck;
-      p.size_bytes = p.type == PacketType::kData
-                         ? static_cast<int>(rng.uniform_int(1461) + 40)
-                         : 40;
-      p.seq = rng.uniform_int(1000);
-      PathId path;
-      const auto hops = rng.uniform_int(3) + 1;
-      for (std::uint64_t h = 0; h < hops; ++h) {
-        path.push_origin(static_cast<AsNumber>(rng.uniform_int(6) + 1));
-      }
-      p.path = path;
+      Packet p = random_packet(rng);
       ++offered;
       const int bytes = p.size_bytes;
       if (q->enqueue(std::move(p), t)) {
@@ -78,6 +97,123 @@ TEST_P(QueueFuzz, InvariantsUnderRandomTraffic) {
   }
   EXPECT_EQ(q->packet_count(), 0u);
   EXPECT_EQ(q->byte_count(), 0u);
+  EXPECT_TRUE(q->empty());
+}
+
+// Phase-structured fuzz: alternating bursts (enqueue-heavy, drives the
+// FlocQueue toward kCongested/kFlooding), drains (dequeue-heavy, back toward
+// kUncongested) and quiet gaps whose time jumps cross several control
+// intervals, with reboot()/rotate_secret() faults and forced control passes
+// racing the traffic. Every phase ends with the discipline's own audit()
+// plus external conservation checks; for FLoc the journal's mode-transition
+// chain must be a valid walk (modes in range, time/seq monotone, every
+// recorded transition an actual change).
+TEST_P(QueueFuzz, ModeTransitionInterleavings) {
+  const FuzzCase fc = GetParam();
+  DefenseFactoryConfig cfg;
+  cfg.link_bandwidth = mbps(10);
+  cfg.buffer_packets = 64;
+  cfg.seed = fc.seed;
+  cfg.floc.control_interval = 0.05;  // many mode decisions per run
+  auto q = make_defense_queue(fc.scheme, std::move(cfg));
+  auto* fq = dynamic_cast<FlocQueue*>(q.get());
+  ASSERT_EQ(fq != nullptr, fc.scheme == DefenseScheme::kFloc);
+
+  telemetry::Telemetry tel;
+  if (fq != nullptr) fq->attach_telemetry(&tel);
+
+  Rng rng(derive_seed(fc.seed, 0, /*salt=*/0xF022));
+  std::uint64_t admitted = 0, serviced = 0, offered = 0;
+  std::uint64_t admitted_bytes = 0, serviced_bytes = 0;
+  std::uint64_t flushed = 0, flushed_bytes = 0;  // wiped by reboot()
+  double t = 0.0;
+
+  for (int phase = 0; phase < 40; ++phase) {
+    // Phase style: burst / drain / mixed enqueue probability.
+    const double style = rng.uniform();
+    const double p_enq = style < 0.4 ? 0.95 : style < 0.7 ? 0.15 : 0.6;
+    // Quiet gap: jump up to ~6 control intervals so the next packet's lazy
+    // control pass has to catch up across missed intervals.
+    if (rng.uniform() < 0.4) t += rng.uniform() * 0.3;
+    // Faults, mid-stream (FLoc only; baselines carry no router soft state).
+    if (fq != nullptr && rng.uniform() < 0.2) {
+      if (rng.uniform() < 0.5) {
+        flushed += q->packet_count();
+        flushed_bytes += q->byte_count();
+        fq->reboot(t);
+      } else {
+        fq->rotate_secret(rng.next_u64(), t);
+      }
+    }
+
+    const int steps = 300 + static_cast<int>(rng.uniform_int(300));
+    for (int i = 0; i < steps; ++i) {
+      t += rng.exponential(2e-4);
+      // Occasionally force a control pass between packets so control-loop
+      // state changes interleave with enqueue/dequeue at arbitrary points.
+      if (fq != nullptr && rng.uniform() < 0.02) fq->run_control(t);
+      if (rng.uniform() < p_enq) {
+        Packet p = random_packet(rng);
+        ++offered;
+        const int bytes = p.size_bytes;
+        if (q->enqueue(std::move(p), t)) {
+          ++admitted;
+          admitted_bytes += static_cast<std::uint64_t>(bytes);
+        }
+      } else {
+        auto out = q->dequeue(t);
+        if (out.has_value()) {
+          ++serviced;
+          serviced_bytes += static_cast<std::uint64_t>(out->size_bytes);
+        }
+      }
+      ASSERT_LE(q->packet_count(), 64u);
+    }
+
+    // Per-phase audit + external conservation (reboot wipes are accounted
+    // as flushed, not serviced).
+    std::string why;
+    ASSERT_TRUE(q->audit(t, &why)) << "phase " << phase << ": " << why;
+    ASSERT_EQ(admitted, serviced + q->packet_count() + flushed);
+    ASSERT_EQ(admitted_bytes, serviced_bytes + q->byte_count() + flushed_bytes);
+    ASSERT_EQ(offered, admitted + q->drops());
+  }
+
+  if (fq != nullptr) {
+    // Flush a final journal_mode pass, then validate the recorded chain.
+    fq->run_control(t);
+    const auto transitions =
+        tel.journal.of_kind(telemetry::EventKind::kModeTransition);
+    double last_time = -1.0;
+    std::uint64_t last_seq = 0;
+    std::uint64_t last_mode = ~0ULL;
+    for (const telemetry::DefenseEvent* e : transitions) {
+      EXPECT_LE(e->a, 2u) << "mode ordinal out of range";
+      EXPECT_GE(e->time, last_time) << "mode transitions out of time order";
+      if (last_mode != ~0ULL) {
+        EXPECT_GT(e->seq, last_seq) << "journal seq not monotone";
+        EXPECT_NE(e->a, last_mode) << "recorded a transition to the same mode";
+      }
+      last_time = e->time;
+      last_seq = e->seq;
+      last_mode = e->a;
+    }
+    if (!transitions.empty() && !tel.journal.overflowed()) {
+      EXPECT_EQ(transitions.back()->a,
+                static_cast<std::uint64_t>(static_cast<int>(fq->mode())))
+          << "journal tail disagrees with the live mode";
+    }
+    // Structural bursts + drains must actually have exercised the machinery.
+    EXPECT_GT(tel.journal.count(telemetry::EventKind::kDrop) +
+                  tel.journal.count(telemetry::EventKind::kModeTransition),
+              0u);
+  }
+
+  // Drain completely.
+  while (auto p = q->dequeue(t)) {
+    ++serviced;
+  }
+  EXPECT_EQ(q->packet_count(), 0u);
   EXPECT_TRUE(q->empty());
 }
 
