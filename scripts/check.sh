@@ -61,6 +61,16 @@ parallel_bench_smoke() {
   (cd "$bindir" && ./bench/fig06_attack_confinement --quick --jobs 4)
 }
 
+adaptive_smoke() {
+  local bindir="$1"
+  echo "== adaptive-adversary smoke: hardening scorecard on a 4-wide pool =="
+  # Closed-loop attackers vs the hardening stack; the bench exits nonzero if
+  # any acceptance gate (evasion, confinement, flash-crowd FP) fails. Its
+  # per-case CSVs and journal dumps (ablation_adaptive_*.csv / *.journal.json)
+  # land in the build tree and are covered by the stray-artifact scan.
+  (cd "$bindir" && ./bench/ablation_adaptive --quick --jobs 4)
+}
+
 if [[ "${1:-}" == "--preset" ]]; then
   PRESET="${2:?usage: scripts/check.sh --preset <name>}"
   echo "== preset $PRESET: configure + build + ctest =="
@@ -75,6 +85,7 @@ if [[ "${1:-}" == "--preset" ]]; then
     churn_smoke "build-$PRESET"
     if [[ "$PRESET" == "release" ]]; then
       parallel_bench_smoke "build-$PRESET"
+      adaptive_smoke "build-$PRESET"
     fi
   fi
   check_no_stray_artifacts
@@ -105,6 +116,7 @@ ctest --preset tsan -j "$JOBS"
 
 churn_smoke build
 parallel_bench_smoke build
+adaptive_smoke build
 check_no_stray_artifacts
 
 echo "== all checks passed =="

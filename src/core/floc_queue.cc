@@ -12,6 +12,24 @@
 
 namespace floc {
 
+namespace {
+
+// Deterministic signed unit value in [-1, 1) from a key — used for the
+// per-aggregate period jitter. Hashing (akey, tick, seed) instead of drawing
+// from rng_ keeps the jitter independent of unordered_map iteration order
+// and leaves the RNG stream untouched, so jitter=0 runs are bit-identical
+// to the unhardened baseline.
+double signed_unit_hash(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return static_cast<double>(x >> 11) * (1.0 / 4503599627370496.0) - 1.0;
+}
+
+}  // namespace
+
 FlocQueue::FlocQueue(FlocConfig cfg)
     : cfg_(cfg),
       issuer_(cfg.secret, cfg.n_max),
@@ -83,6 +101,16 @@ void FlocQueue::attach_telemetry(telemetry::Telemetry* t,
     double n = 0.0;
     for (const auto& [k, agg] : aggregates_) n += agg.attack ? 1.0 : 0.0;
     return n;
+  });
+  reg.gauge_fn(prefix + ".hardening.offenders",
+               [this] { return static_cast<double>(offenders_.size()); });
+  reg.gauge_fn(prefix + ".hardening.backoff_paths",
+               [this] { return static_cast<double>(offense_.size()); });
+  reg.gauge_fn(prefix + ".hardening.backoff_max", [this] {
+    double m = 1.0;
+    for (const auto& [k, po] : offense_)
+      m = std::max(m, static_cast<double>(po.multiplier));
+    return m;
   });
 }
 
@@ -161,9 +189,40 @@ FlocQueue::Aggregate& FlocQueue::aggregate_for(OriginPathState& op) {
     agg.params = model::compute_params(agg.c, agg.rtt, 1.0, cfg_.pkt_bytes);
     agg.bucket.configure(agg.params, cfg_.pkt_bytes);
     agg.members.push_back(okey);
+    restore_offense(agg, akey);
     it = aggregates_.emplace(akey, std::move(agg)).first;
   }
   return it->second;
+}
+
+void FlocQueue::restore_offense(Aggregate& agg, std::uint64_t akey) const {
+  if (!cfg_.backoff_release) return;
+  const auto it = offense_.find(akey);
+  if (it != offense_.end() && it->second.attack) agg.attack = true;
+}
+
+void FlocQueue::strike(HostAddr src, TimeSec now) {
+  Offender& o = offenders_[src];
+  if (now < o.blacklisted_until) return;  // already serving a sentence
+  // One strike per control interval: a TCP loss burst (many drops, one
+  // interval) counts once; a flood dropping every interval counts every
+  // interval and reaches the threshold in strikes*interval seconds.
+  if (o.last_strike >= 0.0 &&
+      now - o.last_strike < 0.9 * cfg_.control_interval) {
+    return;
+  }
+  o.last_strike = now;
+  if (++o.strikes >= cfg_.blacklist_strikes) {
+    o.strikes = 0;
+    o.blacklisted_until = now + cfg_.blacklist_duration;
+    if (journal_ != nullptr) {
+      char detail[48];
+      std::snprintf(detail, sizeof(detail), "src=%u until t=%.3f",
+                    static_cast<unsigned>(src), o.blacklisted_until);
+      journal_->record(now, telemetry::EventKind::kBlacklistAdd, "floc",
+                       detail, src, cfg_.blacklist_duration);
+    }
+  }
 }
 
 std::uint64_t FlocQueue::acct_key(const Packet& p) const {
@@ -276,6 +335,19 @@ bool FlocQueue::admit_data(Packet& p, TimeSec now) {
   op.pkts_arrived++;
   fr.bytes_arrived += p.size_bytes;
 
+  // Offender blacklist (hardening): a sentenced sender is dropped on sight.
+  // The check sits AFTER arrival accounting on purpose: the blacklisted
+  // traffic keeps counting toward the path's offered load, so the path
+  // stays latched and a duty-cycling sender cannot launder the release by
+  // getting itself blacklisted.
+  if (cfg_.enable_blacklist) {
+    const auto bit = offenders_.find(p.src);
+    if (bit != offenders_.end() && now < bit->second.blacklisted_until) {
+      on_drop(p, DropReason::kBlacklist, op, agg, &fr, now);
+      return false;
+    }
+  }
+
   // Capability verification: forged identifiers are rejected outright —
   // except inside a key-rotation grace window, where a miss is re-stamped
   // under the new secret instead (dropping would cut off every established
@@ -358,6 +430,13 @@ bool FlocQueue::admit_data(Packet& p, TimeSec now) {
           std::min(1.0, mtd / std::max(agg.params.ref_mtd, 1e-9));
       if (!rng_.chance(p_serviced)) {
         on_drop(p, DropReason::kPreferential, op, agg, &fr, now);
+        // Strike only flows the paper's MTD test identifies as attacks:
+        // a TCP flow transiently over its fair share backs off on loss and
+        // keeps a large MTD, so it never accumulates strikes.
+        if (cfg_.enable_blacklist &&
+            is_attack_mtd(mtd, agg.params.ref_mtd, cfg_.attack_mtd_factor)) {
+          strike(p.src, now);
+        }
         return false;
       }
     }
@@ -369,8 +448,11 @@ bool FlocQueue::admit_data(Packet& p, TimeSec now) {
   // what confines CBR/Shrew floods to their path allocation (Fig. 6(b)
   // discussion). The enlarged bucket N' applies in congested mode, the base
   // bucket N in flooding mode (Section V-A).
+  // Strict-audit (dip) ticks measure against the base bucket N, like
+  // flooding mode: the audit asks "does this path fit its allocation", not
+  // the congested-mode benefit-of-the-doubt N'.
   const bool use_increased =
-      !flooding && !agg.attack && !cfg_.force_base_bucket;
+      !flooding && !agg.attack && !agg.dip_strict && !cfg_.force_base_bucket;
   bool token_ok;
   if (agg.attack) {
     // Identified attack path: a flow's access to the path's tokens is
@@ -398,12 +480,21 @@ bool FlocQueue::admit_data(Packet& p, TimeSec now) {
   // usual mode-derived strictness is unreliable. The configured policy picks
   // the failure direction — open (neutral drops only, below) or closed
   // (strict token drops) — until the state is warm again.
-  bool strict = flooding || agg.attack;
+  bool strict = flooding || agg.attack || agg.dip_strict;
   if (now < recovery_until_) {
     strict = cfg_.recovery_policy == RecoveryPolicy::kFailClosed;
   }
   if (strict) {
     on_drop(p, DropReason::kToken, op, agg, &fr, now);
+    // Strikes only for senders over their fair share on a latched path
+    // whose MTD identifies them as unresponsive (attack) flows: conformant
+    // flows sharing the path back off on loss and never accumulate strikes.
+    if (cfg_.enable_blacklist && agg.attack &&
+        fr.rate_bps > agg.c / std::max(agg.n, 1.0) &&
+        is_attack_mtd(measured_flow_mtd(op, key, fr, agg, now),
+                      agg.params.ref_mtd, cfg_.attack_mtd_factor)) {
+      strike(p.src, now);
+    }
     return false;
   }
   // Congested mode, path within its allocation but momentarily out of
@@ -475,7 +566,16 @@ void FlocQueue::rotate_secret(std::uint64_t new_secret, TimeSec now) {
 void FlocQueue::control(TimeSec now) {
   telemetry::ScopedTimer timer(prof_control_);
   const TimeSec interval = cfg_.control_interval;
-  next_control_ = now + interval;
+  // Hardening: jitter the measurement boundary so an adversary cannot phase
+  // its pulses against a predictable control clock. Gated so that the
+  // default (jitter=0) consumes no RNG values at all.
+  if (cfg_.interval_jitter > 0.0) {
+    next_control_ =
+        now + interval * (1.0 + rng_.uniform(-cfg_.interval_jitter,
+                                             cfg_.interval_jitter));
+  } else {
+    next_control_ = now + interval;
+  }
   ++control_ticks_;
 
   if (journal_ != nullptr && recovery_pending_journal_ &&
@@ -523,6 +623,7 @@ void FlocQueue::control(TimeSec now) {
       } else {
         agg.id = op.path();
         agg.weight = 1.0;
+        restore_offense(agg, akey);  // re-latch relearned offender paths
       }
       agg.n = 0.0;
       fit = fresh.emplace(akey, std::move(agg)).first;
@@ -574,6 +675,55 @@ void FlocQueue::control(TimeSec now) {
     }
     agg.params = model::compute_params(agg.c, agg.rtt, std::max(agg.n, 1.0),
                                        cfg_.pkt_bytes);
+    // Detection thresholds are taken from the UN-jittered parameters:
+    // jitter exists to move the attacker-visible refill boundaries, not to
+    // randomize the latch condition — a scaled period would drag marginal
+    // legitimate paths over (or under) the detection line at random.
+    const TimeSec detect_period = agg.params.period;
+    if (cfg_.interval_jitter > 0.0) {
+      // Hardening: scatter each aggregate's effective token period around
+      // T_Si, re-drawn every tick, so drop-spacing measurements never
+      // converge. Bucket sizes scale with the period: the long-run rate
+      // (bucket/period) is exactly preserved, only the boundaries move.
+      // Hashed, not drawn from rng_: independent of map iteration order.
+      const double f =
+          1.0 + cfg_.interval_jitter *
+                    signed_unit_hash(akey ^
+                                     static_cast<std::uint64_t>(control_ticks_) *
+                                         0x9E3779B97F4A7C15ULL ^
+                                     cfg_.rng_seed);
+      agg.params.period *= f;
+      agg.params.bucket_packets *= f;
+      agg.params.bucket_packets_incr *= f;
+    }
+    agg.dip_strict = false;
+    if (cfg_.jitter_dip_prob > 0.0) {
+      // Feedback poisoning (see FlocConfig): an occasional one-tick bucket
+      // dip with the period untouched, so the tick's admitted volume
+      // genuinely drops at a time no admission-edge prober can predict. On
+      // paths under probation (any offense record — they latched at least
+      // once) the dip tick also enforces tokens strictly: the shortfall
+      // becomes real losses instead of the congested-mode neutral
+      // fallback, which is the signal a loss-averse closed-loop attacker
+      // cannot ignore. Clean paths (a flash crowd never latches) are never
+      // audited strictly and only ever see the milder bucket dip.
+      const std::uint64_t tick_word =
+          static_cast<std::uint64_t>(control_ticks_) * 0x9E3779B97F4A7C15ULL ^
+          cfg_.rng_seed;
+      const double u = 0.5 * (1.0 + signed_unit_hash(
+                                        akey ^ tick_word ^
+                                        0xD1D0D1D0D1D0D1D0ULL));
+      if (u < cfg_.jitter_dip_prob) {
+        const double v = 0.5 * (1.0 + signed_unit_hash(
+                                          akey ^ tick_word ^
+                                          0x5CA1AB1E5CA1AB1EULL));
+        const double f =
+            cfg_.jitter_dip_floor + (1.0 - cfg_.jitter_dip_floor) * v;
+        agg.params.bucket_packets *= f;
+        agg.params.bucket_packets_incr *= f;
+        agg.dip_strict = offense_.find(akey) != offense_.end();
+      }
+    }
     agg.bucket.configure(agg.params, cfg_.pkt_bytes);
 
     // Attack path (Section IV-B.1): aggregate MTD below the token period
@@ -590,19 +740,28 @@ void FlocQueue::control(TimeSec now) {
     const double c_pkts = agg.c / (kBitsPerByte * cfg_.pkt_bytes);
     const double lambda_pkts =
         agg.lambda_bps / (kBitsPerByte * cfg_.pkt_bytes);
-    const bool condition = agg_mtd < agg.params.period &&
-                           lambda_pkts > c_pkts + 1.0 / agg.params.period;
+    const bool condition = agg_mtd < detect_period &&
+                           lambda_pkts > c_pkts + 1.0 / detect_period;
 #ifdef FLOC_DEBUG_DETECT
     std::fprintf(stderr,
                  "detect t=%.2f agg=%s mtd=%.4f T=%.4f lam=%.0f thr=%.0f "
                  "cond=%d streak=%d\n",
-                 now, agg.id.to_string().c_str(), agg_mtd, agg.params.period,
-                 lambda_pkts, c_pkts + 1.0 / agg.params.period, condition,
+                 now, agg.id.to_string().c_str(), agg_mtd, detect_period,
+                 lambda_pkts, c_pkts + 1.0 / detect_period, condition,
                  agg.attack_streak);
 #endif
     // Hysteresis: a flood holds the condition every interval; a legitimate
-    // path crossing it transiently (TCP probing) does not latch.
+    // path crossing it transiently (TCP probing) does not latch. With
+    // backoff_release, a path that has latched before must stay calm
+    // `attack_release * multiplier` intervals — each re-latch doubles the
+    // multiplier, so duty-cycled floods face geometrically growing quiet
+    // requirements instead of a fixed, learnable one.
     const bool was_attack = agg.attack;
+    int release_required = cfg_.attack_release;
+    if (cfg_.backoff_release) {
+      const auto poit = offense_.find(akey);
+      if (poit != offense_.end()) release_required *= poit->second.multiplier;
+    }
     if (condition) {
       agg.attack_streak++;
       agg.calm_streak = 0;
@@ -610,13 +769,42 @@ void FlocQueue::control(TimeSec now) {
     } else {
       agg.calm_streak++;
       agg.attack_streak = 0;
-      if (agg.calm_streak >= cfg_.attack_release) agg.attack = false;
+      if (agg.calm_streak >= release_required) agg.attack = false;
     }
-    if (journal_ != nullptr && agg.attack != was_attack) {
-      journal_->record(now,
-                       agg.attack ? telemetry::EventKind::kAttackLatch
-                                  : telemetry::EventKind::kAttackRelease,
-                       "floc", agg.id.to_string(), akey, agg_mtd);
+    if (agg.attack != was_attack) {
+      if (journal_ != nullptr) {
+        journal_->record(now,
+                         agg.attack ? telemetry::EventKind::kAttackLatch
+                                    : telemetry::EventKind::kAttackRelease,
+                         "floc", agg.id.to_string(), akey, agg_mtd);
+      }
+      if (cfg_.backoff_release) {
+        PathOffense& po = offense_[akey];
+        po.attack = agg.attack;
+        po.next_decay = now + cfg_.backoff_decay;
+        if (agg.attack) {
+          // Escalate only on a fast relapse: re-latching within
+          // backoff_relapse of the previous release is the signature of an
+          // attacker timing its quiet phase to the release hysteresis. A
+          // legitimate path whose marginal latches are spread out keeps
+          // multiplier 1 no matter how many times it latches.
+          if (po.ever_latched && po.multiplier < cfg_.backoff_cap &&
+              po.last_release >= 0.0 &&
+              now - po.last_release <= cfg_.backoff_relapse &&
+              lambda_pkts > cfg_.backoff_lambda_factor *
+                                (c_pkts + 1.0 / detect_period)) {
+            po.multiplier = std::min(cfg_.backoff_cap, po.multiplier * 2);
+            if (journal_ != nullptr) {
+              journal_->record(now, telemetry::EventKind::kBackoffEscalate,
+                               "floc", agg.id.to_string(), akey,
+                               static_cast<double>(po.multiplier));
+            }
+          }
+          po.ever_latched = true;
+        } else {
+          po.last_release = now;
+        }
+      }
     }
 
     q_max_extra += std::sqrt(std::max(agg.n, 1.0)) * agg.params.peak_window;
@@ -640,6 +828,17 @@ void FlocQueue::control(TimeSec now) {
       const double inst = fr.bytes_arrived * kBitsPerByte / interval;
       fr.rate_bps = fr.rate_bps > 0.0 ? 0.5 * fr.rate_bps + 0.5 * inst : inst;
 
+#ifdef FLOC_DEBUG_CONF
+      fr.mtd.set_window(std::max(cfg_.mtd_window_factor, 1.0) *
+                        agg.params.ref_mtd);
+      std::fprintf(stderr,
+                   "conf t=%.2f path=%s flow=%llu rate=%.0f fair=%.0f "
+                   "mtd=%.4f ref=%.4f drops=%llu\n",
+                   now, op.path().to_string().c_str(),
+                   (unsigned long long)fkey, fr.rate_bps, fair_bps,
+                   fr.mtd.mtd(now), agg.params.ref_mtd,
+                   (unsigned long long)fr.total_drops);
+#endif
       if (fr.rate_bps <= fair_bps) continue;  // within fair share: legit
       TimeSec mtd;
       if (cfg_.use_scalable_filter) {
@@ -654,6 +853,56 @@ void FlocQueue::control(TimeSec now) {
         ++n_attack;
     }
     op.update_conformance(legitimate_fraction(n_attack, op.flow_count()));
+  }
+
+  // --- Hardening housekeeping ---------------------------------------------
+  if (cfg_.backoff_release) {
+    // A path that stays unlatched earns one multiplier halving per
+    // backoff_decay window; fully decayed records are forgotten (the next
+    // latch is treated as a first offense again).
+    for (auto it = offense_.begin(); it != offense_.end();) {
+      PathOffense& po = it->second;
+      if (!po.attack && now >= po.next_decay) {
+        if (po.multiplier > 1) {
+          po.multiplier /= 2;
+          po.next_decay = now + cfg_.backoff_decay;
+          ++it;
+        } else {
+          it = offense_.erase(it);
+        }
+      } else {
+        ++it;
+      }
+    }
+  }
+  if (cfg_.enable_blacklist) {
+    for (auto it = offenders_.begin(); it != offenders_.end();) {
+      Offender& o = it->second;
+      if (o.blacklisted_until >= 0.0) {
+        if (now >= o.blacklisted_until) {
+          if (journal_ != nullptr) {
+            char detail[32];
+            std::snprintf(detail, sizeof(detail), "src=%u",
+                          static_cast<unsigned>(it->first));
+            journal_->record(now, telemetry::EventKind::kBlacklistExpire,
+                             "floc", detail, it->first);
+          }
+          it = offenders_.erase(it);
+        } else {
+          ++it;
+        }
+      } else {
+        // Un-sentenced strikes halve every tick the sender goes without a
+        // new strike, so transient loss episodes of legitimate flows wash
+        // out while a persistent flood keeps accumulating.
+        if (now - o.last_strike >= cfg_.control_interval) o.strikes /= 2;
+        if (o.strikes == 0) {
+          it = offenders_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
   }
 
   // --- Aggregation run (Section IV-C) -------------------------------------
@@ -717,6 +966,7 @@ void FlocQueue::run_aggregation(TimeSec) {
               static_cast<double>(std::max<std::size_t>(1, aggregates_.size()));
       agg.params = model::compute_params(agg.c, agg.rtt, 1.0, cfg_.pkt_bytes);
       agg.bucket.configure(agg.params, cfg_.pkt_bytes);
+      restore_offense(agg, akey);
       aggregates_.emplace(akey, std::move(agg));
     } else {
       it->second.weight = entry->share_weight;
@@ -811,6 +1061,32 @@ double FlocQueue::flow_mtd(const PathId& origin, std::uint64_t key,
 std::size_t FlocQueue::path_flow_count(const PathId& origin) const {
   const auto oit = origins_.find(origin.key());
   return oit == origins_.end() ? 0 : oit->second.flow_count();
+}
+
+int FlocQueue::backoff_multiplier(const PathId& origin) const {
+  if (!cfg_.backoff_release) return 1;
+  const auto oit = origins_.find(origin.key());
+  const std::uint64_t akey =
+      oit != origins_.end() ? oit->second.aggregate_key : origin.key();
+  const auto poit = offense_.find(akey);
+  return poit == offense_.end() ? 1 : poit->second.multiplier;
+}
+
+int FlocQueue::release_required(const PathId& origin) const {
+  return cfg_.attack_release * backoff_multiplier(origin);
+}
+
+bool FlocQueue::is_blacklisted(HostAddr src, TimeSec now) const {
+  const auto it = offenders_.find(src);
+  return it != offenders_.end() && now < it->second.blacklisted_until;
+}
+
+std::size_t FlocQueue::blacklist_size(TimeSec now) const {
+  std::size_t n = 0;
+  for (const auto& [src, o] : offenders_) {
+    if (now < o.blacklisted_until) ++n;
+  }
+  return n;
 }
 
 }  // namespace floc

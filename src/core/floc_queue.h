@@ -87,6 +87,70 @@ struct FlocConfig {
   RecoveryPolicy recovery_policy = RecoveryPolicy::kFailOpen;
   int recovery_intervals = 2;  // control intervals of post-reboot grace
 
+  // --- Hardening against closed-loop (detector-gaming) adversaries ---------
+  // All knobs default OFF; the baseline reproduction is bit-identical with
+  // them disabled (jitter=0 draws no RNG values).
+  //
+  // Seeded jitter on the measurement clock: every control tick the interval
+  // length and each aggregate's effective token period are scaled by
+  // 1 + U(-j, +j), so a pulse attacker that locked onto T_Si from observed
+  // drop spacing keeps mis-phasing. Period and bucket size are scaled
+  // together: the long-run token rate (bucket/period) is unchanged, only the
+  // refill boundaries move, so conformant flows see the same throughput.
+  double interval_jitter = 0.0;
+  // Exponential-backoff release: a path that re-latches within
+  // `backoff_relapse` seconds of its last release doubles its calm-streak
+  // release requirement (multiplier capped at `backoff_cap`); the
+  // multiplier halves for every `backoff_decay` seconds the path stays
+  // unlatched. Defeats duty-cycled attackers that time their quiet phases
+  // to the fixed attack_release — they must relapse fast to gain anything —
+  // while legitimate paths whose sporadic marginal latches are minutes or
+  // seconds apart never escalate. The per-path offense record — and the
+  // latched flag itself — survives reboot()/relearn: it is an issued
+  // verdict, not re-derivable soft state.
+  bool backoff_release = false;
+  int backoff_cap = 16;
+  TimeSec backoff_relapse = 3.0;
+  TimeSec backoff_decay = 10.0;
+  // Escalation additionally requires the offered load at latch time to
+  // exceed `backoff_lambda_factor` times the latch threshold: an attack
+  // blast arrives at several times the path allocation, while a legitimate
+  // path dragged over the detection line by flooding-mode collateral
+  // crosses it marginally — and both relapse on the *attacker's* cycle, so
+  // timing alone cannot tell them apart.
+  double backoff_lambda_factor = 2.0;
+  // Per-sender offender table: a sender whose packets are dropped on a
+  // latched path while it sends above its fair share with an attack-grade
+  // MTD accumulates strikes — at most one per control interval, so a
+  // single TCP loss burst (many drops, one interval) counts once, while a
+  // flood striking every interval reaches `blacklist_strikes` in
+  // strikes*interval seconds. Strikes halve every interval the sender goes
+  // without a new one, so transients wash out. At `blacklist_strikes` the
+  // sender is blacklisted for `blacklist_duration` seconds and every data
+  // packet it sends is dropped on sight. Entries survive reboot(), closing
+  // the relearn window that flow-id-rotating attackers otherwise exploit.
+  bool enable_blacklist = false;
+  int blacklist_strikes = 12;
+  TimeSec blacklist_duration = 8.0;
+  // Feedback poisoning: with probability `jitter_dip_prob` per aggregate
+  // per control tick, the effective bucket for that tick is additionally
+  // scaled by a factor drawn uniformly from [jitter_dip_floor, 1) — the
+  // period is NOT scaled, so the tick's admitted volume genuinely dips.
+  // On paths under probation (carrying an offense record, i.e. they have
+  // latched at least once; requires backoff_release) a dip tick also
+  // enforces tokens strictly, turning the shortfall into real losses. A
+  // loss-averse closed-loop attacker probing the admission edge (shrink on
+  // any lossy epoch, creep up on clean ones) sees losses at unpredictable
+  // times, so its search contracts toward its floor instead of converging
+  // just under the bucket. Paths that never latch — a flash crowd — are
+  // never audited strictly: they only ever see the milder bucket dip,
+  // where a token shortfall still falls back to the congested-mode neutral
+  // policy and responsive flows retransmit what the dip costs them. Drawn
+  // from the same order-independent hash as the period jitter (distinct
+  // salt), so runs stay reproducible and --jobs invariant.
+  double jitter_dip_prob = 0.0;
+  double jitter_dip_floor = 0.5;
+
   // Scalable mode (Section V-B): MTD from the drop filter.
   bool use_scalable_filter = false;
   DropFilterConfig filter;
@@ -132,13 +196,25 @@ class FlocQueue : public QueueDisc {
   }
   std::uint64_t capability_violations() const { return cap_violations_; }
 
+  // --- Hardening introspection (tests, benches) --------------------------
+  // Calm intervals currently required to release `origin` (attack_release
+  // times the path's backoff multiplier).
+  int release_required(const PathId& origin) const;
+  int backoff_multiplier(const PathId& origin) const;
+  bool is_blacklisted(HostAddr src, TimeSec now) const;
+  std::size_t blacklist_size(TimeSec now) const;
+
   // --- Fault / churn surface (src/faultsim) ------------------------------
   // Simulate a router reboot at `now`: all soft state — origin paths,
   // aggregates, the aggregation plan, flow tables, RTT estimates, the
   // scalable filter — is lost, and unless `preserve_queue` so are the
   // buffered packets. The capability secret survives (it is provisioned
-  // configuration, not learned state). For the next `recovery_intervals`
-  // control intervals the queue degrades per `recovery_policy`.
+  // configuration, not learned state), as do the hardening verdict tables
+  // (path offense records and the sender blacklist): with backoff_release
+  // on, a path latched before the reboot re-latches as soon as it is
+  // relearned instead of enjoying a fresh hysteresis run-up. For the next
+  // `recovery_intervals` control intervals the queue degrades per
+  // `recovery_policy`.
   void reboot(TimeSec now, bool preserve_queue = false);
   std::uint64_t reboots() const { return reboots_; }
   bool in_recovery(TimeSec now) const { return now < recovery_until_; }
@@ -196,13 +272,31 @@ class FlocQueue : public QueueDisc {
     std::uint64_t arrivals_interval = 0;
     int attack_streak = 0;          // consecutive intervals condition held
     int calm_streak = 0;            // consecutive intervals condition clear
+    bool dip_strict = false;        // this tick is a strict-audit (dip) tick
     double n_estimated = 0.0;       // smoothed drop-rate-based flow estimate
     std::vector<std::uint64_t> members;  // origin-path keys
+  };
+
+  // Persistent (reboot-surviving) offense record per aggregate path.
+  struct PathOffense {
+    int multiplier = 1;        // release-requirement scaling (1, 2, 4, ...)
+    bool ever_latched = false; // first latch does not escalate
+    bool attack = false;       // persisted latch verdict (restored on relearn)
+    TimeSec next_decay = 0.0;  // when unlatched, halve multiplier at this time
+    TimeSec last_release = -1.0;  // relapse-window anchor for escalation
+  };
+  // Per-sender strike/blacklist record (reboot-surviving).
+  struct Offender {
+    int strikes = 0;
+    TimeSec blacklisted_until = -1.0;
+    TimeSec last_strike = -1.0;  // strikes rate-limited to 1/control interval
   };
 
   OriginPathState& origin_state(const PathId& path);
   Aggregate& aggregate_for(OriginPathState& op);
   std::uint64_t acct_key(const Packet& p) const;
+  void restore_offense(Aggregate& agg, std::uint64_t akey) const;
+  void strike(HostAddr src, TimeSec now);
 
   bool enqueue_impl(Packet&& p, TimeSec now);
   bool admit_data(Packet& p, TimeSec now);
@@ -237,6 +331,10 @@ class FlocQueue : public QueueDisc {
   std::unordered_map<std::uint64_t, Aggregate> aggregates_;
   // Current plan mapping origin key -> aggregate key.
   std::unordered_map<std::uint64_t, std::uint64_t> plan_map_;
+  // Hardening state. Both tables survive reboot() deliberately (see the
+  // FlocConfig comments); they stay empty while the knobs are off.
+  std::unordered_map<std::uint64_t, PathOffense> offense_;
+  std::unordered_map<HostAddr, Offender> offenders_;
 
   TimeSec next_control_ = 0.0;
   int control_ticks_ = 0;

@@ -31,6 +31,7 @@ const char* to_string(DropReason r) {
     case DropReason::kRandomEarly: return "random-early";
     case DropReason::kRateLimit: return "rate-limit";
     case DropReason::kCapability: return "capability";
+    case DropReason::kBlacklist: return "blacklist";
   }
   return "?";
 }

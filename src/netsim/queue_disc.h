@@ -29,8 +29,9 @@ enum class DropReason : std::uint8_t {
   kRandomEarly,     // probabilistic early drop (RED / FLoc congested mode)
   kRateLimit,       // aggregate rate limiter (Pushback)
   kCapability,      // invalid / over-limit capability (FLoc covert defense)
+  kBlacklist,       // sender on the FLoc offender blacklist (hardening)
 };
-inline constexpr std::size_t kDropReasonCount = 6;
+inline constexpr std::size_t kDropReasonCount = 7;
 
 const char* to_string(DropReason r);
 // Inverse of to_string; returns false (and leaves *out alone) for unknown

@@ -19,6 +19,9 @@ const char* to_string(EventKind k) {
     case EventKind::kDrop: return "drop";
     case EventKind::kFault: return "fault";
     case EventKind::kInvariantViolation: return "invariant-violation";
+    case EventKind::kBlacklistAdd: return "blacklist-add";
+    case EventKind::kBlacklistExpire: return "blacklist-expire";
+    case EventKind::kBackoffEscalate: return "backoff-escalate";
   }
   return "?";
 }

@@ -35,8 +35,11 @@ enum class EventKind : std::uint8_t {
   kDrop,                // packet dropped; `a` holds the DropReason ordinal
   kFault,               // fault-plan event fired (link flap, corruption, ...)
   kInvariantViolation,  // SimMonitor check failed
+  kBlacklistAdd,        // sender added to the offender blacklist (hardening)
+  kBlacklistExpire,     // offender blacklist entry expired
+  kBackoffEscalate,     // re-latch doubled a path's release requirement
 };
-inline constexpr std::size_t kEventKindCount = 10;
+inline constexpr std::size_t kEventKindCount = 13;
 
 const char* to_string(EventKind k);
 // Inverse of to_string; returns false (and leaves *out alone) for unknown

@@ -16,8 +16,22 @@ const char* to_string(AttackType a) {
     case AttackType::kCovert: return "covert";
     case AttackType::kOnOff: return "on-off";
     case AttackType::kRolling: return "rolling";
+    case AttackType::kAdaptiveShrew: return "adaptive-shrew";
+    case AttackType::kDutyCycle: return "duty-cycle";
+    case AttackType::kProbingCovert: return "probing-covert";
   }
   return "?";
+}
+
+bool from_string(const std::string& name, AttackType* out) {
+  for (std::size_t i = 0; i < kAttackTypeCount; ++i) {
+    const AttackType a = static_cast<AttackType>(i);
+    if (name == to_string(a)) {
+      *out = a;
+      return true;
+    }
+  }
+  return false;
 }
 
 TreeScenario::TreeScenario(TreeScenarioConfig cfg)
@@ -105,8 +119,10 @@ void TreeScenario::build() {
 
   // --- Server side ----------------------------------------------------------
   Router* server_gw = net_.add_router("server-gw", 1000);
-  const int n_servers =
-      cfg_.attack == AttackType::kCovert ? std::max(1, cfg_.covert_connections) : 1;
+  const int n_servers = (cfg_.attack == AttackType::kCovert ||
+                         cfg_.attack == AttackType::kProbingCovert)
+                            ? std::max(1, cfg_.covert_connections)
+                            : 1;
   std::vector<Host*> servers;
   for (int s = 0; s < n_servers; ++s) {
     Host* h = net_.add_host("server" + std::to_string(s), 1000);
@@ -316,6 +332,61 @@ void TreeScenario::build() {
               rcfg.cbr.flow,
               FlowLabel{FlowClass::kAttack, true, path.key(), path_name});
           cbr_sources_.push_back(std::move(src));
+          break;
+        }
+        case AttackType::kAdaptiveShrew: {
+          AdaptiveShrewConfig acfg;
+          acfg.cbr.flow = next_flow_++;
+          acfg.cbr.dst = servers[0]->addr();
+          acfg.cbr.path = path;
+          acfg.cbr.rate = cfg_.attack_rate;
+          acfg.cbr.packet_bytes = cfg_.attack_packet_bytes;
+          acfg.init_period = cfg_.shrew_period;
+          acfg.duty = cfg_.shrew_duty;
+          acfg.epoch = cfg_.adapt_epoch;
+          auto src = std::make_unique<AdaptiveShrewSource>(&sim_, h, acfg);
+          src->start_at(cfg_.attack_start + rng_.uniform(0.0, 0.5));
+          monitor_.register_flow(
+              acfg.cbr.flow,
+              FlowLabel{FlowClass::kAttack, true, path.key(), path_name});
+          cbr_sources_.push_back(std::move(src));
+          break;
+        }
+        case AttackType::kDutyCycle: {
+          DutyCycleConfig dycfg;
+          dycfg.cbr.flow = next_flow_++;
+          dycfg.cbr.dst = servers[0]->addr();
+          dycfg.cbr.path = path;
+          dycfg.cbr.rate = cfg_.attack_rate;
+          dycfg.cbr.packet_bytes = cfg_.attack_packet_bytes;
+          dycfg.quiet_base = cfg_.duty_quiet;
+          auto src = std::make_unique<DutyCycleSource>(&sim_, h, dycfg);
+          src->start_at(cfg_.attack_start + rng_.uniform(0.0, 0.5));
+          monitor_.register_flow(
+              dycfg.cbr.flow,
+              FlowLabel{FlowClass::kAttack, true, path.key(), path_name});
+          cbr_sources_.push_back(std::move(src));
+          break;
+        }
+        case AttackType::kProbingCovert: {
+          ProbingCovertConfig pcfg;
+          pcfg.first_flow = next_flow_;
+          next_flow_ += static_cast<FlowId>(cfg_.probe_pool);
+          for (Host* s : servers) pcfg.dsts.push_back(s->addr());
+          pcfg.path = path;
+          pcfg.packet_bytes = cfg_.attack_packet_bytes;
+          pcfg.rate = cfg_.attack_rate;
+          pcfg.active_flows =
+              std::min(std::max(1, cfg_.covert_connections), cfg_.probe_pool);
+          pcfg.pool = cfg_.probe_pool;
+          pcfg.probe_interval = cfg_.probe_interval;
+          auto src = std::make_unique<ProbingCovertSource>(&sim_, h, pcfg);
+          src->start_at(cfg_.attack_start + rng_.uniform(0.0, 0.5));
+          for (FlowId f : src->flow_pool()) {
+            monitor_.register_flow(
+                f, FlowLabel{FlowClass::kAttack, true, path.key(), path_name});
+          }
+          probing_sources_.push_back(std::move(src));
           break;
         }
         case AttackType::kNone:

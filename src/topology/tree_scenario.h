@@ -15,6 +15,7 @@
 #include "netsim/network.h"
 #include "netsim/simulator.h"
 #include "topology/defense_factory.h"
+#include "transport/adaptive_source.h"
 #include "transport/cbr_source.h"
 #include "transport/flow_monitor.h"
 #include "transport/rolling_source.h"
@@ -33,9 +34,16 @@ enum class AttackType {
   kCovert,         // Fig. 10: many low-rate flows per source, k destinations
   kOnOff,          // timed attack: coordinated long-period on/off bursts
   kRolling,        // timed attack: attack location rotates across domains
+  kAdaptiveShrew,  // closed-loop: pulse period searched onto the token period
+  kDutyCycle,      // closed-loop: goes quiet when latched, probes the release
+  kProbingCovert,  // closed-loop: rotates flow ids/destinations when starved
 };
+inline constexpr std::size_t kAttackTypeCount = 10;
 
 const char* to_string(AttackType a);
+// Inverse of to_string; returns false (and leaves *out alone) for unknown
+// names. Round-tripped exhaustively in tests.
+bool from_string(const std::string& name, AttackType* out);
 
 struct TreeScenarioConfig {
   // Topology (Fig. 5).
@@ -67,6 +75,10 @@ struct TreeScenarioConfig {
   TimeSec onoff_off = 8.0;         // OFF duration (kOnOff)
   TimeSec rolling_slot = 5.0;      // per-group active time (kRolling)
   int attack_packet_bytes = 1500;  // attack packet size (Fig. 3 robustness)
+  TimeSec adapt_epoch = 0.25;      // kAdaptiveShrew adaptation cadence
+  TimeSec duty_quiet = 1.5;        // kDutyCycle initial quiet-period guess
+  int probe_pool = 15;             // kProbingCovert flow ids per source
+  TimeSec probe_interval = 1.0;    // kProbingCovert rotation cadence
 
   // Defense on the target link.
   DefenseScheme scheme = DefenseScheme::kFloc;
@@ -123,6 +135,17 @@ class TreeScenario {
   BitsPerSec scaled_target_bw() const { return scaled_target_bw_; }
   int legit_flow_total() const { return legit_flow_total_; }
 
+  // Attack-source introspection (adaptive-adversary tests/benches): the
+  // CBR-derived attack sources (incl. adaptive ones) and the probing-covert
+  // sources, in construction order.
+  const std::vector<std::unique_ptr<CbrSource>>& attack_sources() const {
+    return cbr_sources_;
+  }
+  const std::vector<std::unique_ptr<ProbingCovertSource>>& probing_sources()
+      const {
+    return probing_sources_;
+  }
+
   // Attach causal span tracing to the interesting components: every
   // legitimate TCP source (send/ACK spans) and the target link (queue
   // residency with the defense's admission verdict, wire spans). Call after
@@ -141,6 +164,7 @@ class TreeScenario {
 
   std::vector<std::unique_ptr<TcpSource>> tcp_sources_;
   std::vector<std::unique_ptr<CbrSource>> cbr_sources_;
+  std::vector<std::unique_ptr<ProbingCovertSource>> probing_sources_;
   std::vector<std::unique_ptr<TcpSink>> sinks_;
 
   QueueDisc* bottleneck_queue_ = nullptr;

@@ -1,0 +1,329 @@
+#include "transport/adaptive_source.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "netsim/link.h"
+
+namespace floc {
+
+// ---------------------------------------------------------------------------
+// AdaptiveShrewSource
+
+AdaptiveShrewSource::AdaptiveShrewSource(Simulator* sim, Host* host,
+                                         AdaptiveShrewConfig cfg)
+    : CbrSource(sim, host, cfg.cbr),
+      acfg_(cfg),
+      period_(cfg.init_period),
+      duty_(cfg.duty),
+      duty_hi_(cfg.max_duty) {
+  assert(acfg_.min_period > 0.0 && acfg_.min_period <= acfg_.max_period);
+  assert(acfg_.min_duty > 0.0 && acfg_.max_duty <= 1.0);
+}
+
+bool AdaptiveShrewSource::gate_open(TimeSec now) const {
+  const double pos = std::fmod(now, period_);
+  return pos < duty_ * period_;
+}
+
+void AdaptiveShrewSource::on_feedback(const Packet& p, TimeSec now) {
+  if (!epoch_scheduled_) {
+    // First feedback (the SYN-ACK): the flow is live, start the adaptation
+    // clock. Anchoring it to feedback rather than the constructor keeps
+    // sources that never complete a handshake from adapting on no data.
+    epoch_scheduled_ = true;
+    sim()->schedule_in(acfg_.epoch, [this] { adapt(); });
+  }
+  if (p.type != PacketType::kAck) return;
+  ++delivered_epoch_;
+  // The seq echo tells which segment was just delivered; a jump past
+  // last_echo_+1 means the segments in between were dropped. Per-flow FIFO
+  // paths deliver in order, so a gap is loss, not reordering. Consecutive
+  // losses within a fraction of the pulse period belong to the same
+  // burst-tail clipping event; the spacing between burst starts is the
+  // defense's refill period leaking through.
+  const std::uint64_t echo = p.seq;
+  const std::uint64_t lost =
+      echo_seen_ && echo > last_echo_ + 1 ? echo - last_echo_ - 1 : 0;
+  if (echo >= last_echo_ || !echo_seen_) {
+    last_echo_ = echo;
+    echo_seen_ = true;
+  }
+  if (lost == 0) return;
+  lost_epoch_ += lost;
+  const TimeSec gap = std::max(0.05, 0.25 * period_);
+  if (last_drop_ < 0.0 || now - last_drop_ > gap) {
+    if (last_burst_start_ >= 0.0) {
+      const TimeSec spacing = now - last_burst_start_;
+      spacing_ewma_ =
+          spacing_ewma_ < 0.0 ? spacing : 0.7 * spacing_ewma_ + 0.3 * spacing;
+    }
+    last_burst_start_ = now;
+    ++drop_events_;
+  }
+  last_drop_ = now;
+}
+
+void AdaptiveShrewSource::adapt() {
+  const TimeSec old_period = period_;
+  const double old_duty = duty_;
+  if (delivered_epoch_ > 0 && spacing_ewma_ >= acfg_.min_period &&
+      spacing_ewma_ <= acfg_.max_period) {
+    // Damped step of the pulse period toward the observed drop-burst spacing
+    // (≈ the victim's effective token period T_Si). Full jumps would chase
+    // measurement noise; half steps converge geometrically. Fully starved
+    // epochs (no ack advancement) are excluded: their drop spacing reflects
+    // the latch's preferential dropper, not the refill period.
+    period_ += 0.5 * (spacing_ewma_ - period_);
+    period_ = std::clamp(period_, acfg_.min_period, acfg_.max_period);
+  }
+  if (lost_epoch_ > 0) {
+    // Bursts are clipping the bucket: remember this duty as the detection
+    // ceiling and back off multiplicatively below it.
+    duty_hi_ = duty_;
+    duty_ = std::max(acfg_.min_duty, duty_ * 0.6);
+  } else if (delivered_epoch_ > 0) {
+    // Clean epoch: bisect back up toward the last observed ceiling so the
+    // search hovers at the admission edge instead of sawtoothing from the
+    // floor, and let the ceiling creep so a relaxed defense gets re-probed.
+    duty_ = duty_hi_ > duty_
+                ? std::min(acfg_.max_duty, 0.5 * (duty_ + duty_hi_))
+                : std::min(acfg_.max_duty, duty_ * 1.25);
+    duty_hi_ = std::min(acfg_.max_duty, duty_hi_ * 1.05);
+  }
+  if (std::abs(period_ - old_period) > 1e-9 ||
+      std::abs(duty_ - old_duty) > 1e-9) {
+    ++adaptations_;
+  }
+  lost_epoch_ = 0;
+  delivered_epoch_ = 0;
+  sim()->schedule_in(acfg_.epoch, [this] { adapt(); });
+}
+
+// ---------------------------------------------------------------------------
+// DutyCycleSource
+
+DutyCycleSource::DutyCycleSource(Simulator* sim, Host* host,
+                                 DutyCycleConfig cfg)
+    : CbrSource(sim, host, cfg.cbr), dcfg_(cfg), quiet_len_(cfg.quiet_base) {
+  assert(dcfg_.check_interval > 0.0);
+  assert(dcfg_.quiet_base > 0.0 && dcfg_.quiet_base <= dcfg_.quiet_max);
+}
+
+void DutyCycleSource::on_feedback(const Packet& p, TimeSec now) {
+  if (!check_scheduled_) {
+    check_scheduled_ = true;
+    sim()->schedule_in(dcfg_.check_interval, [this] { check(); });
+  }
+  (void)now;
+  // Every ACK is one delivered data packet (the sink acks each delivery);
+  // cumulative-ack advancement would freeze at the first hole since this
+  // source never retransmits.
+  if (p.type == PacketType::kAck) ++acks_window_;
+}
+
+void DutyCycleSource::check() {
+  const TimeSec now = sim()->now();
+  if (quiet_) {
+    if (now >= wake_time_) quiet_ = false;
+  } else {
+    const std::uint64_t sent_window = packets_sent() - last_sent_probe_;
+    // A latched path still services the fair share, so "no progress at all"
+    // almost never happens; what collapses is the *delivered fraction*. Judge
+    // starvation by acked/sent over the window, with a minimum send count so
+    // a sparse window can't fake a collapse.
+    if (sent_window >= 8) {
+      const double ratio = static_cast<double>(acks_window_) /
+                           static_cast<double>(sent_window);
+      if (ratio < dcfg_.starve_ratio) {
+        // Latched: we are blasting and (almost) nothing comes back. Go dark
+        // until the defense's calm-streak release should have fired.
+        ++latch_detections_;
+        if (wake_time_ >= 0.0 && now - wake_time_ < dcfg_.relapse_window) {
+          // Starved again right after waking — the quiet period undershot
+          // the release hysteresis. Double it (attacker-side binary probe
+          // of attack_release).
+          quiet_len_ = std::min(dcfg_.quiet_max, quiet_len_ * 2.0);
+        }
+        quiet_ = true;
+        wake_time_ = now + quiet_len_;
+      } else if (ratio > 0.9 &&
+                 now - std::max(wake_time_, last_shrink_) >
+                     dcfg_.recover_after) {
+        // Sustained goodput: the estimate may be padded; shrink toward base
+        // to reclaim ON-time.
+        quiet_len_ = std::max(dcfg_.quiet_base, quiet_len_ * 0.5);
+        last_shrink_ = now;
+      }
+    }
+  }
+  acks_window_ = 0;
+  last_sent_probe_ = packets_sent();
+  sim()->schedule_in(dcfg_.check_interval, [this] { check(); });
+}
+
+// ---------------------------------------------------------------------------
+// ProbingCovertSource
+
+ProbingCovertSource::ProbingCovertSource(Simulator* sim, Host* host,
+                                         ProbingCovertConfig cfg)
+    : sim_(sim), host_(host), cfg_(cfg) {
+  assert(cfg_.rate > 0.0);
+  assert(!cfg_.dsts.empty());
+  assert(cfg_.active_flows > 0 && cfg_.active_flows <= cfg_.pool);
+  // Claim the whole pool up front so the flow universe is static: the
+  // monitor can classify every id before the run, and rotation never has to
+  // mutate host routing mid-flight.
+  for (int i = 0; i < cfg_.pool; ++i) {
+    host_->register_agent(cfg_.first_flow + static_cast<FlowId>(i), this);
+  }
+  for (int i = 0; i < cfg_.active_flows; ++i) {
+    FlowState fs;
+    fs.flow = cfg_.first_flow + static_cast<FlowId>(next_pool_idx_++);
+    fs.dst = cfg_.dsts[next_dst_idx_++ % cfg_.dsts.size()];
+    active_.push_back(fs);
+  }
+}
+
+std::vector<FlowId> ProbingCovertSource::flow_pool() const {
+  std::vector<FlowId> out;
+  out.reserve(static_cast<std::size_t>(cfg_.pool));
+  for (int i = 0; i < cfg_.pool; ++i) {
+    out.push_back(cfg_.first_flow + static_cast<FlowId>(i));
+  }
+  return out;
+}
+
+void ProbingCovertSource::start_at(TimeSec t) {
+  sim_->schedule_at(t, [this] { begin(); });
+}
+
+void ProbingCovertSource::stop_at(TimeSec t) {
+  sim_->schedule_at(t, [this] { stopped_ = true; });
+}
+
+void ProbingCovertSource::begin() {
+  if (running_ || stopped_) return;
+  running_ = true;
+  for (FlowState& fs : active_) handshake(fs);
+  tick();
+  sim_->schedule_in(cfg_.probe_interval, [this] { probe(); });
+}
+
+void ProbingCovertSource::handshake(FlowState& fs) {
+  Packet p;
+  p.flow = fs.flow;
+  p.src = host_->addr();
+  p.dst = fs.dst;
+  p.path = cfg_.path;
+  p.type = PacketType::kSyn;
+  p.size_bytes = kAckPacketBytes;
+  p.sent_time = sim_->now();
+  Link* out = host_->network()->next_hop(host_->id(), fs.dst);
+  assert(out);
+  out->send(std::move(p));
+  const FlowId flow = fs.flow;
+  sim_->schedule_in(1.0, [this, flow] {
+    FlowState* cur = find(flow);
+    if (cur && !cur->running && !stopped_) handshake(*cur);
+  });
+}
+
+void ProbingCovertSource::tick() {
+  if (stopped_) return;
+  // The configured rate is a *total* budget: one packet per tick, dealt
+  // round-robin over whichever active flows have completed their handshake.
+  std::size_t tried = 0;
+  while (tried++ < active_.size()) {
+    FlowState& fs = active_[rr_++ % active_.size()];
+    if (fs.running) {
+      send_data(fs);
+      break;
+    }
+  }
+  sim_->schedule_in(transmission_time(cfg_.packet_bytes, cfg_.rate),
+                    [this] { tick(); });
+}
+
+void ProbingCovertSource::send_data(FlowState& fs) {
+  Packet p;
+  p.flow = fs.flow;
+  p.src = host_->addr();
+  p.dst = fs.dst;
+  p.path = cfg_.path;
+  p.type = PacketType::kData;
+  p.size_bytes = cfg_.packet_bytes;
+  p.seq = fs.next_seq++;
+  p.cap0 = fs.cap0;
+  p.cap1 = fs.cap1;
+  p.sent_time = sim_->now();
+  Link* out = host_->network()->next_hop(host_->id(), fs.dst);
+  out->send(std::move(p));
+  ++packets_sent_;
+}
+
+void ProbingCovertSource::probe() {
+  if (stopped_) return;
+  // Retire the most-starved flow whose epoch goodput fell below the
+  // retire threshold relative to the best performer, and bring a fresh
+  // (flow id, destination) pair out of the pool in its place — re-rolling
+  // whatever per-flow accounting slot the defense used to punish it. One
+  // rotation per probe keeps the churn rate itself below suspicion.
+  std::uint64_t best = 0;
+  for (const FlowState& fs : active_) best = std::max(best, fs.acks_epoch);
+  if (best > 0 && next_pool_idx_ < cfg_.pool) {
+    std::size_t worst_idx = active_.size();
+    std::uint64_t worst = best;
+    for (std::size_t i = 0; i < active_.size(); ++i) {
+      if (!active_[i].running) continue;  // handshake still pending
+      if (active_[i].acks_epoch < worst) {
+        worst = active_[i].acks_epoch;
+        worst_idx = i;
+      }
+    }
+    if (worst_idx < active_.size() &&
+        static_cast<double>(worst) <
+            cfg_.retire_below * static_cast<double>(best)) {
+      FlowState fresh;
+      fresh.flow = cfg_.first_flow + static_cast<FlowId>(next_pool_idx_++);
+      fresh.dst = cfg_.dsts[next_dst_idx_++ % cfg_.dsts.size()];
+      active_[worst_idx] = fresh;
+      handshake(active_[worst_idx]);
+      ++rotations_;
+    }
+  }
+  for (FlowState& fs : active_) fs.acks_epoch = 0;
+  sim_->schedule_in(cfg_.probe_interval, [this] { probe(); });
+}
+
+ProbingCovertSource::FlowState* ProbingCovertSource::find(FlowId flow) {
+  for (FlowState& fs : active_) {
+    if (fs.flow == flow) return &fs;
+  }
+  return nullptr;
+}
+
+void ProbingCovertSource::on_packet(Packet&& p) {
+  FlowState* fs = find(p.flow);
+  if (!fs) return;  // ack for a retired flow
+  if (p.type == PacketType::kSynAck) {
+    if (!fs->running) {
+      fs->cap0 = p.cap0;
+      fs->cap1 = p.cap1;
+      fs->running = true;
+    }
+  } else if (p.type == PacketType::kAck) {
+    if (p.cap0 != 0) {
+      // Adopt re-stamped capability words after a key rotation.
+      fs->cap0 = p.cap0;
+      fs->cap1 = p.cap1;
+    }
+    // Delivered-packet count (one ACK per delivery): cumulative-ack
+    // advancement would freeze at the first hole and make every flow look
+    // equally starved, disabling rotation.
+    ++fs->acks_epoch;
+  }
+}
+
+}  // namespace floc

@@ -1,0 +1,187 @@
+// Closed-loop (adaptive) attack sources: adversaries that observe their own
+// feedback — ACK stalls (drops), cumulative-ack goodput, send-to-ACK timing —
+// and adapt their strategy to game the defense's detector, in the spirit of
+// Kuzmanovic & Knightly's shrew attack on RTO timers.
+//
+//  * AdaptiveShrewSource — binary-searches its pulse period onto the victim's
+//    effective token period T_Si: the spacing between observed drop bursts
+//    approximates the bucket refill period, so the source steers its period
+//    toward that spacing and sheds burst volume until it fits inside one
+//    bucket per period — maximal goodput that never trips the MTD detector.
+//  * DutyCycleSource — detects being latched (cumulative-ack progress
+//    collapsing while it transmits), goes quiet long enough for the defense's
+//    calm-streak release to fire, then resumes blasting. If the quiet period
+//    proves too short (starved again right after resuming) it doubles the
+//    estimate — an attacker-side binary probe of the release hysteresis.
+//  * ProbingCovertSource — drives a pool of low-rate flows fanned out over
+//    destinations/flow-ids and rotates away from flows whose goodput
+//    collapsed: a hunt for capability/aggregation slots the defense is not
+//    (yet) penalizing.
+//
+// All adaptation state updates from on_feedback() and seeded epoch timers
+// only, so adaptive runs stay exactly reproducible.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "transport/cbr_source.h"
+
+namespace floc {
+
+struct AdaptiveShrewConfig {
+  CbrConfig cbr;               // rate = burst (peak) rate
+  TimeSec init_period = 0.2;   // starting pulse period guess
+  TimeSec min_period = 0.01;
+  // Periods beyond a few token-refill windows are counterproductive: the
+  // burst volume grows with the period and clips the (non-accumulating)
+  // bucket, so sparse-drop spacing estimates must not drag the period up.
+  TimeSec max_period = 0.5;
+  double duty = 0.25;          // initial burst fraction of the period
+  double min_duty = 0.02;
+  double max_duty = 0.5;
+  TimeSec epoch = 0.25;        // adaptation cadence
+};
+
+class AdaptiveShrewSource : public CbrSource {
+ public:
+  AdaptiveShrewSource(Simulator* sim, Host* host, AdaptiveShrewConfig cfg);
+
+  bool gate_open(TimeSec now) const override;
+
+  TimeSec period() const { return period_; }
+  double duty() const { return duty_; }
+  std::uint64_t drop_events() const { return drop_events_; }
+  int adaptations() const { return adaptations_; }
+
+ protected:
+  void on_feedback(const Packet& p, TimeSec now) override;
+
+ private:
+  void adapt();
+
+  AdaptiveShrewConfig acfg_;
+  TimeSec period_;
+  double duty_;
+  double duty_hi_;              // last duty the defense clipped (search ceiling)
+  bool epoch_scheduled_ = false;
+
+  // Observation state, fed by the SACK-style seq echo in ACKs (cumulative
+  // acks freeze at the first hole for a source that never retransmits).
+  std::uint64_t last_echo_ = 0;       // highest delivered seq echoed back
+  bool echo_seen_ = false;
+  std::uint64_t lost_epoch_ = 0;      // seq-echo gaps this epoch (drops)
+  std::uint64_t delivered_epoch_ = 0; // acks (delivered packets) this epoch
+  std::uint64_t drop_events_ = 0;     // distinct drop bursts observed
+  TimeSec last_drop_ = -1.0;          // last observed-loss time
+  TimeSec last_burst_start_ = -1.0;   // start of the current drop burst
+  TimeSec spacing_ewma_ = -1.0;       // inter-drop-burst spacing ≈ T_Si
+  int adaptations_ = 0;
+};
+
+struct DutyCycleConfig {
+  CbrConfig cbr;                  // rate = ON-phase blast rate
+  TimeSec check_interval = 0.25;  // self-monitoring cadence
+  // Acked/sent below this => latched. Set well under the delivered fraction
+  // a *confined but unlatched* blast sees (its path allocation over its
+  // blast rate): going quiet merely because FLoc confines the path would
+  // waste ON-time the defense was going to grant anyway.
+  double starve_ratio = 0.05;
+  TimeSec quiet_base = 1.5;       // first quiet-period guess
+  TimeSec quiet_max = 30.0;
+  TimeSec relapse_window = 1.0;   // starved this soon after waking => double
+  TimeSec recover_after = 4.0;    // sustained goodput for this long => halve
+};
+
+class DutyCycleSource : public CbrSource {
+ public:
+  DutyCycleSource(Simulator* sim, Host* host, DutyCycleConfig cfg);
+
+  bool gate_open(TimeSec) const override { return !quiet_; }
+
+  bool quiet() const { return quiet_; }
+  TimeSec quiet_estimate() const { return quiet_len_; }
+  int latch_detections() const { return latch_detections_; }
+
+ protected:
+  void on_feedback(const Packet& p, TimeSec now) override;
+
+ private:
+  void check();
+
+  DutyCycleConfig dcfg_;
+  bool check_scheduled_ = false;
+  bool quiet_ = false;
+  TimeSec quiet_len_;
+  TimeSec wake_time_ = -1.0;       // when the current/last quiet phase ends
+  TimeSec last_shrink_ = -1.0;     // last time sustained goodput halved quiet
+  std::uint64_t acks_window_ = 0;      // ACKs (delivered pkts) since last check
+  std::uint64_t last_sent_probe_ = 0;  // packets_sent at the previous check
+  int latch_detections_ = 0;
+};
+
+struct ProbingCovertConfig {
+  FlowId first_flow = 0;            // pool ids [first_flow, first_flow+pool)
+  std::vector<HostAddr> dsts;       // destinations to fan out over
+  PathId path;
+  int packet_bytes = 1500;
+  BitsPerSec rate = 0.0;            // total budget across active flows
+  int active_flows = 5;             // concurrently driven flows
+  int pool = 15;                    // total flow ids available for rotation
+  TimeSec probe_interval = 1.0;     // rotation cadence
+  double retire_below = 0.5;        // retire flows under this fraction of
+                                    // the best flow's epoch goodput
+};
+
+// Not a CbrSource: one agent drives many flows. Each active flow performs
+// its own capability handshake, then receives a round-robin share of the
+// source's total rate; every probe interval the worst-starved flow is
+// retired and a fresh (flow id, destination) pair from the pool takes its
+// slot, re-rolling the capability-slot/accounting hash the defense used to
+// penalize it.
+class ProbingCovertSource : public Agent {
+ public:
+  ProbingCovertSource(Simulator* sim, Host* host, ProbingCovertConfig cfg);
+
+  void start_at(TimeSec t);
+  void stop_at(TimeSec t);
+  void on_packet(Packet&& p) override;
+
+  std::uint64_t packets_sent() const { return packets_sent_; }
+  int rotations() const { return rotations_; }
+  int active_count() const { return static_cast<int>(active_.size()); }
+
+  // All flow ids this source may ever use (for monitor registration).
+  std::vector<FlowId> flow_pool() const;
+
+ private:
+  struct FlowState {
+    FlowId flow = 0;
+    HostAddr dst = 0;
+    bool running = false;       // handshake completed
+    std::uint64_t next_seq = 0;
+    std::uint64_t cap0 = 0, cap1 = 0;
+    std::uint64_t acks_epoch = 0;  // ACKs (delivered pkts) this probe epoch
+  };
+
+  void begin();
+  void tick();
+  void probe();
+  void handshake(FlowState& fs);
+  void send_data(FlowState& fs);
+  FlowState* find(FlowId flow);
+
+  Simulator* sim_;
+  Host* host_;
+  ProbingCovertConfig cfg_;
+  bool running_ = false;
+  bool stopped_ = false;
+  std::vector<FlowState> active_;
+  int next_pool_idx_ = 0;   // next unused pool slot
+  int next_dst_idx_ = 0;
+  std::size_t rr_ = 0;      // round-robin cursor over active flows
+  std::uint64_t packets_sent_ = 0;
+  int rotations_ = 0;
+};
+
+}  // namespace floc

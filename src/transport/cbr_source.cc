@@ -58,7 +58,10 @@ void CbrSource::on_packet(Packet&& p) {
     cap0_ = p.cap0;
     cap1_ = p.cap1;
   }
-  // Data ACKs otherwise ignored: the source is unresponsive by design.
+  if (p.type == PacketType::kSynAck || p.type == PacketType::kAck) {
+    on_feedback(p, sim_->now());
+  }
+  // Data ACKs otherwise ignored: the base source is unresponsive by design.
 }
 
 bool CbrSource::gate_open(TimeSec) const { return true; }

@@ -38,6 +38,23 @@ class CbrSource : public Agent {
   // Hook for subclasses (Shrew) to gate transmission instants.
   virtual bool gate_open(TimeSec now) const;
 
+  // Feedback hook for closed-loop (adaptive) subclasses: invoked for every
+  // SYN-ACK and transport ACK delivered back to this source, after the base
+  // class has adopted any re-stamped capability words. `p.ack` carries the
+  // sink's cumulative next-expected sequence and `p.sent_time` echoes the
+  // timestamp of the packet being acknowledged, so subclasses can measure
+  // drops (ack stalls / duplicate acks) and send-to-ACK timing — the only
+  // information channel a real flooder has about the defense's decisions.
+  virtual void on_feedback(const Packet& p, TimeSec now) {
+    (void)p;
+    (void)now;
+  }
+
+  Simulator* sim() const { return sim_; }
+  Host* host() const { return host_; }
+  const CbrConfig& config() const { return cfg_; }
+  std::uint64_t next_seq() const { return next_seq_; }
+
  private:
   void begin();
   void tick();

@@ -19,6 +19,9 @@ void TcpSink::reply(const Packet& data, PacketType type, std::uint64_t ack) {
   p.type = type;
   p.size_bytes = kAckPacketBytes;
   p.ack = ack;
+  p.seq = data.seq;    // echo the delivered segment (SACK-style): cumulative
+                       // ack alone freezes at the first hole for flows that
+                       // never retransmit, hiding their delivered goodput
   p.cap0 = data.cap0;  // echo router-issued capability back to the client
   p.cap1 = data.cap1;
   p.sent_time = data.sent_time;  // lets the client time the exchange

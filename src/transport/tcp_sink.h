@@ -1,5 +1,6 @@
 // Server-side endpoint: answers SYNs (echoing router-issued capabilities),
-// generates cumulative ACKs for data, and reports delivered goodput to a
+// generates cumulative ACKs for data (each also echoing the delivered
+// segment's seq, SACK-style), and reports delivered goodput to a
 // FlowMonitor. One sink instance serves every flow addressed to its host.
 #pragma once
 

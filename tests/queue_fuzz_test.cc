@@ -217,6 +217,126 @@ TEST_P(QueueFuzz, ModeTransitionInterleavings) {
   EXPECT_TRUE(q->empty());
 }
 
+// Hardened latch cycling: scripted latch -> quiet -> release -> re-latch
+// phases (a flood pinned to one origin path, then a calm gap long enough for
+// the release hysteresis, repeated) with random background traffic mixed in,
+// against the FULL hardening stack — jittered intervals, hash-drawn bucket
+// dips with probation audits, exponential-backoff release, and the offender
+// blacklist. Every cycle must pass the discipline's own audit plus external
+// conservation, and for FLoc the cycling must actually exercise the
+// machinery: the pinned path latches, and the backoff bookkeeping stays
+// within its configured cap.
+TEST_P(QueueFuzz, HardenedLatchReleaseCycles) {
+  const FuzzCase fc = GetParam();
+  DefenseFactoryConfig cfg;
+  cfg.link_bandwidth = mbps(10);
+  cfg.buffer_packets = 64;
+  cfg.seed = fc.seed;
+  cfg.floc.control_interval = 0.05;
+  cfg.floc.interval_jitter = 0.15;
+  cfg.floc.jitter_dip_prob = 0.4;
+  cfg.floc.backoff_release = true;
+  cfg.floc.backoff_cap = 8;
+  cfg.floc.enable_blacklist = true;
+  cfg.floc.blacklist_strikes = 6;
+  cfg.floc.blacklist_duration = 1.0;
+  auto q = make_defense_queue(fc.scheme, std::move(cfg));
+  auto* fq = dynamic_cast<FlocQueue*>(q.get());
+
+  telemetry::Telemetry tel;
+  if (fq != nullptr) fq->attach_telemetry(&tel);
+
+  Rng rng(derive_seed(fc.seed, 0, /*salt=*/0xF023));
+  std::uint64_t admitted = 0, serviced = 0, offered = 0;
+  std::uint64_t admitted_bytes = 0, serviced_bytes = 0;
+  double t = 0.0;
+
+  const PathId pinned = PathId::of({3});
+  bool ever_latched = false;
+  int releases_observed = 0;
+
+  auto offer = [&](Packet p) {
+    ++offered;
+    const int bytes = p.size_bytes;
+    if (q->enqueue(std::move(p), t)) {
+      ++admitted;
+      admitted_bytes += static_cast<std::uint64_t>(bytes);
+    }
+  };
+  auto service = [&] {
+    auto out = q->dequeue(t);
+    if (out.has_value()) {
+      ++serviced;
+      serviced_bytes += static_cast<std::uint64_t>(out->size_bytes);
+    }
+  };
+
+  for (int cycle = 0; cycle < 8; ++cycle) {
+    // Flood phase: hammer the pinned path (fixed flow + src so strikes can
+    // accumulate) with random background traffic underneath.
+    const int flood_steps = 1500 + static_cast<int>(rng.uniform_int(500));
+    for (int i = 0; i < flood_steps; ++i) {
+      t += rng.exponential(3e-4);
+      Packet p;
+      p.flow = 999;
+      p.src = 7;
+      p.dst = 100;
+      p.type = PacketType::kData;
+      p.size_bytes = 1000;
+      p.path = pinned;
+      offer(std::move(p));
+      if (rng.uniform() < 0.2) offer(random_packet(rng));
+      if (rng.uniform() < 0.35) service();
+      ASSERT_LE(q->packet_count(), 64u);
+    }
+    if (fq != nullptr && fq->is_attack_path(pinned)) ever_latched = true;
+
+    // Quiet phase: drain, then advance across enough control intervals for
+    // the (possibly escalated) release hysteresis, keeping the lazy control
+    // loop ticking with background traffic.
+    while (auto out = q->dequeue(t)) {
+      ++serviced;
+      serviced_bytes += static_cast<std::uint64_t>(out->size_bytes);
+    }
+    const bool latched_before_quiet =
+        fq != nullptr && fq->is_attack_path(pinned);
+    const int quiet_ticks =
+        fq == nullptr ? 8 : 2 + fq->release_required(pinned);
+    for (int i = 0; i < quiet_ticks; ++i) {
+      t += 0.06;
+      if (fq != nullptr) fq->run_control(t);
+      if (rng.uniform() < 0.5) offer(random_packet(rng));
+      if (rng.uniform() < 0.5) service();
+    }
+    if (latched_before_quiet && fq != nullptr && !fq->is_attack_path(pinned)) {
+      ++releases_observed;
+    }
+
+    std::string why;
+    ASSERT_TRUE(q->audit(t, &why)) << "cycle " << cycle << ": " << why;
+    ASSERT_EQ(admitted, serviced + q->packet_count());
+    ASSERT_EQ(admitted_bytes, serviced_bytes + q->byte_count());
+    ASSERT_EQ(offered, admitted + q->drops());
+    if (fq != nullptr) {
+      EXPECT_LE(fq->backoff_multiplier(pinned), 8) << "cap exceeded";
+      EXPECT_GE(fq->backoff_multiplier(pinned), 1);
+    }
+  }
+
+  if (fq != nullptr) {
+    // The scripted cycling must actually have walked the latch machinery.
+    EXPECT_TRUE(ever_latched);
+    EXPECT_GT(releases_observed, 0);
+    EXPECT_GT(tel.journal.count(telemetry::EventKind::kAttackLatch), 0u);
+    EXPECT_GT(tel.journal.count(telemetry::EventKind::kAttackRelease), 0u);
+  }
+
+  while (auto p = q->dequeue(t)) {
+    ++serviced;
+  }
+  EXPECT_TRUE(q->empty());
+}
+
 std::vector<FuzzCase> all_cases() {
   std::vector<FuzzCase> out;
   for (DefenseScheme s :

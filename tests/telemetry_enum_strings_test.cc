@@ -1,5 +1,6 @@
 // Exhaustive to_string/from_string round-trips for every observability enum:
-// DropReason, TraceEvent, journal EventKind, and tracing SpanKind. Each enum
+// DropReason, TraceEvent, journal EventKind, tracing SpanKind, and the
+// scenario AttackType. Each enum
 // carries a k*Count constant; iterating [0, count) catches a newly added
 // enumerator whose to_string case was forgotten (it would print "?" and fail
 // the round-trip), and unknown names must be rejected without touching *out.
@@ -12,6 +13,7 @@
 #include "netsim/trace.h"
 #include "telemetry/event_journal.h"
 #include "telemetry/tracing.h"
+#include "topology/tree_scenario.h"
 
 namespace floc {
 namespace {
@@ -61,6 +63,12 @@ TEST(EnumStrings, EventKindRoundTrips) {
       [](const std::string& s, telemetry::EventKind* out) {
         return telemetry::from_string(s, out);
       });
+}
+
+TEST(EnumStrings, AttackTypeRoundTrips) {
+  check_round_trip<AttackType>(
+      kAttackTypeCount, [](AttackType a) { return to_string(a); },
+      [](const std::string& s, AttackType* out) { return from_string(s, out); });
 }
 
 TEST(EnumStrings, SpanKindRoundTrips) {

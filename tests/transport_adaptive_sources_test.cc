@@ -1,0 +1,237 @@
+// Unit tests for the closed-loop (adaptive) attack sources: the feedback
+// plumbing (SACK-style seq echo in every ACK), the adaptive shrew's duty
+// search, the duty-cycler's starvation detector and quiet-length probe, and
+// the probing covert source's flow rotation.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "netsim/drop_tail.h"
+#include "transport/adaptive_source.h"
+#include "transport/flow_monitor.h"
+#include "transport/tcp_sink.h"
+
+namespace floc {
+namespace {
+
+// Forwards to the real sink only while open; closing it mid-run starves the
+// sender of feedback without touching topology or routing.
+struct GateSink : Agent {
+  TcpSink* inner = nullptr;
+  bool syn_only = false;  // when closed to data, still answer handshakes
+  bool open = true;
+  void on_packet(Packet&& p) override {
+    if (open || (syn_only && p.type == PacketType::kSyn)) {
+      inner->on_packet(std::move(p));
+    }
+  }
+};
+
+struct World {
+  Simulator sim;
+  Network net{&sim};
+  Host* client;
+  Host* server;
+  FlowMonitor monitor;
+  std::unique_ptr<TcpSink> sink;
+  GateSink gate;
+
+  explicit World(BitsPerSec bottleneck = mbps(100),
+                 std::size_t bottleneck_queue = 100) {
+    client = net.add_host("c", 1);
+    Router* r = net.add_router("r", 2);
+    server = net.add_host("s", 3);
+    net.connect(client, r, mbps(100), 0.001);
+    net.set_default_queue_packets(bottleneck_queue);
+    net.connect(r, server, bottleneck, 0.001);
+    net.build_routes();
+    sink = std::make_unique<TcpSink>(&sim, server, &monitor);
+    gate.inner = sink.get();
+    server->set_default_agent(&gate);
+  }
+};
+
+// Captures every packet delivered to a flow id on the client side.
+struct Collector : Agent {
+  std::vector<Packet> pkts;
+  void on_packet(Packet&& p) override { pkts.push_back(std::move(p)); }
+};
+
+// --- TcpSink seq echo ------------------------------------------------------
+
+TEST(TcpSinkSeqEcho, EveryAckEchoesDeliveredSeq) {
+  World w;
+  Collector col;
+  w.client->register_agent(7, &col);
+  // Hand-deliver data segments 0, 1, 4 (2 and 3 "lost" upstream): the
+  // cumulative ack freezes at 2, but each ACK must still echo the segment it
+  // acknowledges so a non-retransmitting source can count deliveries and
+  // infer the gap.
+  for (std::uint64_t seq : {0ull, 1ull, 4ull}) {
+    w.sim.schedule_at(0.01 * static_cast<double>(seq + 1), [&w, seq] {
+      Packet p;
+      p.flow = 7;
+      p.src = w.client->addr();
+      p.dst = w.server->addr();
+      p.type = PacketType::kData;
+      p.size_bytes = 1500;
+      p.seq = seq;
+      p.sent_time = w.sim.now();
+      w.net.next_hop(w.client->id(), p.dst)->send(std::move(p));
+    });
+  }
+  w.sim.run_until(1.0);
+  ASSERT_EQ(col.pkts.size(), 3u);
+  EXPECT_EQ(col.pkts[0].seq, 0u);
+  EXPECT_EQ(col.pkts[1].seq, 1u);
+  EXPECT_EQ(col.pkts[2].seq, 4u);  // the echo jumps: seqs 2..3 were lost
+  EXPECT_EQ(col.pkts[2].ack, 2u);  // while the cumulative ack stays frozen
+}
+
+// --- AdaptiveShrewSource ---------------------------------------------------
+
+TEST(AdaptiveShrewSource, GrowsDutyWhenNothingClips) {
+  World w;
+  AdaptiveShrewConfig cfg;
+  cfg.cbr.flow = 1;
+  cfg.cbr.dst = w.server->addr();
+  cfg.cbr.rate = mbps(2);
+  cfg.duty = 0.1;
+  AdaptiveShrewSource src(&w.sim, w.client, cfg);
+  src.start_at(0.0);
+  w.sim.run_until(10.0);
+  // Loss-free epochs: the duty search bisects up toward its ceiling.
+  EXPECT_EQ(src.drop_events(), 0u);
+  EXPECT_GT(src.duty(), 0.1);
+  EXPECT_GT(src.adaptations(), 0);
+}
+
+TEST(AdaptiveShrewSource, BacksOffDutyUnderPersistentClipping) {
+  // Bottleneck well under the average rate, with a queue too short to absorb
+  // a burst: every epoch at a meaningful duty is lossy.
+  World w(mbps(0.25), /*bottleneck_queue=*/10);
+  AdaptiveShrewConfig cfg;
+  cfg.cbr.flow = 1;
+  cfg.cbr.dst = w.server->addr();
+  cfg.cbr.rate = mbps(2);
+  cfg.duty = 0.25;
+  AdaptiveShrewSource src(&w.sim, w.client, cfg);
+  src.start_at(0.0);
+  w.sim.run_until(15.0);
+  // Seq-echo gaps report the clipping; every epoch is lossy, so the duty
+  // contracts multiplicatively toward its floor.
+  EXPECT_GT(src.drop_events(), 0u);
+  EXPECT_LT(src.duty(), 0.1);
+  EXPECT_GE(src.period(), cfg.min_period);
+  EXPECT_LE(src.period(), cfg.max_period);
+}
+
+// --- DutyCycleSource -------------------------------------------------------
+
+TEST(DutyCycleSource, StaysActiveWhileServiced) {
+  World w;
+  DutyCycleConfig cfg;
+  cfg.cbr.flow = 1;
+  cfg.cbr.dst = w.server->addr();
+  cfg.cbr.rate = mbps(2);
+  DutyCycleSource src(&w.sim, w.client, cfg);
+  src.start_at(0.0);
+  w.sim.run_until(10.0);
+  EXPECT_FALSE(src.quiet());
+  EXPECT_EQ(src.latch_detections(), 0);
+  EXPECT_DOUBLE_EQ(src.quiet_estimate(), cfg.quiet_base);
+}
+
+TEST(DutyCycleSource, GoesQuietWhenStarvedAndDoublesOnRelapse) {
+  World w;
+  DutyCycleConfig cfg;
+  cfg.cbr.flow = 1;
+  cfg.cbr.dst = w.server->addr();
+  cfg.cbr.rate = mbps(2);
+  cfg.quiet_base = 0.5;
+  DutyCycleSource src(&w.sim, w.client, cfg);
+  src.start_at(0.0);
+  // Serve normally for 1s (the self-check clock anchors to first feedback),
+  // then starve: ACKs stop while the blast continues.
+  w.sim.schedule_at(1.0, [&w] { w.gate.open = false; });
+  w.sim.run_until(1.0);
+  EXPECT_FALSE(src.quiet());
+  w.sim.run_until(8.0);
+  // Starved within the relapse window of every wake: each detection doubles
+  // the quiet-length estimate (capped), so by now it must exceed the base.
+  EXPECT_GE(src.latch_detections(), 2);
+  EXPECT_GT(src.quiet_estimate(), cfg.quiet_base);
+  EXPECT_LE(src.quiet_estimate(), cfg.quiet_max);
+}
+
+// --- ProbingCovertSource ---------------------------------------------------
+
+TEST(ProbingCovertSource, FlowPoolIsStatic) {
+  World w;
+  ProbingCovertConfig cfg;
+  cfg.first_flow = 40;
+  cfg.dsts = {w.server->addr()};
+  cfg.rate = mbps(1);
+  cfg.active_flows = 3;
+  cfg.pool = 9;
+  ProbingCovertSource src(&w.sim, w.client, cfg);
+  const auto pool = src.flow_pool();
+  ASSERT_EQ(pool.size(), 9u);
+  EXPECT_EQ(pool.front(), 40u);
+  EXPECT_EQ(pool.back(), 48u);
+  EXPECT_EQ(src.active_count(), 3);
+}
+
+TEST(ProbingCovertSource, NoRotationWhileAllFlowsServiced) {
+  World w;
+  ProbingCovertConfig cfg;
+  cfg.first_flow = 40;
+  cfg.dsts = {w.server->addr()};
+  cfg.rate = mbps(1);
+  cfg.active_flows = 3;
+  cfg.pool = 9;
+  ProbingCovertSource src(&w.sim, w.client, cfg);
+  src.start_at(0.0);
+  w.sim.run_until(8.0);
+  EXPECT_GT(src.packets_sent(), 0u);
+  EXPECT_EQ(src.rotations(), 0);
+}
+
+TEST(ProbingCovertSource, RotatesAwayFromStarvedFlows) {
+  // Two destinations: one serves data, the other completes handshakes but
+  // black-holes data — its flows deliver nothing and must be rotated out.
+  Simulator sim;
+  Network net{&sim};
+  Host* client = net.add_host("c", 1);
+  Router* r = net.add_router("r", 2);
+  Host* s_good = net.add_host("sg", 3);
+  Host* s_dead = net.add_host("sd", 4);
+  net.connect(client, r, mbps(100), 0.001);
+  net.connect(r, s_good, mbps(100), 0.001);
+  net.connect(r, s_dead, mbps(100), 0.001);
+  net.build_routes();
+  TcpSink sink_good(&sim, s_good);
+  TcpSink sink_dead(&sim, s_dead);
+  GateSink gate;
+  gate.inner = &sink_dead;
+  gate.open = false;
+  gate.syn_only = true;  // handshakes succeed, data vanishes
+  s_dead->set_default_agent(&gate);
+
+  ProbingCovertConfig cfg;
+  cfg.first_flow = 40;
+  cfg.dsts = {s_good->addr(), s_dead->addr()};
+  cfg.rate = mbps(1);
+  cfg.active_flows = 2;
+  cfg.pool = 10;
+  cfg.probe_interval = 0.5;
+  ProbingCovertSource src(&sim, client, cfg);
+  src.start_at(0.0);
+  sim.run_until(10.0);
+  EXPECT_GT(src.rotations(), 0);
+  EXPECT_EQ(src.active_count(), 2);
+}
+
+}  // namespace
+}  // namespace floc
