@@ -1,0 +1,364 @@
+// Bounded-state overload resilience scorecard: identity-churn attackers vs
+// the state budgets + overload mode (ISSUE 7 tentpole gate).
+//
+// Grid (attack-major, bounding-minor):
+//   {no-churn baseline, state-exhaust churn} x {budgets OFF, budgets ON}
+// where "ON" arms per-table capacities (origin/flow/offense/offender), the
+// overload high-watermark machinery, and backoff-release + blacklist so
+// every bounded table is live. Scheduled probes record the maximum size of
+// every defense table across each run (an RSS proxy: these maps ARE the
+// defense's per-path/per-flow/per-sender memory).
+//
+// A scripted re-latch micro-case rides along: latch a flood path, evict it
+// with identity churn (LRU), resume the flood, and measure the time until
+// the detector re-latches — the EvictionSketch must restore the verdict
+// within one full MTD interval (plus the partial first boundary), not the
+// whole hysteresis from zero.
+//
+// Storm alerting: an AlertEngine watches eviction and packet rates in the
+// netdata packets-storm shape (short-window vs long-window average with a
+// min-rate floor); firings export as .alerts.json and the whole registry as
+// a Prometheus .prom text file per churn case.
+//
+// Acceptance encoded in the exit code:
+//   * pressure is real: with budgets OFF, churn grows the origin table past
+//     the ON-case capacity (the attack actually exhausts state);
+//   * tables hold: with budgets ON, every probed table size stays <= its
+//     budget for the whole run, churn or not;
+//   * legitimate traffic survives: legit goodput under churn with budgets ON
+//     stays within 15% of the no-churn bounded baseline;
+//   * the evicted-then-resuming flood re-latches within one MTD interval;
+//   * the eviction-storm alert fires in the bounded churn case;
+//   * zero SimMonitor invariant violations anywhere.
+// All grid cases run through ScenarioRunner and are byte-identical at any
+// --jobs value.
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "faultsim/sim_monitor.h"
+#include "telemetry/alerts.h"
+#include "telemetry/telemetry.h"
+#include "telemetry/time_series.h"
+
+using namespace floc;
+using namespace floc::bench;
+
+namespace {
+
+constexpr TimeSec kAttackStart = 5.0;
+
+// Budgets for the bounded rows. Generous enough for the legitimate Fig. 5
+// population (27 leaf paths, ~30 flows/leaf at scale 1), tight enough that
+// a churn attack must trip eviction and overload.
+constexpr std::size_t kOriginBudget = 96;
+constexpr std::size_t kFlowBudget = 48;
+constexpr std::size_t kOffenseBudget = 64;
+constexpr std::size_t kOffenderBudget = 64;
+
+struct CaseResult {
+  double legit_frac = 0.0;      // legit goodput / target link
+  std::size_t origins_max = 0;  // max probed table sizes (RSS proxy)
+  std::size_t flows_max = 0;
+  std::size_t offense_max = 0;
+  std::size_t offenders_max = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t overload_entries = 0;
+  std::uint64_t identities = 0;   // identities the attackers minted
+  std::uint64_t evict_storm_fires = 0;
+  std::uint64_t violations = 0;
+  std::uint64_t seed = 0;
+  double wall_seconds = 0.0;
+  std::vector<std::string> artifacts;
+};
+
+CaseResult run_case(bool churn, bool bounded, std::uint64_t seed,
+                    const BenchArgs& a) {
+  const std::uint64_t t0 = telemetry::clock_ns();
+  TreeScenarioConfig cfg = fig5_config(a);
+  cfg.scheme = DefenseScheme::kFloc;
+  cfg.attack = churn ? AttackType::kStateExhaust : AttackType::kNone;
+  cfg.attack_start = kAttackStart;
+  cfg.state_churn_per_sec = 100.0;
+  cfg.state_identity_pool = 1 << 10;
+  cfg.seed = seed;
+  if (bounded) {
+    cfg.floc.origin_budget.capacity = kOriginBudget;
+    cfg.floc.origin_budget.policy = EvictionPolicy::kLru;
+    cfg.floc.flow_budget.capacity = kFlowBudget;
+    cfg.floc.offense_budget.capacity = kOffenseBudget;
+    cfg.floc.offender_budget.capacity = kOffenderBudget;
+    cfg.floc.enable_overload_mode = true;
+    cfg.floc.backoff_release = true;
+    cfg.floc.enable_blacklist = true;
+  }
+  TreeScenario s(cfg);
+  FlocQueue* fq = s.floc_queue();
+  Simulator& sim = s.sim();
+
+  telemetry::Telemetry tel;
+  tel.journal.set_enabled(telemetry::EventKind::kDrop, false);
+  fq->attach_telemetry(&tel);
+  s.target_link()->register_metrics(tel.registry, "link.target");
+
+  // Storm alerting in the netdata packets-storm shape, on the simulation
+  // clock so firings are deterministic and --jobs-invariant.
+  telemetry::AlertEngine alerts(&tel.registry);
+  {
+    telemetry::AlertRule r;
+    r.name = "state_evict_storm";
+    r.metric = "floc.state.evictions";
+    r.short_window = 2.0;
+    r.long_window = 10.0;
+    r.ratio = 3.0;
+    r.clear_ratio = 1.5;
+    r.min_rate = 5.0;
+    alerts.add_rule(r);
+    telemetry::AlertRule o;
+    o.name = "state_pressure";
+    o.metric = "floc.state.occupancy";
+    o.kind = telemetry::AlertKind::kThreshold;
+    o.threshold = 0.9;
+    o.clear_threshold = 0.7;
+    alerts.add_rule(o);
+  }
+
+  SimMonitor mon;
+  mon.set_journal(&tel.journal);
+  mon.watch_queue("floc-bottleneck", fq);
+  mon.attach(&sim, 0.5, cfg.duration);
+
+  // Table-size probes: the gate is "under budget at EVERY probe", not just
+  // at the end, so sample on the control cadence.
+  CaseResult r;
+  constexpr TimeSec kProbeStep = 0.25;
+  for (TimeSec t = kProbeStep; t < cfg.duration; t += kProbeStep) {
+    sim.schedule_at(t, [&r, fq, &alerts, &sim] {
+      r.origins_max = std::max(
+          r.origins_max, static_cast<std::size_t>(fq->active_origin_path_count()));
+      r.flows_max = std::max(r.flows_max, fq->max_path_flow_count());
+      r.offense_max = std::max(r.offense_max, fq->offense_size());
+      r.offenders_max = std::max(r.offenders_max, fq->offender_size());
+      alerts.sample(sim.now());
+    });
+  }
+
+  s.run();
+
+  r.seed = seed;
+  const auto cb = s.class_bandwidth();
+  r.legit_frac =
+      (cb.legit_legit_bps + cb.legit_attack_bps) / s.scaled_target_bw();
+  r.evictions = fq->state_evictions();
+  r.overload_entries = fq->overload_entries();
+  for (const auto& src : s.state_exhaust_sources()) {
+    r.identities += src->identities_used();
+  }
+  r.evict_storm_fires = alerts.fired("state_evict_storm");
+  r.violations = mon.violations().size();
+
+  // Artifacts: journal, alert history, and a Prometheus scrape per case.
+  char name[96];
+  std::string err;
+  const char* akey = churn ? "churn" : "baseline";
+  const char* bkey = bounded ? "on" : "off";
+  std::snprintf(name, sizeof(name),
+                "ablation_state_exhaust_%s_%s.journal.json", akey, bkey);
+  if (!tel.journal.save(name, &err)) {
+    std::fprintf(stderr, "ablation_state_exhaust: %s\n", err.c_str());
+  }
+  r.artifacts.emplace_back(name);
+  std::snprintf(name, sizeof(name), "ablation_state_exhaust_%s_%s.alerts.json",
+                akey, bkey);
+  if (!alerts.save(name, &err)) {
+    std::fprintf(stderr, "ablation_state_exhaust: %s\n", err.c_str());
+  }
+  r.artifacts.emplace_back(name);
+  std::snprintf(name, sizeof(name), "ablation_state_exhaust_%s_%s.prom", akey,
+                bkey);
+  if (!telemetry::write_text_file(
+          name, alerts.render_prometheus_with_alerts(), &err)) {
+    std::fprintf(stderr, "ablation_state_exhaust: %s\n", err.c_str());
+  }
+  r.artifacts.emplace_back(name);
+  r.wall_seconds = static_cast<double>(telemetry::clock_ns() - t0) / 1e9;
+  return r;
+}
+
+// Scripted re-latch micro-case, directly against a FlocQueue: latch a flood
+// path, evict it via LRU identity churn while the flood is quiet, resume,
+// and measure the time to re-latch. Returns the latency in control
+// intervals (negative if it never re-latched or never evicted).
+double relatch_intervals() {
+  FlocConfig cfg;
+  cfg.link_bandwidth = mbps(10);
+  cfg.buffer_packets = 60;
+  cfg.control_interval = 0.05;
+  cfg.default_rtt = 0.05;
+  cfg.enable_aggregation = false;
+  cfg.origin_budget.capacity = 8;
+  cfg.origin_budget.policy = EvictionPolicy::kLru;
+  FlocQueue q(cfg);
+
+  const PathId good = PathId::of({1, 10});
+  const PathId bad = PathId::of({2, 20});
+  const double dt = 1.0 / 2500.0;
+  double next_service = 0.0;
+  auto step = [&](double t, bool flood) {
+    if (flood) {
+      Packet p;
+      p.flow = 100;
+      p.src = 2;
+      p.dst = 99;
+      p.path = bad;
+      p.type = PacketType::kData;
+      q.enqueue(std::move(p), t);
+    }
+    Packet g;
+    g.flow = 1;
+    g.src = 1;
+    g.dst = 99;
+    g.path = good;
+    g.type = PacketType::kData;
+    q.enqueue(std::move(g), t);
+    while (next_service <= t) {
+      q.dequeue(next_service);
+      next_service += 1.0 / 833.0;
+    }
+  };
+  double t = 0.0;
+  for (; t < 2.0; t += dt) step(t, true);  // latch the flood
+  if (!q.is_attack_path(bad)) return -1.0;
+  for (int i = 0; q.is_attack_path(bad) && i < 2500; ++i, t += dt) {
+    Packet c;  // identity churn evicts the now-quiet latched origin
+    c.flow = 300 + i % 32;
+    c.src = 4;
+    c.dst = 99;
+    c.path = PathId::of({4, 100u + static_cast<unsigned>(i)});
+    c.type = PacketType::kSyn;
+    c.size_bytes = 40;
+    q.enqueue(std::move(c), t);
+    step(t, false);
+  }
+  if (q.is_attack_path(bad) || q.evicted_origins() == 0) return -1.0;
+  const double resume = t + 0.2;
+  next_service = resume;
+  for (int i = 0; i < 2500; ++i) {
+    const double tt = resume + i * dt;
+    step(tt, true);
+    if (q.is_attack_path(bad)) {
+      return (tt - resume) / cfg.control_interval;
+    }
+  }
+  return -1.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchArgs a = BenchArgs::parse(argc, argv);
+  header("State exhaustion vs bounded tables + overload mode",
+         "identity churn exhausts an unbounded defense's per-path/per-flow/"
+         "per-sender state; capacity budgets with deterministic eviction, the "
+         "eviction sketch, and overload-mode degradation keep every table "
+         "under budget while legitimate goodput stays within 15% of the "
+         "no-churn baseline",
+         a);
+  std::printf("%-10s %-7s %7s %8s %7s %7s %7s %9s %8s %7s  %s\n", "attack",
+              "bounded", "legit", "origins", "flows", "offense", "offndr",
+              "evicted", "overload", "storms", "violations");
+
+  RunManifest manifest("ablation_state_exhaust", a);
+  // Grid: attack-major, bounding-minor.
+  const auto results =
+      runner::run_indexed<CaseResult>(a.jobs, 4, [&](std::size_t i) {
+        return run_case(/*churn=*/i >= 2, /*bounded=*/(i % 2) != 0,
+                        a.run_seed(i / 2, kSeedStreamTreeScenario), a);
+      });
+
+  std::string csv =
+      "attack,bounded,legit_frac,origins_max,flows_max,offense_max,"
+      "offenders_max,evictions,overload_entries,identities,storm_fires,"
+      "violations\n";
+  std::uint64_t total_violations = 0;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const bool churn = i >= 2;
+    const bool bounded = (i % 2) != 0;
+    const CaseResult& r = results[i];
+    std::printf(
+        "%-10s %-7s %7.3f %8zu %7zu %7zu %7zu %9llu %8llu %7llu  %llu\n",
+        churn ? "churn" : "baseline", bounded ? "on" : "off", r.legit_frac,
+        r.origins_max, r.flows_max, r.offense_max, r.offenders_max,
+        static_cast<unsigned long long>(r.evictions),
+        static_cast<unsigned long long>(r.overload_entries),
+        static_cast<unsigned long long>(r.evict_storm_fires),
+        static_cast<unsigned long long>(r.violations));
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "%s,%d,%.6f,%zu,%zu,%zu,%zu,%llu,%llu,%llu,%llu,%llu\n",
+                  churn ? "churn" : "baseline", bounded ? 1 : 0, r.legit_frac,
+                  r.origins_max, r.flows_max, r.offense_max, r.offenders_max,
+                  static_cast<unsigned long long>(r.evictions),
+                  static_cast<unsigned long long>(r.overload_entries),
+                  static_cast<unsigned long long>(r.identities),
+                  static_cast<unsigned long long>(r.evict_storm_fires),
+                  static_cast<unsigned long long>(r.violations));
+    csv += buf;
+    total_violations += r.violations;
+    char label[48];
+    std::snprintf(label, sizeof(label), "%s/%s", churn ? "churn" : "baseline",
+                  bounded ? "on" : "off");
+    manifest.add_run(label, r.seed, r.wall_seconds);
+    for (const auto& path : r.artifacts) manifest.add_artifact(path);
+    if (i % 2 == 1) std::printf("\n");
+  }
+
+  // --- Acceptance ----------------------------------------------------------
+  const CaseResult& base_on = results[1];   // no churn, bounded
+  const CaseResult& churn_off = results[2];  // churn, unbounded
+  const CaseResult& churn_on = results[3];   // churn, bounded
+
+  const bool pressure_real = churn_off.origins_max > kOriginBudget;
+  const bool tables_hold =
+      base_on.origins_max <= kOriginBudget &&
+      churn_on.origins_max <= kOriginBudget &&
+      base_on.flows_max <= kFlowBudget && churn_on.flows_max <= kFlowBudget &&
+      churn_on.offense_max <= kOffenseBudget &&
+      churn_on.offenders_max <= kOffenderBudget;
+  const bool legit_holds =
+      base_on.legit_frac > 0.0 &&
+      churn_on.legit_frac >= 0.85 * base_on.legit_frac;
+  const double relatch = relatch_intervals();
+  // One full measured interval, plus the partial interval before the first
+  // control boundary after the flood resumes.
+  const bool relatch_ok = relatch >= 0.0 && relatch <= 2.0;
+  const bool storm_alerted = churn_on.evict_storm_fires > 0;
+
+  std::printf("pressure   origins unbounded-max %zu vs budget %zu %s\n",
+              churn_off.origins_max, kOriginBudget,
+              pressure_real ? "OK" : "FAIL");
+  std::printf("budgets    every bounded table under budget all run %s\n",
+              tables_hold ? "OK" : "FAIL");
+  std::printf("legit      churn/no-churn %.3f/%.3f (>= 0.85x) %s\n",
+              churn_on.legit_frac, base_on.legit_frac,
+              legit_holds ? "OK" : "FAIL");
+  std::printf("re-latch   %.2f control intervals (<= 2) %s\n", relatch,
+              relatch_ok ? "OK" : "FAIL");
+  std::printf("alerting   evict-storm fires (bounded churn) %llu %s\n",
+              static_cast<unsigned long long>(churn_on.evict_storm_fires),
+              storm_alerted ? "OK" : "FAIL");
+  std::printf("invariant violations: %llu\n",
+              static_cast<unsigned long long>(total_violations));
+
+  std::string err;
+  if (!telemetry::write_text_file("ablation_state_exhaust.csv", csv, &err)) {
+    std::fprintf(stderr, "ablation_state_exhaust: %s\n", err.c_str());
+  }
+  manifest.add_artifact("ablation_state_exhaust.csv");
+  manifest.write();
+  return (pressure_real && tables_hold && legit_holds && relatch_ok &&
+          storm_alerted && total_violations == 0)
+             ? 0
+             : 1;
+}

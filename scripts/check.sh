@@ -30,13 +30,14 @@ check_no_stray_artifacts() {
   # files, so artifacts .gitignore hides (fig*.csv, ablation*.csv) are
   # still caught. Build trees and editor/tooling caches are exempt.
   # Matched explicitly on top of the generic extensions: exported causal
-  # traces (*.trace.json), run manifests (*manifest.json), and journal dumps
-  # (*.journal.json) — the observability artifacts every bench now writes.
+  # traces (*.trace.json), run manifests (*manifest.json), journal dumps
+  # (*.journal.json), alert histories (*.alerts.json), and Prometheus text
+  # scrapes (*.prom) — the observability artifacts the benches write.
   local stray
   stray="$(git ls-files -o \
     | grep -vE '^(build[^/]*|\.cache|\.ccache|\.vscode|\.idea)/' \
     | grep -vE '^compile_commands\.json$' \
-    | grep -E '(\.trace\.json|manifest\.json|\.journal\.json|\.(csv|json))$' \
+    | grep -E '(\.trace\.json|manifest\.json|\.journal\.json|\.alerts\.json|\.prom|\.(csv|json))$' \
     || true)"
   if [[ -n "$stray" ]]; then
     echo "error: generated artifacts left in the source tree:" >&2
@@ -71,6 +72,16 @@ adaptive_smoke() {
   (cd "$bindir" && ./bench/ablation_adaptive --quick --jobs 4)
 }
 
+state_smoke() {
+  local bindir="$1"
+  echo "== state-exhaustion smoke: bounded-table scorecard on a 4-wide pool =="
+  # Identity-churn attacker vs capacity budgets + overload mode; the bench
+  # exits nonzero if any gate fails (legit goodput, table bounds, eviction
+  # re-latch, storm alert). Artifacts (ablation_state_exhaust_*.csv /
+  # *.journal.json / *.alerts.json / *.prom) land in the build tree.
+  (cd "$bindir" && ./bench/ablation_state_exhaust --quick --jobs 4)
+}
+
 if [[ "${1:-}" == "--preset" ]]; then
   PRESET="${2:?usage: scripts/check.sh --preset <name>}"
   echo "== preset $PRESET: configure + build + ctest =="
@@ -86,6 +97,7 @@ if [[ "${1:-}" == "--preset" ]]; then
     if [[ "$PRESET" == "release" ]]; then
       parallel_bench_smoke "build-$PRESET"
       adaptive_smoke "build-$PRESET"
+      state_smoke "build-$PRESET"
     fi
   fi
   check_no_stray_artifacts
@@ -117,6 +129,7 @@ ctest --preset tsan -j "$JOBS"
 churn_smoke build
 parallel_bench_smoke build
 adaptive_smoke build
+state_smoke build
 check_no_stray_artifacts
 
 echo "== all checks passed =="

@@ -36,7 +36,8 @@ FlocQueue::FlocQueue(FlocConfig cfg)
       rng_(cfg.rng_seed),
       q_min_(static_cast<std::size_t>(cfg.qmin_frac *
                                       static_cast<double>(cfg.buffer_packets))),
-      q_max_(cfg.buffer_packets) {
+      q_max_(cfg.buffer_packets),
+      relatch_(mix64(cfg.rng_seed ^ 0x5EBA5EBA5EBA5EBAULL)) {
   if (cfg_.use_scalable_filter) {
     filter_ = std::make_unique<ScalableDropFilter>(cfg_.filter);
   }
@@ -112,6 +113,62 @@ void FlocQueue::attach_telemetry(telemetry::Telemetry* t,
       m = std::max(m, static_cast<double>(po.multiplier));
     return m;
   });
+  register_state_gauges(reg);
+}
+
+void FlocQueue::register_metrics(telemetry::MetricRegistry& reg,
+                                 const std::string& prefix) const {
+  QueueDisc::register_metrics(reg, prefix);
+  register_state_gauges(reg);
+}
+
+void FlocQueue::register_state_gauges(telemetry::MetricRegistry& reg) const {
+  // Fixed (prefix-free) names: these are the RSS-proxy series every bench
+  // CSV and the storm-alert rules key on, regardless of how the queue was
+  // mounted (attach_telemetry's "floc" prefix or a link's register_metrics).
+  reg.gauge_fn("floc.origins",
+               [this] { return static_cast<double>(origins_.size()); });
+  reg.gauge_fn("floc.aggregates",
+               [this] { return static_cast<double>(aggregates_.size()); });
+  reg.gauge_fn("floc.offense",
+               [this] { return static_cast<double>(offense_.size()); });
+  reg.gauge_fn("floc.offenders",
+               [this] { return static_cast<double>(offenders_.size()); });
+  reg.gauge_fn("flow_table.size",
+               [this] { return static_cast<double>(flow_record_count()); });
+  reg.gauge_fn("floc.state.occupancy", [this] { return state_occupancy(); });
+  reg.gauge_fn("floc.state.evictions",
+               [this] { return static_cast<double>(state_evictions()); });
+  reg.gauge_fn("floc.state.overload",
+               [this] { return overloaded_ ? 1.0 : 0.0; });
+}
+
+std::size_t FlocQueue::flow_record_count() const {
+  std::size_t n = 0;
+  for (const auto& [okey, op] : origins_) n += op.flow_count();
+  return n;
+}
+
+std::size_t FlocQueue::max_path_flow_count() const {
+  std::size_t n = 0;
+  for (const auto& [okey, op] : origins_) n = std::max(n, op.flow_count());
+  return n;
+}
+
+double FlocQueue::state_occupancy() const {
+  double occ = 0.0;
+  const auto frac = [](std::size_t size, const StateBudgetConfig& b) {
+    return b.enabled()
+               ? static_cast<double>(size) / static_cast<double>(b.capacity)
+               : 0.0;
+  };
+  occ = std::max(occ, frac(origins_.size(), cfg_.origin_budget));
+  occ = std::max(occ, frac(offense_.size(), cfg_.offense_budget));
+  occ = std::max(occ, frac(offenders_.size(), cfg_.offender_budget));
+  if (cfg_.flow_budget.enabled()) {
+    occ = std::max(occ, frac(max_path_flow_count(), cfg_.flow_budget));
+  }
+  return occ;
 }
 
 void FlocQueue::journal_mode(TimeSec now) {
@@ -157,13 +214,117 @@ void FlocQueue::trace_verdict(const Packet& p, const Aggregate& agg,
   t->annotate(p.span.span, "path", p.path.to_string());
 }
 
-OriginPathState& FlocQueue::origin_state(const PathId& path) {
+OriginPathState& FlocQueue::origin_state(const PathId& path, bool cap_backed) {
   const std::uint64_t key = path.key();
   auto it = origins_.find(key);
   if (it == origins_.end()) {
+    // Overload mode: NEW per-path state is learned at router-side prefix
+    // granularity, so an identity-churning adversary collapses into a
+    // handful of coarse entries while established fine-grained paths (found
+    // above) keep their granularity. Depth-1 recursion: the coarse path's
+    // length equals the prefix.
+    //
+    // Traffic backed by a VERIFIED capability is exempt: a legitimate path
+    // whose origin entry was erased mid-overload (flows stalled and expired)
+    // must re-learn fine-grained, or it lands in the attacker-polluted
+    // coarse prefix and inherits that aggregate's attack verdict for the
+    // rest of the overload episode. Churned identities cannot mint valid
+    // capabilities for paths they never completed a handshake on, so the
+    // exemption is not an evasion route.
+    if (!cap_backed && overloaded_ && cfg_.overload_path_prefix > 0 &&
+        path.length() > cfg_.overload_path_prefix) {
+      PathId coarse = path;
+      coarse.truncate_to(cfg_.overload_path_prefix);
+      return origin_state(coarse);
+    }
+    enforce_origin_budget();
     it = origins_.emplace(key, OriginPathState(path, cfg_.beta)).first;
   }
+  it->second.touch_stamp = ++touch_seq_;
   return it->second;
+}
+
+void FlocQueue::enforce_origin_budget() {
+  if (!cfg_.origin_budget.enabled()) return;
+  evict_origins_ += enforce_budget(
+      origins_, cfg_.origin_budget, evict_salt(),
+      [this](std::uint64_t, const OriginPathState& op) {
+        // kLowestOffenseFirst pins latched / latching paths (and, softly,
+        // low-conformance ones): churned innocents go first, so an attacker
+        // cannot push its own verdict state out through fresh identities.
+        double score = 1.0 - op.conformance();
+        const auto ait = aggregates_.find(op.aggregate_key);
+        if (ait != aggregates_.end()) {
+          if (ait->second.attack) {
+            score += 4.0;
+          } else if (ait->second.attack_streak > 0) {
+            score += 2.0;
+          }
+        }
+        return EvictRank{score, op.touch_stamp};
+      },
+      [this](std::uint64_t okey, const OriginPathState& op) {
+        evict_origin(okey, op);
+      });
+}
+
+void FlocQueue::evict_origin(std::uint64_t okey, const OriginPathState& op) {
+  std::uint64_t akey = op.aggregate_key;
+  if (akey == 0) {
+    const auto pit = plan_map_.find(okey);
+    akey = pit != plan_map_.end() ? pit->second : okey;
+  }
+  plan_map_.erase(okey);
+  bool guilty = false;
+  const auto ait = aggregates_.find(akey);
+  if (ait != aggregates_.end()) {
+    Aggregate& agg = ait->second;
+    guilty = agg.attack || agg.attack_streak > 0;
+    auto& m = agg.members;
+    m.erase(std::remove(m.begin(), m.end(), okey), m.end());
+    // An aggregate with no remaining member origins is dead weight; its
+    // verdict is persisted below (sketch) and in offense_, so dropping it
+    // keeps aggregates_ bounded by the origin budget.
+    if (m.empty()) aggregates_.erase(ait);
+  }
+  const auto poit = offense_.find(akey);
+  if (poit != offense_.end() && poit->second.attack) guilty = true;
+  if (guilty) {
+    relatch_.mark(okey);
+    if (akey != okey) relatch_.mark(akey);
+  }
+}
+
+void FlocQueue::enforce_offense_budget() {
+  if (!cfg_.offense_budget.enabled()) return;
+  evict_offense_ += enforce_budget(
+      offense_, cfg_.offense_budget, evict_salt(),
+      [](std::uint64_t, const PathOffense& po) {
+        // Keep escalated and currently-latched verdicts longest.
+        return EvictRank{static_cast<double>(po.multiplier) +
+                             (po.attack ? 1000.0 : 0.0),
+                         po.touch_stamp};
+      },
+      [this](std::uint64_t akey, const PathOffense& po) {
+        if (po.attack) relatch_.mark(akey);
+      });
+}
+
+void FlocQueue::enforce_offender_budget(TimeSec now) {
+  if (!cfg_.offender_budget.enabled()) return;
+  evict_offenders_ += enforce_budget(
+      offenders_, cfg_.offender_budget, evict_salt(),
+      [now](HostAddr, const Offender& o) {
+        // Actively-sentenced senders rank far above mere strike carriers.
+        return EvictRank{static_cast<double>(o.strikes) +
+                             (now < o.blacklisted_until ? 1e6 : 0.0),
+                         o.touch_stamp};
+      },
+      [this, now](HostAddr src, const Offender& o) {
+        if (now < o.blacklisted_until) {
+          relatch_.mark(offender_sketch_key(src));
+        }
+      });
 }
 
 FlocQueue::Aggregate& FlocQueue::aggregate_for(OriginPathState& op) {
@@ -196,13 +357,34 @@ FlocQueue::Aggregate& FlocQueue::aggregate_for(OriginPathState& op) {
 }
 
 void FlocQueue::restore_offense(Aggregate& agg, std::uint64_t akey) const {
-  if (!cfg_.backoff_release) return;
-  const auto it = offense_.find(akey);
-  if (it != offense_.end() && it->second.attack) agg.attack = true;
+  if (cfg_.backoff_release) {
+    const auto it = offense_.find(akey);
+    if (it != offense_.end() && it->second.attack) agg.attack = true;
+  }
+  // Eviction-safe re-latch: if this path's verdict state was evicted while
+  // guilty, the sketch remembers. Seed the streak one short of the latch so
+  // a resumed flood re-latches within ONE control interval instead of
+  // re-earning the full hysteresis from zero.
+  if (!agg.attack && relatch_enabled() && relatch_.test(akey)) {
+    agg.attack_streak = std::max(agg.attack_streak, cfg_.attack_latch - 1);
+  }
 }
 
 void FlocQueue::strike(HostAddr src, TimeSec now) {
-  Offender& o = offenders_[src];
+  auto it = offenders_.find(src);
+  if (it == offenders_.end()) {
+    enforce_offender_budget(now);
+    it = offenders_.emplace(src, Offender{}).first;
+    // Eviction-safe re-latch: a sender whose active sentence was evicted
+    // re-enters one strike short of the threshold, so its next strike
+    // restores the blacklist instead of restarting the count.
+    if (cfg_.offender_budget.enabled() &&
+        relatch_.test(offender_sketch_key(src))) {
+      it->second.strikes = std::max(0, cfg_.blacklist_strikes - 1);
+    }
+  }
+  Offender& o = it->second;
+  o.touch_stamp = ++touch_seq_;
   if (now < o.blacklisted_until) return;  // already serving a sentence
   // One strike per control interval: a TCP loss burst (many drops, one
   // interval) counts once; a flood dropping every interval counts every
@@ -280,7 +462,21 @@ bool FlocQueue::enqueue_impl(Packet&& p, TimeSec now) {
   switch (p.type) {
     case PacketType::kSyn: {
       OriginPathState& op = origin_state(p.path);
-      FlowRecord& fr = op.touch_flow(acct_key(p), now);
+      // Overload tightening, handshake side: per-origin-path SYN budget.
+      // The gate sits BEFORE the flow touch so a shed SYN plants no flow
+      // record — a handshake storm can neither fill the flow table nor pin
+      // its occupancy (and with it the overload latch) at 1.0.
+      if (overloaded_ && cfg_.overload_syn_rate > 0.0 &&
+          !op.syn_gate_admit(now, cfg_.overload_syn_rate,
+                             cfg_.overload_syn_burst)) {
+        if (journal_ != nullptr) journal_drop(p, DropReason::kOverload, now);
+        drop_counts_[static_cast<std::size_t>(DropReason::kOverload)]++;
+        note_drop(p, DropReason::kOverload, now);
+        return false;
+      }
+      FlowRecord& fr =
+          op.touch_flow(acct_key(p), now, &cfg_.flow_budget,
+                        mix64(cfg_.rng_seed) ^ touch_seq_, &evict_flows_);
       fr.syn_time = now;
       fr.rtt_sampled = false;
       if (cfg_.enable_capabilities) {
@@ -319,10 +515,21 @@ bool FlocQueue::enqueue_impl(Packet&& p, TimeSec now) {
 }
 
 bool FlocQueue::admit_data(Packet& p, TimeSec now) {
-  OriginPathState& op = origin_state(p.path);
+  // Only consulted by the overload coarsening rule in origin_state (a valid
+  // capability proves a completed handshake on this path); skipped entirely
+  // outside overload so the baseline does no extra verification work.
+  bool cap_backed = false;
+  if (overloaded_ && cfg_.enable_capabilities && p.cap0 != 0) {
+    telemetry::ScopedTimer timer(prof_cap_verify_);
+    cap_backed =
+        issuer_.verify_at(p, now) == CapabilityIssuer::VerifyResult::kOk;
+  }
+  OriginPathState& op = origin_state(p.path, cap_backed);
   Aggregate& agg = aggregate_for(op);
   const std::uint64_t key = acct_key(p);
-  FlowRecord& fr = op.touch_flow(key, now);
+  FlowRecord& fr =
+      op.touch_flow(key, now, &cfg_.flow_budget,
+                    mix64(cfg_.rng_seed) ^ touch_seq_, &evict_flows_);
 
   // RTT sample: capability issue (SYN) to first use (Section V-A).
   if (!fr.rtt_sampled && fr.syn_time >= 0.0) {
@@ -346,6 +553,17 @@ bool FlocQueue::admit_data(Packet& p, TimeSec now) {
       on_drop(p, DropReason::kBlacklist, op, agg, &fr, now);
       return false;
     }
+  }
+
+  // Overload mode tightens admission to capability-carrying traffic: state
+  // pressure means identities are churning faster than they can complete
+  // handshakes, and data without a capability is exactly the traffic class
+  // doing the churning. Established legitimate flows echo the capability
+  // stamped on their SYN-ACK and pass untouched.
+  if (overloaded_ && cfg_.overload_require_caps && cfg_.enable_capabilities &&
+      p.cap0 == 0) {
+    on_drop(p, DropReason::kOverload, op, agg, &fr, now);
+    return false;
   }
 
   // Capability verification: forged identifiers are rejected outright —
@@ -779,7 +997,13 @@ void FlocQueue::control(TimeSec now) {
                          "floc", agg.id.to_string(), akey, agg_mtd);
       }
       if (cfg_.backoff_release) {
-        PathOffense& po = offense_[akey];
+        auto poit = offense_.find(akey);
+        if (poit == offense_.end()) {
+          enforce_offense_budget();
+          poit = offense_.emplace(akey, PathOffense{}).first;
+        }
+        PathOffense& po = poit->second;
+        po.touch_stamp = ++touch_seq_;
         po.attack = agg.attack;
         po.next_decay = now + cfg_.backoff_decay;
         if (agg.attack) {
@@ -925,6 +1149,55 @@ void FlocQueue::control(TimeSec now) {
   // Aggregate counters are recomputed from origin sums at the next rebuild;
   // lambda_bps intentionally persists as "last measured offered load" for
   // the early congested-mode test.
+
+  // --- Bounded-state housekeeping ------------------------------------------
+  if (cfg_.enable_overload_mode) update_overload(now);
+  if (relatch_enabled() && cfg_.sketch_rotate_ticks > 0 &&
+      control_ticks_ % cfg_.sketch_rotate_ticks == 0) {
+    // Age the re-latch sketch two rotation windows after the mark: long
+    // enough for any realistic resume, short enough that a false positive
+    // (hash collision with an innocent key) cannot haunt a path forever.
+    relatch_.rotate();
+  }
+  if (journal_ != nullptr && state_evictions() != journal_evict_mark_) {
+    // Batched per control tick — per-victim events would let an eviction
+    // storm flood the journal ring.
+    char detail[128];
+    std::snprintf(detail, sizeof(detail),
+                  "origins=%llu flows=%llu offense=%llu offenders=%llu",
+                  static_cast<unsigned long long>(evict_origins_),
+                  static_cast<unsigned long long>(evict_flows_),
+                  static_cast<unsigned long long>(evict_offense_),
+                  static_cast<unsigned long long>(evict_offenders_));
+    journal_->record(now, telemetry::EventKind::kStateEvict, "floc", detail,
+                     state_evictions() - journal_evict_mark_,
+                     state_occupancy());
+    journal_evict_mark_ = state_evictions();
+  }
+}
+
+void FlocQueue::update_overload(TimeSec now) {
+  const double occ = state_occupancy();
+  if (!overloaded_ && occ >= cfg_.overload_enter) {
+    overloaded_ = true;
+    ++overload_entries_;
+    if (journal_ != nullptr) {
+      char detail[96];
+      std::snprintf(detail, sizeof(detail),
+                    "occupancy=%.3f origins=%zu offense=%zu offenders=%zu",
+                    occ, origins_.size(), offense_.size(), offenders_.size());
+      journal_->record(now, telemetry::EventKind::kOverloadEnter, "floc",
+                       detail, overload_entries_, occ);
+    }
+  } else if (overloaded_ && occ <= cfg_.overload_exit) {
+    overloaded_ = false;
+    if (journal_ != nullptr) {
+      char detail[48];
+      std::snprintf(detail, sizeof(detail), "occupancy=%.3f", occ);
+      journal_->record(now, telemetry::EventKind::kOverloadExit, "floc",
+                       detail, overload_entries_, occ);
+    }
+  }
 }
 
 void FlocQueue::run_aggregation(TimeSec) {
@@ -1015,6 +1288,40 @@ bool FlocQueue::audit(TimeSec now, std::string* why) const {
   if (by_reason != drops()) {
     return fail("drop reasons sum " + std::to_string(by_reason) +
                 " != total drops " + std::to_string(drops()));
+  }
+  // (5) State budgets hold: enforced-before-insert means a table can never
+  // exceed its capacity, at any instant. Aggregates are bounded derivatively
+  // (rebuilt from live origins each tick, erased when their last member
+  // evicts), so they can exceed the origin capacity only by the origins
+  // admitted since the last rebuild — 2x is a safe ceiling.
+  if (cfg_.origin_budget.enabled()) {
+    if (origins_.size() > cfg_.origin_budget.capacity) {
+      return fail("origins " + std::to_string(origins_.size()) +
+                  " exceed budget " +
+                  std::to_string(cfg_.origin_budget.capacity));
+    }
+    if (aggregates_.size() > 2 * cfg_.origin_budget.capacity) {
+      return fail("aggregates " + std::to_string(aggregates_.size()) +
+                  " exceed 2x origin budget " +
+                  std::to_string(2 * cfg_.origin_budget.capacity));
+    }
+  }
+  if (cfg_.flow_budget.enabled() &&
+      max_path_flow_count() > cfg_.flow_budget.capacity) {
+    return fail("per-path flows " + std::to_string(max_path_flow_count()) +
+                " exceed budget " + std::to_string(cfg_.flow_budget.capacity));
+  }
+  if (cfg_.offense_budget.enabled() &&
+      offense_.size() > cfg_.offense_budget.capacity) {
+    return fail("offense records " + std::to_string(offense_.size()) +
+                " exceed budget " +
+                std::to_string(cfg_.offense_budget.capacity));
+  }
+  if (cfg_.offender_budget.enabled() &&
+      offenders_.size() > cfg_.offender_budget.capacity) {
+    return fail("offender records " + std::to_string(offenders_.size()) +
+                " exceed budget " +
+                std::to_string(cfg_.offender_budget.capacity));
   }
   return true;
 }

@@ -31,6 +31,7 @@
 #include "core/drop_filter.h"
 #include "core/flow_table.h"
 #include "core/model.h"
+#include "core/state_budget.h"
 #include "core/token_bucket.h"
 #include "netsim/queue_disc.h"
 #include "telemetry/profiler.h"
@@ -151,6 +152,49 @@ struct FlocConfig {
   double jitter_dip_prob = 0.0;
   double jitter_dip_floor = 0.5;
 
+  // --- Bounded state / overload resilience --------------------------------
+  // All knobs default OFF (capacity 0 = unbounded, overload mode disabled);
+  // the baseline is bit-identical with them off. With budgets on, each table
+  // never exceeds its capacity at any observable point: an insert into a
+  // full table first batch-evicts down to the budget's shrink target, with
+  // deterministic (iteration-order-independent) victim selection. Evicted
+  // *guilty* state (latched paths, sentenced senders) is remembered in a
+  // fixed-size two-bank sketch, so an offender that churns identities to
+  // push its own verdict out of the table re-latches within one MTD
+  // (control) interval of resuming instead of re-earning a fresh hysteresis
+  // run-up. The sketch — like the offense/offender verdict tables — survives
+  // reboot().
+  StateBudgetConfig origin_budget;    // origins_ (aggregates_/plan_map_ are
+                                      // derivative: bounding origins bounds
+                                      // them, enforced by audit())
+  StateBudgetConfig flow_budget;      // per-origin accounting-flow records
+  StateBudgetConfig offense_budget;   // per-path offense records
+  StateBudgetConfig offender_budget;  // per-sender strike/blacklist records
+  // Overload mode: when the worst bounded-table occupancy crosses
+  // `overload_enter`, the queue degrades gracefully instead of thrashing —
+  // NEW per-path state is learned at router-side prefix granularity
+  // `overload_path_prefix` (churned identities collapse into a handful of
+  // coarse entries while established paths keep full granularity), and
+  // admission tightens to capability-carrying traffic (churned identities
+  // never complete a handshake, so their data carries no capability).
+  // Exits — with hysteresis — when occupancy falls below `overload_exit`.
+  bool enable_overload_mode = false;
+  double overload_enter = 0.9;
+  double overload_exit = 0.7;
+  int overload_path_prefix = 1;
+  bool overload_require_caps = true;
+  // While overloaded, SYNs are also budgeted per origin path (token bucket:
+  // `overload_syn_rate`/s, burst `overload_syn_burst`): identity churn
+  // escalates into a pure handshake storm, and its coarsened identities
+  // funnel through a few paths while legitimate leaf paths keep their own
+  // barely-touched buckets. 0 disables the gate. Shed SYNs plant no flow
+  // record, so the storm cannot pin the flow-table occupancy either.
+  double overload_syn_rate = 50.0;
+  double overload_syn_burst = 20.0;
+  // Control ticks between re-latch sketch rotations; a mark survives one to
+  // two rotation periods. 0 disables rotation (marks live forever).
+  int sketch_rotate_ticks = 64;
+
   // Scalable mode (Section V-B): MTD from the drop filter.
   bool use_scalable_filter = false;
   DropFilterConfig filter;
@@ -204,6 +248,25 @@ class FlocQueue : public QueueDisc {
   bool is_blacklisted(HostAddr src, TimeSec now) const;
   std::size_t blacklist_size(TimeSec now) const;
 
+  // --- State-budget / overload introspection (tests, benches) ------------
+  bool overloaded() const { return overloaded_; }
+  std::uint64_t overload_entries() const { return overload_entries_; }
+  std::size_t offense_size() const { return offense_.size(); }
+  std::size_t offender_size() const { return offenders_.size(); }
+  // Accounting-flow records across all origin paths ("flow_table.size").
+  std::size_t flow_record_count() const;
+  // Largest per-origin flow table (the flow_budget bound applies per path).
+  std::size_t max_path_flow_count() const;
+  std::uint64_t evicted_origins() const { return evict_origins_; }
+  std::uint64_t evicted_flows() const { return evict_flows_; }
+  std::uint64_t evicted_offense() const { return evict_offense_; }
+  std::uint64_t evicted_offenders() const { return evict_offenders_; }
+  std::uint64_t state_evictions() const {
+    return evict_origins_ + evict_flows_ + evict_offense_ + evict_offenders_;
+  }
+  // Worst occupancy fraction over the enabled budgets (0 when none enabled).
+  double state_occupancy() const;
+
   // --- Fault / churn surface (src/faultsim) ------------------------------
   // Simulate a router reboot at `now`: all soft state — origin paths,
   // aggregates, the aggregation plan, flow tables, RTT estimates, the
@@ -249,6 +312,12 @@ class FlocQueue : public QueueDisc {
   void attach_telemetry(telemetry::Telemetry* t,
                         const std::string& prefix = "floc");
 
+  // Base queue gauges plus the state-size gauges ("floc.origins",
+  // "floc.aggregates", "floc.offense", "floc.offenders", "flow_table.size"),
+  // so table growth is visible in every bench CSV that samples the queue.
+  void register_metrics(telemetry::MetricRegistry& reg,
+                        const std::string& prefix) const override;
+
   // Attribute the queue's wall-clock cost to profiler sections
   // "<prefix>.enqueue", ".dequeue", ".control" (the lazy control loop) and
   // ".cap_verify" (SipHash capability verification). nullptr detaches.
@@ -284,19 +353,39 @@ class FlocQueue : public QueueDisc {
     bool attack = false;       // persisted latch verdict (restored on relearn)
     TimeSec next_decay = 0.0;  // when unlatched, halve multiplier at this time
     TimeSec last_release = -1.0;  // relapse-window anchor for escalation
+    std::uint64_t touch_stamp = 0;  // monotone LRU stamp (state budgets)
   };
   // Per-sender strike/blacklist record (reboot-surviving).
   struct Offender {
     int strikes = 0;
     TimeSec blacklisted_until = -1.0;
     TimeSec last_strike = -1.0;  // strikes rate-limited to 1/control interval
+    std::uint64_t touch_stamp = 0;  // monotone LRU stamp (state budgets)
   };
 
-  OriginPathState& origin_state(const PathId& path);
+  OriginPathState& origin_state(const PathId& path, bool cap_backed = false);
   Aggregate& aggregate_for(OriginPathState& op);
   std::uint64_t acct_key(const Packet& p) const;
   void restore_offense(Aggregate& agg, std::uint64_t akey) const;
   void strike(HostAddr src, TimeSec now);
+
+  // --- Bounded-state plumbing ---------------------------------------------
+  bool relatch_enabled() const {
+    return cfg_.origin_budget.enabled() || cfg_.offense_budget.enabled() ||
+           cfg_.offender_budget.enabled();
+  }
+  std::uint64_t evict_salt() { return mix64(cfg_.rng_seed) ^ ++evict_rounds_; }
+  static std::uint64_t offender_sketch_key(HostAddr src) {
+    return 0x0FFE6DE20FFE6DE2ULL ^ static_cast<std::uint64_t>(src);
+  }
+  // Side effects of evicting one origin: plan/aggregate cleanup, sketch
+  // marking of guilty (latched / latching) paths.
+  void evict_origin(std::uint64_t okey, const OriginPathState& op);
+  void enforce_origin_budget();
+  void enforce_offense_budget();
+  void enforce_offender_budget(TimeSec now);
+  void update_overload(TimeSec now);
+  void register_state_gauges(telemetry::MetricRegistry& reg) const;
 
   bool enqueue_impl(Packet&& p, TimeSec now);
   bool admit_data(Packet& p, TimeSec now);
@@ -335,6 +424,19 @@ class FlocQueue : public QueueDisc {
   // FlocConfig comments); they stay empty while the knobs are off.
   std::unordered_map<std::uint64_t, PathOffense> offense_;
   std::unordered_map<HostAddr, Offender> offenders_;
+
+  // Bounded-state machinery. The sketch survives reboot() like the verdict
+  // tables it backs up; the counters are cumulative.
+  EvictionSketch relatch_;
+  bool overloaded_ = false;
+  std::uint64_t overload_entries_ = 0;
+  std::uint64_t touch_seq_ = 0;     // global LRU clock (origins/offense/offenders)
+  std::uint64_t evict_rounds_ = 0;  // enforcement rounds (decay-policy salt)
+  std::uint64_t evict_origins_ = 0;
+  std::uint64_t evict_flows_ = 0;
+  std::uint64_t evict_offense_ = 0;
+  std::uint64_t evict_offenders_ = 0;
+  std::uint64_t journal_evict_mark_ = 0;  // evictions already journaled
 
   TimeSec next_control_ = 0.0;
   int control_ticks_ = 0;

@@ -9,10 +9,12 @@
 // single high-rate flow.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <unordered_map>
 
 #include "core/mtd_tracker.h"
+#include "core/state_budget.h"
 #include "netsim/packet.h"
 #include "util/stats.h"
 #include "util/units.h"
@@ -29,6 +31,7 @@ struct FlowRecord {
   std::uint64_t drops = 0;     // current control interval
   std::uint64_t total_drops = 0;
   double rate_bps = 0.0;       // smoothed arrival-rate estimate
+  std::uint64_t touch_stamp = 0;  // monotone per-path LRU stamp
 };
 
 // State of one *origin* (full, unaggregated) path identifier.
@@ -42,7 +45,16 @@ class OriginPathState {
 
   const PathId& path() const { return path_; }
 
-  FlowRecord& touch_flow(std::uint64_t acct_key, TimeSec now);
+  // Find-or-create the accounting-flow record for `acct_key`. With a
+  // non-null enabled `budget`, creating a record in a full table first
+  // evicts down to the budget's shrink target (kLru: coldest records;
+  // kLowestOffenseFirst: fewest lifetime drops first, so the MTD history of
+  // offending flows survives identity churn; kProbabilisticDecay: seeded
+  // uniform victims). `evicted` (optional) accumulates the eviction count.
+  FlowRecord& touch_flow(std::uint64_t acct_key, TimeSec now,
+                         const StateBudgetConfig* budget = nullptr,
+                         std::uint64_t decay_salt = 0,
+                         std::uint64_t* evicted = nullptr);
   FlowRecord* find_flow(std::uint64_t acct_key);
 
   // Remove flows idle longer than `timeout`; returns surviving count.
@@ -72,14 +84,40 @@ class OriginPathState {
   // attack-path identification (Section IV-B.1).
   std::uint64_t token_misses = 0;
 
+  // Overload-mode SYN gate: a per-path token bucket the owner queue consults
+  // ONLY while overloaded. Handshakes are normally admitted unconditionally,
+  // but an identity-churn attacker escalates into a pure SYN storm (each
+  // rotation is a fresh handshake); under overload its coarsened identities
+  // funnel through a handful of paths, so a per-path budget confines the
+  // storm while legitimate leaf paths — with their own, barely-touched
+  // buckets — keep opening connections.
+  bool syn_gate_admit(TimeSec now, double rate, double burst) {
+    if (syn_stamp_ >= 0.0) {
+      syn_tokens_ = std::min(burst, syn_tokens_ + (now - syn_stamp_) * rate);
+    } else {
+      syn_tokens_ = burst;  // first consult: a full burst allowance
+    }
+    syn_stamp_ = now;
+    if (syn_tokens_ < 1.0) return false;
+    syn_tokens_ -= 1.0;
+    return true;
+  }
+
   // Key of the aggregate this path currently maps to.
   std::uint64_t aggregate_key = 0;
+
+  // Monotone touch stamp maintained by the owner (FlocQueue) for origin-table
+  // LRU ranking; 0 until first stamped.
+  std::uint64_t touch_stamp = 0;
 
  private:
   PathId path_;
   std::unordered_map<std::uint64_t, FlowRecord> flows_;
   Ewma conformance_;
   Ewma rtt_;
+  std::uint64_t touch_counter_ = 0;  // per-path LRU clock for flow records
+  double syn_tokens_ = 0.0;          // overload-mode SYN gate bucket
+  TimeSec syn_stamp_ = -1.0;         // <0 = gate never consulted
 };
 
 }  // namespace floc

@@ -32,6 +32,7 @@ const char* to_string(DropReason r) {
     case DropReason::kRateLimit: return "rate-limit";
     case DropReason::kCapability: return "capability";
     case DropReason::kBlacklist: return "blacklist";
+    case DropReason::kOverload: return "overload";
   }
   return "?";
 }

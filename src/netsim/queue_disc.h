@@ -30,8 +30,9 @@ enum class DropReason : std::uint8_t {
   kRateLimit,       // aggregate rate limiter (Pushback)
   kCapability,      // invalid / over-limit capability (FLoc covert defense)
   kBlacklist,       // sender on the FLoc offender blacklist (hardening)
+  kOverload,        // non-capability data shed in FLoc overload mode
 };
-inline constexpr std::size_t kDropReasonCount = 7;
+inline constexpr std::size_t kDropReasonCount = 8;
 
 const char* to_string(DropReason r);
 // Inverse of to_string; returns false (and leaves *out alone) for unknown

@@ -1,0 +1,221 @@
+#include "telemetry/alerts.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "telemetry/file_util.h"
+
+namespace floc::telemetry {
+
+const char* to_string(AlertKind k) {
+  switch (k) {
+    case AlertKind::kRateRatio: return "rate-ratio";
+    case AlertKind::kThreshold: return "threshold";
+  }
+  return "?";
+}
+
+void AlertEngine::add_rule(AlertRule rule) {
+  RuleState rs;
+  rs.rule = std::move(rule);
+  rules_.push_back(std::move(rs));
+}
+
+double AlertEngine::window_rate(const RuleState& rs, TimeSec span) {
+  if (rs.window.size() < 2) return 0.0;
+  const auto& newest = rs.window.back();
+  const TimeSec cutoff = newest.first - span;
+  // Oldest sample at or after the cutoff — the window front is pruned to
+  // just-cover long_window, so this scan is O(short samples), and the
+  // denominator uses the ACTUAL elapsed span (a window still filling up
+  // reports the rate over the data it has, not an inflated one).
+  const std::pair<TimeSec, double>* base = &rs.window.front();
+  for (const auto& s : rs.window) {
+    if (s.first >= cutoff) {
+      base = &s;
+      break;
+    }
+  }
+  const TimeSec dt = newest.first - base->first;
+  if (dt <= 0.0) return 0.0;
+  return (newest.second - base->second) / dt;
+}
+
+void AlertEngine::evaluate(RuleState& rs, TimeSec now) {
+  double observed = 0.0;
+  bool fire = rs.firing;
+  if (rs.rule.kind == AlertKind::kRateRatio) {
+    const double short_rate = window_rate(rs, rs.rule.short_window);
+    const double long_rate = window_rate(rs, rs.rule.long_window);
+    observed = short_rate;
+    if (!rs.firing) {
+      // Fire on a genuine burst: above the idle floor AND `ratio` times the
+      // long-window baseline. A baseline of ~0 (burst from idle) fires on
+      // the floor alone — that is the storm case, not an exemption.
+      fire = short_rate >= rs.rule.min_rate &&
+             short_rate >= rs.rule.ratio * long_rate;
+    } else {
+      fire = short_rate >= rs.rule.min_rate &&
+             short_rate > rs.rule.clear_ratio * long_rate;
+    }
+  } else {
+    observed = rs.window.empty() ? 0.0 : rs.window.back().second;
+    fire = rs.firing ? observed > rs.rule.clear_threshold
+                     : observed >= rs.rule.threshold;
+  }
+  if (fire == rs.firing) return;
+  rs.firing = fire;
+  if (fire) {
+    ++rs.fire_edges;
+    ++fired_total_;
+  }
+  history_.push_back(AlertEvent{now, rs.rule.name, fire, observed});
+}
+
+void AlertEngine::sample(TimeSec now) {
+  for (RuleState& rs : rules_) {
+    rs.window.emplace_back(now, reg_->value(rs.rule.metric));
+    // Keep one sample older than the long window so window_rate's bracketing
+    // base never vanishes mid-window.
+    const TimeSec keep_from = now - rs.rule.long_window;
+    while (rs.window.size() > 2 && rs.window[1].first <= keep_from) {
+      rs.window.pop_front();
+    }
+    evaluate(rs, now);
+  }
+}
+
+bool AlertEngine::firing(const std::string& rule) const {
+  for (const RuleState& rs : rules_) {
+    if (rs.rule.name == rule) return rs.firing;
+  }
+  return false;
+}
+
+std::size_t AlertEngine::firing_count() const {
+  std::size_t n = 0;
+  for (const RuleState& rs : rules_) n += rs.firing ? 1 : 0;
+  return n;
+}
+
+std::uint64_t AlertEngine::fired(const std::string& rule) const {
+  for (const RuleState& rs : rules_) {
+    if (rs.rule.name == rule) return rs.fire_edges;
+  }
+  return 0;
+}
+
+std::uint64_t AlertEngine::fired_total() const { return fired_total_; }
+
+std::string AlertEngine::to_json() const {
+  std::string out = "{\n\"rules\": [\n";
+  char buf[192];
+  bool first = true;
+  for (const RuleState& rs : rules_) {
+    if (!first) out += ",\n";
+    first = false;
+    std::snprintf(buf, sizeof(buf),
+                  "  {\"name\": \"%s\", \"metric\": \"%s\", \"kind\": \"%s\", "
+                  "\"firing\": %s, \"fired\": %llu}",
+                  rs.rule.name.c_str(), rs.rule.metric.c_str(),
+                  to_string(rs.rule.kind), rs.firing ? "true" : "false",
+                  static_cast<unsigned long long>(rs.fire_edges));
+    out += buf;
+  }
+  out += "\n],\n\"events\": [\n";
+  first = true;
+  for (const AlertEvent& e : history_) {
+    if (!first) out += ",\n";
+    first = false;
+    std::snprintf(buf, sizeof(buf),
+                  "  {\"time\": %.9g, \"rule\": \"%s\", \"firing\": %s, "
+                  "\"observed\": %.9g}",
+                  e.time, e.rule.c_str(), e.firing ? "true" : "false",
+                  e.observed);
+    out += buf;
+  }
+  out += "\n]\n}\n";
+  return out;
+}
+
+bool AlertEngine::save(const std::string& path, std::string* err) const {
+  return write_text_file(path, to_json(), err);
+}
+
+namespace {
+
+// Prometheus metric names allow [a-zA-Z_:][a-zA-Z0-9_:]*; our dotted names
+// map dots (and anything else illegal) to '_'.
+std::string prom_name(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9' && !out.empty()) || c == '_';
+    out += ok ? c : '_';
+  }
+  return out.empty() ? std::string("_") : out;
+}
+
+void append_sample(std::string& out, const std::string& name,
+                   const char* type, double value) {
+  char buf[64];
+  out += "# TYPE " + name + " " + type + "\n";
+  std::snprintf(buf, sizeof(buf), " %.9g\n", value);
+  out += name;
+  out += buf;
+}
+
+}  // namespace
+
+std::string AlertEngine::render_prometheus(const MetricRegistry& reg) {
+  std::string out;
+  out.reserve(reg.size() * 64);
+  for (const auto& m : reg.metrics()) {
+    const std::string name = prom_name(m->name);
+    switch (m->kind) {
+      case MetricKind::kCounter: {
+        // Counters get the conventional `_total` suffix — unless the dotted
+        // name already carries one (floc.drops.total), which must not double.
+        const bool suffixed =
+            name.size() >= 6 &&
+            name.compare(name.size() - 6, 6, "_total") == 0;
+        append_sample(out, suffixed ? name : name + "_total", "counter",
+                      static_cast<double>(m->counter->value()));
+        break;
+      }
+      case MetricKind::kGauge:
+        append_sample(out, name, "gauge", m->gauge->value());
+        break;
+      case MetricKind::kGaugeFn:
+        append_sample(out, name, "gauge", m->fn());
+        break;
+      case MetricKind::kHistogram: {
+        append_sample(out, name + "_count", "counter",
+                      static_cast<double>(m->histogram->count()));
+        append_sample(out, name + "_sum", "counter", m->histogram->sum());
+        append_sample(out, name + "_p50", "gauge",
+                      m->histogram->quantile(0.5));
+        append_sample(out, name + "_p99", "gauge",
+                      m->histogram->quantile(0.99));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string AlertEngine::render_prometheus_with_alerts() const {
+  std::string out =
+      reg_ != nullptr ? render_prometheus(*reg_) : std::string();
+  if (!rules_.empty()) {
+    out += "# TYPE floc_alert_firing gauge\n";
+    for (const RuleState& rs : rules_) {
+      out += "floc_alert_firing{alert=\"" + prom_name(rs.rule.name) + "\"} ";
+      out += rs.firing ? "1\n" : "0\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace floc::telemetry

@@ -1,6 +1,7 @@
 #include "telemetry/event_journal.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 #include "telemetry/file_util.h"
@@ -22,6 +23,9 @@ const char* to_string(EventKind k) {
     case EventKind::kBlacklistAdd: return "blacklist-add";
     case EventKind::kBlacklistExpire: return "blacklist-expire";
     case EventKind::kBackoffEscalate: return "backoff-escalate";
+    case EventKind::kStateEvict: return "state-evict";
+    case EventKind::kOverloadEnter: return "overload-enter";
+    case EventKind::kOverloadExit: return "overload-exit";
   }
   return "?";
 }
@@ -50,7 +54,7 @@ void EventJournal::record(TimeSec time, EventKind kind, std::string component,
   if (!enabled_[static_cast<std::size_t>(kind)]) return;
   if (events_.size() >= max_events_) {
     events_.pop_front();
-    overflowed_ = true;
+    ++overwritten_;
   }
   events_.push_back(DefenseEvent{time, seq, kind, std::move(component),
                                  std::move(detail), a, value});
@@ -69,7 +73,7 @@ void EventJournal::clear() {
   std::fill(counts_, counts_ + kEventKindCount, 0);
   total_ = 0;
   next_seq_ = 0;
-  overflowed_ = false;
+  overwritten_ = 0;
 }
 
 std::string EventJournal::format(const DefenseEvent& e) {
@@ -107,9 +111,17 @@ void append_json_escaped(std::string& out, const std::string& s) {
 }  // namespace
 
 std::string EventJournal::to_json() const {
-  std::string out = "[\n";
+  std::string out;
+  char buf[160];
+  // Header first: a consumer can tell a complete journal (overwritten == 0)
+  // from a clipped one without scanning the event array.
+  std::snprintf(buf, sizeof(buf),
+                "{\n\"total\": %llu, \"stored\": %zu, \"overwritten\": %llu,\n"
+                "\"events\": [\n",
+                static_cast<unsigned long long>(total_), events_.size(),
+                static_cast<unsigned long long>(overwritten_));
+  out += buf;
   bool first = true;
-  char buf[128];
   for (const DefenseEvent& e : events_) {
     if (!first) out += ",\n";
     first = false;
@@ -122,11 +134,18 @@ std::string EventJournal::to_json() const {
     append_json_escaped(out, e.component);
     out += "\", \"detail\": \"";
     append_json_escaped(out, e.detail);
-    std::snprintf(buf, sizeof(buf), "\", \"a\": %llu, \"value\": %.9g}",
-                  static_cast<unsigned long long>(e.a), e.value);
+    // JSON has no inf/nan literal; events can carry one (e.g. an infinite
+    // rate ratio), and "%g" would emit it verbatim, corrupting the file.
+    if (std::isfinite(e.value)) {
+      std::snprintf(buf, sizeof(buf), "\", \"a\": %llu, \"value\": %.9g}",
+                    static_cast<unsigned long long>(e.a), e.value);
+    } else {
+      std::snprintf(buf, sizeof(buf), "\", \"a\": %llu, \"value\": null}",
+                    static_cast<unsigned long long>(e.a));
+    }
     out += buf;
   }
-  out += "\n]\n";
+  out += "\n]\n}\n";
   return out;
 }
 

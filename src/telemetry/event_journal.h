@@ -38,8 +38,11 @@ enum class EventKind : std::uint8_t {
   kBlacklistAdd,        // sender added to the offender blacklist (hardening)
   kBlacklistExpire,     // offender blacklist entry expired
   kBackoffEscalate,     // re-latch doubled a path's release requirement
+  kStateEvict,          // bounded-table eviction round (state budgets)
+  kOverloadEnter,       // a state table crossed its high-watermark
+  kOverloadExit,        // occupancy fell back below the low-watermark
 };
-inline constexpr std::size_t kEventKindCount = 13;
+inline constexpr std::size_t kEventKindCount = 16;
 
 const char* to_string(EventKind k);
 // Inverse of to_string; returns false (and leaves *out alone) for unknown
@@ -80,11 +83,17 @@ class EventJournal {
     return counts_[static_cast<std::size_t>(k)];
   }
   std::uint64_t total() const { return total_; }
-  bool overflowed() const { return overflowed_; }
+  // Stored events silently pushed out of the bounded ring to make room for
+  // newer ones. A nonzero count means events()/dump()/to_json() show a
+  // *suffix* of the run, not the whole story — the JSON export surfaces it
+  // so downstream tooling can tell a complete journal from a clipped one.
+  std::uint64_t overwritten() const { return overwritten_; }
+  bool overflowed() const { return overwritten_ > 0; }
   void clear();
 
   // One event per line: "<time> <kind> [component] detail (a=..., value=...)".
   std::string dump() const;
+  // JSON object {"total": N, "stored": S, "overwritten": O, "events": [...]}.
   std::string to_json() const;
   static std::string format(const DefenseEvent& e);
 
@@ -100,7 +109,7 @@ class EventJournal {
   std::uint64_t counts_[kEventKindCount] = {};
   std::uint64_t total_ = 0;
   bool enabled_[kEventKindCount];
-  bool overflowed_ = false;
+  std::uint64_t overwritten_ = 0;
 };
 
 }  // namespace floc::telemetry

@@ -19,6 +19,7 @@ const char* to_string(AttackType a) {
     case AttackType::kAdaptiveShrew: return "adaptive-shrew";
     case AttackType::kDutyCycle: return "duty-cycle";
     case AttackType::kProbingCovert: return "probing-covert";
+    case AttackType::kStateExhaust: return "state-exhaust";
   }
   return "?";
 }
@@ -387,6 +388,32 @@ void TreeScenario::build() {
                 f, FlowLabel{FlowClass::kAttack, true, path.key(), path_name});
           }
           probing_sources_.push_back(std::move(src));
+          break;
+        }
+        case AttackType::kStateExhaust: {
+          StateExhaustConfig scfg;
+          scfg.first_flow = next_flow_;
+          next_flow_ += static_cast<FlowId>(cfg_.state_identity_pool);
+          scfg.dst = servers[0]->addr();
+          scfg.base_path = path;
+          scfg.rate = cfg_.attack_rate;
+          scfg.identity_pool = cfg_.state_identity_pool;
+          scfg.churn_per_sec = cfg_.state_churn_per_sec;
+          scfg.spoof_sender = cfg_.state_spoof_sender;
+          // Distinct forged-AS slice per source (16M identities each) so two
+          // bots never collide on a path key — colliding bots would SHARE
+          // table entries and understate the state pressure.
+          scfg.forged_as_base =
+              0x40000000u +
+              static_cast<std::uint32_t>(state_exhaust_sources_.size()) *
+                  0x1000000u;
+          auto src = std::make_unique<StateExhaustSource>(&sim_, h, scfg);
+          src->start_at(cfg_.attack_start + rng_.uniform(0.0, 0.5));
+          for (FlowId f : src->flow_pool()) {
+            monitor_.register_flow(
+                f, FlowLabel{FlowClass::kAttack, true, path.key(), path_name});
+          }
+          state_exhaust_sources_.push_back(std::move(src));
           break;
         }
         case AttackType::kNone:

@@ -20,6 +20,7 @@
 #include "transport/flow_monitor.h"
 #include "transport/rolling_source.h"
 #include "transport/shrew_source.h"
+#include "transport/state_exhaust_source.h"
 #include "transport/tcp_sink.h"
 #include "transport/tcp_source.h"
 #include "util/rng.h"
@@ -37,8 +38,10 @@ enum class AttackType {
   kAdaptiveShrew,  // closed-loop: pulse period searched onto the token period
   kDutyCycle,      // closed-loop: goes quiet when latched, probes the release
   kProbingCovert,  // closed-loop: rotates flow ids/destinations when starved
+  kStateExhaust,   // closed-loop: churns path/sender identities to exhaust
+                   // the defense's per-path/per-flow/per-sender tables
 };
-inline constexpr std::size_t kAttackTypeCount = 10;
+inline constexpr std::size_t kAttackTypeCount = 11;
 
 const char* to_string(AttackType a);
 // Inverse of to_string; returns false (and leaves *out alone) for unknown
@@ -79,6 +82,9 @@ struct TreeScenarioConfig {
   TimeSec duty_quiet = 1.5;        // kDutyCycle initial quiet-period guess
   int probe_pool = 15;             // kProbingCovert flow ids per source
   TimeSec probe_interval = 1.0;    // kProbingCovert rotation cadence
+  double state_churn_per_sec = 50.0;  // kStateExhaust initial rotation rate
+  int state_identity_pool = 1 << 12;  // kStateExhaust flow ids per source
+  bool state_spoof_sender = false;    // kStateExhaust forged source addrs
 
   // Defense on the target link.
   DefenseScheme scheme = DefenseScheme::kFloc;
@@ -145,6 +151,10 @@ class TreeScenario {
       const {
     return probing_sources_;
   }
+  const std::vector<std::unique_ptr<StateExhaustSource>>& state_exhaust_sources()
+      const {
+    return state_exhaust_sources_;
+  }
 
   // Attach causal span tracing to the interesting components: every
   // legitimate TCP source (send/ACK spans) and the target link (queue
@@ -165,6 +175,7 @@ class TreeScenario {
   std::vector<std::unique_ptr<TcpSource>> tcp_sources_;
   std::vector<std::unique_ptr<CbrSource>> cbr_sources_;
   std::vector<std::unique_ptr<ProbingCovertSource>> probing_sources_;
+  std::vector<std::unique_ptr<StateExhaustSource>> state_exhaust_sources_;
   std::vector<std::unique_ptr<TcpSink>> sinks_;
 
   QueueDisc* bottleneck_queue_ = nullptr;

@@ -1,0 +1,138 @@
+#include "transport/state_exhaust_source.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace floc {
+
+namespace {
+// SYN size matches the transport's handshake packets.
+constexpr int kSynBytes = 40;
+}  // namespace
+
+StateExhaustSource::StateExhaustSource(Simulator* sim, Host* host,
+                                       StateExhaustConfig cfg)
+    : sim_(sim), host_(host), cfg_(cfg), churn_(cfg.churn_per_sec) {
+  assert(cfg_.rate > 0.0);
+  assert(cfg_.identity_pool > 0);
+  assert(cfg_.churn_per_sec > 0.0);
+  // Claim the whole flow-id pool up front: the flow universe is static, so
+  // the monitor can classify every id before the run and feedback for any
+  // identity — current or rotated-away — still reaches this agent.
+  for (int i = 0; i < cfg_.identity_pool; ++i) {
+    host_->register_agent(cfg_.first_flow + static_cast<FlowId>(i), this);
+  }
+}
+
+std::vector<FlowId> StateExhaustSource::flow_pool() const {
+  std::vector<FlowId> out;
+  out.reserve(static_cast<std::size_t>(cfg_.identity_pool));
+  for (int i = 0; i < cfg_.identity_pool; ++i) {
+    out.push_back(cfg_.first_flow + static_cast<FlowId>(i));
+  }
+  return out;
+}
+
+void StateExhaustSource::start_at(TimeSec t) {
+  sim_->schedule_at(t, [this] { begin(); });
+}
+
+void StateExhaustSource::stop_at(TimeSec t) {
+  sim_->schedule_at(t, [this] { stopped_ = true; });
+}
+
+void StateExhaustSource::begin() {
+  if (running_ || stopped_) return;
+  running_ = true;
+  next_rotate_ = sim_->now();
+  rotate(sim_->now());  // mint the first identity (and its SYN)
+  tick();
+  sim_->schedule_in(cfg_.check_interval, [this] { check(); });
+}
+
+Packet StateExhaustSource::make_packet(PacketType type, TimeSec now) const {
+  Packet p;
+  p.flow = cfg_.first_flow +
+           static_cast<FlowId>(identity_ %
+                               static_cast<std::uint64_t>(cfg_.identity_pool));
+  p.src = cfg_.spoof_sender
+              ? cfg_.spoof_base + static_cast<HostAddr>(identity_ & 0xFFFFFF)
+              : host_->addr();
+  p.dst = cfg_.dst;
+  // Forged origin hop: every identity claims to originate one AS deeper,
+  // so each rotation's path key is distinct — a fresh origin-path entry in
+  // the defense. The identity index (not the wrapped flow id) feeds the AS,
+  // so path keys never repeat even after the flow pool wraps.
+  p.path = cfg_.base_path;
+  if (p.path.length() < PathId::kMaxHops) {
+    p.path.push_origin(cfg_.forged_as_base +
+                       static_cast<std::uint32_t>(identity_));
+  }
+  p.type = type;
+  p.size_bytes = type == PacketType::kSyn ? kSynBytes : cfg_.packet_bytes;
+  p.sent_time = now;
+  return p;
+}
+
+void StateExhaustSource::rotate(TimeSec now) {
+  ++identity_;
+  if (cfg_.send_syn) {
+    // The SYN plants a flow record (and, replied-to, would carry a
+    // capability — but the identity is abandoned before it could use one).
+    Packet p = make_packet(PacketType::kSyn, now);
+    Link* out = host_->network()->next_hop(host_->id(), cfg_.dst);
+    assert(out);
+    out->send(std::move(p));
+    ++packets_sent_;
+  }
+}
+
+void StateExhaustSource::tick() {
+  if (stopped_) return;
+  const TimeSec now = sim_->now();
+  // Rotation is paced by the churn rate, decoupled from the send budget:
+  // escalation mints identities faster without raising the byte load.
+  while (now >= next_rotate_) {
+    rotate(now);
+    next_rotate_ += 1.0 / churn_;
+  }
+  Packet p = make_packet(PacketType::kData, now);
+  p.seq = next_seq_++;
+  Link* out = host_->network()->next_hop(host_->id(), cfg_.dst);
+  out->send(std::move(p));
+  ++packets_sent_;
+  ++sent_window_;
+  sim_->schedule_in(transmission_time(cfg_.packet_bytes, cfg_.rate),
+                    [this] { tick(); });
+}
+
+void StateExhaustSource::check() {
+  if (stopped_) return;
+  // Closed loop: when the defense sheds (almost) everything this source
+  // offers — overload-mode capability tightening, coarse-path confinement —
+  // double the churn rate and try to outrun eviction. Spoofed-sender runs
+  // never see feedback at all and escalate straight to the ceiling, which is
+  // exactly the worst case the state budgets must absorb.
+  if (sent_window_ > 0) {
+    const double delivered = static_cast<double>(acks_window_) /
+                             static_cast<double>(sent_window_);
+    if (delivered < cfg_.starve_ratio && churn_ < cfg_.churn_max) {
+      churn_ = std::min(cfg_.churn_max, churn_ * 2.0);
+      ++escalations_;
+    }
+  }
+  sent_window_ = 0;
+  acks_window_ = 0;
+  sim_->schedule_in(cfg_.check_interval, [this] { check(); });
+}
+
+void StateExhaustSource::on_packet(Packet&& p) {
+  // SYN-ACKs are ignored on purpose: the attacker never uses the capability
+  // it was offered — completing handshakes would legitimize its traffic.
+  if (p.type == PacketType::kAck) {
+    ++acks_window_;
+    ++acks_total_;
+  }
+}
+
+}  // namespace floc

@@ -1,0 +1,95 @@
+// State-exhaustion attacker: floods the DEFENSE'S tables, not the link.
+//
+// FLoc keeps per-origin-path, per-flow, and per-sender state. A sender that
+// rotates its identity — fresh flow id, a forged origin-AS hop appended to
+// its real path, optionally a spoofed source address — plants a new entry in
+// each of those tables per rotation while offering negligible bandwidth.
+// Against unbounded tables this exhausts the router's memory long before any
+// queue fills; against bounded tables it stresses the eviction policy
+// (trying to push legitimate — or its own verdict — state out) and drives
+// the overload machinery.
+//
+// The source is closed-loop: it watches the delivered fraction of its own
+// probe traffic, and when the defense starts shedding it (overload-mode
+// capability tightening, coarse-path confinement) it ESCALATES the churn
+// rate — the gamble that more identities per second outruns eviction — up to
+// a cap. All pacing comes from seeded simulator timers and the feedback
+// packets themselves, so runs are exactly reproducible and --jobs-invariant.
+//
+// Spoofed-sender mode is safe in-sim: SYN-ACK/ACK replies to forged
+// addresses are dropped as unroutable/undeliverable by Router/Host, exactly
+// like backscatter to spoofed sources in the real network.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netsim/network.h"
+#include "netsim/node.h"
+#include "netsim/simulator.h"
+#include "util/units.h"
+
+namespace floc {
+
+struct StateExhaustConfig {
+  FlowId first_flow = 0;      // flow-id pool [first_flow, first_flow + pool)
+  HostAddr dst = 0;
+  PathId base_path;           // the sender's REAL path; forged hops append
+  int packet_bytes = 200;     // small probes: table pressure per byte sent
+  BitsPerSec rate = 0.0;      // total send budget (link load stays small)
+  int identity_pool = 1 << 12;  // distinct flow ids cycled through
+  double churn_per_sec = 50.0;  // initial identity rotations per second
+  double churn_max = 2000.0;    // closed-loop escalation ceiling
+  std::uint32_t forged_as_base = 900000;  // forged origin-AS space
+  bool spoof_sender = false;  // rotate forged source addresses too
+  HostAddr spoof_base = 0x40000000;  // forged address space (unrouted)
+  bool send_syn = true;       // plant a flow record per identity via SYN
+  TimeSec check_interval = 0.5;  // closed-loop cadence
+  double starve_ratio = 0.05;    // delivered/sent below this => escalate
+};
+
+class StateExhaustSource : public Agent {
+ public:
+  StateExhaustSource(Simulator* sim, Host* host, StateExhaustConfig cfg);
+
+  void start_at(TimeSec t);
+  void stop_at(TimeSec t);
+  void on_packet(Packet&& p) override;
+
+  std::uint64_t packets_sent() const { return packets_sent_; }
+  std::uint64_t acks() const { return acks_total_; }
+  // Distinct identities minted so far (exceeds identity_pool once flow ids
+  // wrap; the forged path hop keeps advancing, so path keys stay distinct).
+  std::uint64_t identities_used() const { return identity_; }
+  double churn_per_sec() const { return churn_; }
+  int escalations() const { return escalations_; }
+
+  // All flow ids this source may ever use (for monitor registration).
+  std::vector<FlowId> flow_pool() const;
+
+ private:
+  void begin();
+  void tick();
+  void check();
+  void rotate(TimeSec now);
+  Packet make_packet(PacketType type, TimeSec now) const;
+
+  Simulator* sim_;
+  Host* host_;
+  StateExhaustConfig cfg_;
+  bool running_ = false;
+  bool stopped_ = false;
+
+  std::uint64_t identity_ = 0;   // current identity index (monotone)
+  std::uint64_t next_seq_ = 0;
+  TimeSec next_rotate_ = 0.0;
+  double churn_;
+
+  std::uint64_t packets_sent_ = 0;
+  std::uint64_t sent_window_ = 0;  // data packets since the last check
+  std::uint64_t acks_window_ = 0;
+  std::uint64_t acks_total_ = 0;
+  int escalations_ = 0;
+};
+
+}  // namespace floc

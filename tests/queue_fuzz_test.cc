@@ -337,6 +337,105 @@ TEST_P(QueueFuzz, HardenedLatchReleaseCycles) {
   EXPECT_TRUE(q->empty());
 }
 
+// State-exhaustion churn: >= 10^5 DISTINCT path keys (every packet claims a
+// fresh origin AS) with rotating flow ids and sender addresses, against every
+// discipline. For FLoc the state budgets and overload mode are ON with tiny
+// capacities, so the phase crosses the eviction and overload machinery tens
+// of thousands of times; the other disciplines prove churn cannot crash or
+// un-conserve a stateless queue either. Table-size bounds are asserted DURING
+// the churn (any instant over budget is a failure, not just the end state),
+// and the audit must stay clean after heavy eviction.
+//
+// The origin capacity (64) sits well below the expected arrival count of the
+// first control interval (~250), so the table provably fills and evicts
+// BEFORE the first overload evaluation can coarsen new paths away — with a
+// larger capacity, a seed whose first window delivers fewer packets than
+// capacity would enter overload first and never evict an origin at all.
+TEST_P(QueueFuzz, StateChurnBoundedTables) {
+  const FuzzCase fc = GetParam();
+  DefenseFactoryConfig cfg;
+  cfg.link_bandwidth = mbps(10);
+  cfg.buffer_packets = 64;
+  cfg.seed = fc.seed;
+  cfg.floc.control_interval = 0.05;
+  cfg.floc.origin_budget.capacity = 64;
+  cfg.floc.flow_budget.capacity = 32;
+  cfg.floc.offense_budget.capacity = 64;
+  cfg.floc.offender_budget.capacity = 64;
+  cfg.floc.enable_overload_mode = true;
+  cfg.floc.backoff_release = true;
+  cfg.floc.enable_blacklist = true;
+  // Exercise each eviction policy across the seed grid.
+  cfg.floc.origin_budget.policy =
+      static_cast<EvictionPolicy>(fc.seed % kEvictionPolicyCount);
+  auto q = make_defense_queue(fc.scheme, std::move(cfg));
+  auto* fq = dynamic_cast<FlocQueue*>(q.get());
+
+  Rng rng(derive_seed(fc.seed, 0, /*salt=*/0xF024));
+  std::uint64_t admitted = 0, serviced = 0, offered = 0;
+  std::uint64_t admitted_bytes = 0, serviced_bytes = 0;
+  double t = 0.0;
+
+  constexpr int kDistinctPaths = 100'000;
+  for (int i = 0; i < kDistinctPaths; ++i) {
+    t += rng.exponential(2e-4);
+    Packet p;
+    // Fresh identity per packet: distinct origin AS (=> distinct path key),
+    // rotating flow id and source address.
+    p.flow = static_cast<FlowId>(i % 4096);
+    p.src = static_cast<HostAddr>(1 + (i % 997));
+    p.dst = 100;
+    p.type = i % 8 == 0 ? PacketType::kSyn : PacketType::kData;
+    p.size_bytes = p.type == PacketType::kData ? 200 : 40;
+    p.seq = static_cast<std::uint64_t>(i);
+    PathId path;
+    path.push_origin(static_cast<AsNumber>(7));  // shared first hop
+    path.push_origin(static_cast<AsNumber>(1000 + i));  // unique origin
+    p.path = path;
+    ++offered;
+    const int bytes = p.size_bytes;
+    if (q->enqueue(std::move(p), t)) {
+      ++admitted;
+      admitted_bytes += static_cast<std::uint64_t>(bytes);
+    }
+    if (i % 3 == 0) {
+      auto out = q->dequeue(t);
+      if (out.has_value()) {
+        ++serviced;
+        serviced_bytes += static_cast<std::uint64_t>(out->size_bytes);
+      }
+    }
+    ASSERT_LE(q->packet_count(), 64u);
+    if (fq != nullptr) {
+      // Bounded at EVERY instant, not just at the end.
+      ASSERT_LE(fq->active_origin_path_count(), 64);
+      ASSERT_LE(fq->max_path_flow_count(), 32u);
+      ASSERT_LE(fq->offense_size(), 64u);
+      ASSERT_LE(fq->offender_size(), 64u);
+    }
+    if (i % 20000 == 19999) {
+      std::string why;
+      ASSERT_TRUE(q->audit(t, &why)) << "at i=" << i << ": " << why;
+    }
+  }
+
+  std::string why;
+  ASSERT_TRUE(q->audit(t, &why)) << why;
+  ASSERT_EQ(admitted, serviced + q->packet_count());
+  ASSERT_EQ(admitted_bytes, serviced_bytes + q->byte_count());
+  ASSERT_EQ(offered, admitted + q->drops());
+  if (fq != nullptr) {
+    // 10^5 distinct paths through a 64-entry table: eviction must have run.
+    EXPECT_GT(fq->evicted_origins(), 0u);
+  }
+
+  while (auto p = q->dequeue(t)) {
+    ++serviced;
+  }
+  EXPECT_TRUE(q->empty());
+  EXPECT_EQ(q->byte_count(), 0u);
+}
+
 std::vector<FuzzCase> all_cases() {
   std::vector<FuzzCase> out;
   for (DefenseScheme s :

@@ -1,0 +1,210 @@
+// AlertEngine: rate-ratio storm detection with min-rate floor and
+// fire/clear hysteresis, threshold rules, JSON export, and the Prometheus
+// text rendering (name sanitization, counter/gauge/histogram shapes).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "telemetry/alerts.h"
+#include "telemetry/metrics.h"
+
+namespace floc::telemetry {
+namespace {
+
+AlertRule storm_rule() {
+  AlertRule r;
+  r.name = "pkt_storm";
+  r.metric = "link.packets";
+  r.kind = AlertKind::kRateRatio;
+  r.short_window = 10.0;
+  r.long_window = 60.0;
+  r.ratio = 3.0;
+  r.clear_ratio = 1.5;
+  r.min_rate = 10.0;
+  return r;
+}
+
+TEST(Alerts, RateRatioFiresOnBurstAndClearsWithHysteresis) {
+  MetricRegistry reg;
+  Counter* pkts = reg.counter("link.packets");
+  AlertEngine eng(&reg);
+  eng.add_rule(storm_rule());
+
+  // 120s of steady 20 pkt/s baseline: never fires.
+  double t = 0.0;
+  for (; t < 120.0; t += 1.0) {
+    pkts->add(20);
+    eng.sample(t);
+    ASSERT_FALSE(eng.firing("pkt_storm")) << "t=" << t;
+  }
+  EXPECT_EQ(eng.fired("pkt_storm"), 0u);
+
+  // Burst to 200 pkt/s: short-window rate races ahead of the long average.
+  for (; t < 140.0; t += 1.0) {
+    pkts->add(200);
+    eng.sample(t);
+  }
+  EXPECT_TRUE(eng.firing("pkt_storm"));
+  EXPECT_EQ(eng.fired("pkt_storm"), 1u);
+
+  // Rate hovers at 2x the (now elevated) long average: above clear_ratio,
+  // so the alert stays latched — no flapping.
+  const std::uint64_t edges_at_peak = eng.fired_total();
+  for (; t < 150.0; t += 1.0) {
+    pkts->add(80);
+    eng.sample(t);
+  }
+  EXPECT_EQ(eng.fired_total(), edges_at_peak) << "alert flapped";
+
+  // Back to baseline: short rate falls under clear_ratio x long — clears.
+  for (; t < 220.0; t += 1.0) {
+    pkts->add(20);
+    eng.sample(t);
+  }
+  EXPECT_FALSE(eng.firing("pkt_storm"));
+  EXPECT_EQ(eng.fired("pkt_storm"), 1u);  // one full fire/clear cycle
+  // History holds both edges, in order.
+  ASSERT_GE(eng.history().size(), 2u);
+  EXPECT_TRUE(eng.history().front().firing);
+  EXPECT_FALSE(eng.history().back().firing);
+}
+
+TEST(Alerts, MinRateFloorSuppressesIdleNoise) {
+  MetricRegistry reg;
+  Counter* pkts = reg.counter("link.packets");
+  AlertEngine eng(&reg);
+  eng.add_rule(storm_rule());  // min_rate = 10/s
+
+  // From a dead-idle baseline, a trickle of 5 pkt/s is an infinite ratio —
+  // but under the floor, so it must not page.
+  double t = 0.0;
+  for (; t < 90.0; t += 1.0) {
+    eng.sample(t);  // zero traffic
+  }
+  for (; t < 120.0; t += 1.0) {
+    pkts->add(5);
+    eng.sample(t);
+    ASSERT_FALSE(eng.firing("pkt_storm")) << "t=" << t;
+  }
+
+  // A genuine burst from idle exceeds the floor and fires even though the
+  // long average is ~0 (the floor alone gates burst-from-idle).
+  for (; t < 135.0; t += 1.0) {
+    pkts->add(100);
+    eng.sample(t);
+  }
+  EXPECT_TRUE(eng.firing("pkt_storm"));
+}
+
+TEST(Alerts, ThresholdRuleWithHysteresis) {
+  MetricRegistry reg;
+  double occupancy = 0.0;
+  reg.gauge_fn("floc.state.occupancy", [&] { return occupancy; });
+
+  AlertRule r;
+  r.name = "state_pressure";
+  r.metric = "floc.state.occupancy";
+  r.kind = AlertKind::kThreshold;
+  r.threshold = 0.9;
+  r.clear_threshold = 0.7;
+  AlertEngine eng(&reg);
+  eng.add_rule(r);
+
+  occupancy = 0.5;
+  eng.sample(1.0);
+  EXPECT_FALSE(eng.firing("state_pressure"));
+  occupancy = 0.95;
+  eng.sample(2.0);
+  EXPECT_TRUE(eng.firing("state_pressure"));
+  occupancy = 0.8;  // between clear and fire: stays latched
+  eng.sample(3.0);
+  EXPECT_TRUE(eng.firing("state_pressure"));
+  occupancy = 0.6;
+  eng.sample(4.0);
+  EXPECT_FALSE(eng.firing("state_pressure"));
+  EXPECT_EQ(eng.fired("state_pressure"), 1u);
+}
+
+TEST(Alerts, UnknownMetricReadsAsZero) {
+  MetricRegistry reg;
+  AlertEngine eng(&reg);
+  AlertRule r = storm_rule();
+  r.metric = "never.registered";
+  eng.add_rule(r);
+  for (double t = 0.0; t < 200.0; t += 1.0) eng.sample(t);
+  EXPECT_FALSE(eng.firing("pkt_storm"));
+  EXPECT_EQ(eng.fired_total(), 0u);
+}
+
+TEST(Alerts, JsonExportAndSave) {
+  MetricRegistry reg;
+  Counter* pkts = reg.counter("link.packets");
+  AlertEngine eng(&reg);
+  eng.add_rule(storm_rule());
+  double t = 0.0;
+  for (; t < 90.0; t += 1.0) {
+    pkts->add(20);
+    eng.sample(t);
+  }
+  for (; t < 110.0; t += 1.0) {
+    pkts->add(300);
+    eng.sample(t);
+  }
+  ASSERT_TRUE(eng.firing("pkt_storm"));
+
+  const std::string json = eng.to_json();
+  EXPECT_NE(json.find("\"rules\""), std::string::npos);
+  EXPECT_NE(json.find("\"pkt_storm\""), std::string::npos);
+  EXPECT_NE(json.find("\"rate-ratio\""), std::string::npos);
+  EXPECT_NE(json.find("\"events\""), std::string::npos);
+  EXPECT_NE(json.find("\"firing\": true"), std::string::npos);
+
+  const std::string path = "alerts_test_out.alerts.json";
+  std::string err;
+  ASSERT_TRUE(eng.save(path, &err)) << err;
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(), json);
+  std::remove(path.c_str());
+}
+
+TEST(Alerts, PrometheusRenderingSanitizesAndTypesMetrics) {
+  MetricRegistry reg;
+  reg.counter("floc.drops.total")->add(7);
+  reg.gauge_fn("floc.state.occupancy", [] { return 0.25; });
+  auto* h = reg.histogram("queue.delay");
+  h->observe(1.0);
+  h->observe(3.0);
+
+  const std::string text = AlertEngine::render_prometheus(reg);
+  // Dots become underscores; counters get _total (without doubling one
+  // that is already there), histograms expose _count/_sum and quantiles.
+  EXPECT_NE(text.find("floc_drops_total 7"), std::string::npos) << text;
+  EXPECT_EQ(text.find("floc_drops_total_total"), std::string::npos) << text;
+  EXPECT_NE(text.find("floc_state_occupancy 0.25"), std::string::npos);
+  EXPECT_NE(text.find("queue_delay_count 2"), std::string::npos);
+  EXPECT_NE(text.find("queue_delay_sum"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE"), std::string::npos);
+
+  AlertEngine eng(&reg);
+  AlertRule r;
+  r.name = "storm";
+  r.metric = "floc.drops.total";
+  eng.add_rule(r);
+  const std::string with_alerts = eng.render_prometheus_with_alerts();
+  EXPECT_NE(with_alerts.find("floc_alert_firing{alert=\"storm\"} 0"),
+            std::string::npos)
+      << with_alerts;
+}
+
+TEST(Alerts, KindNamesExist) {
+  EXPECT_STREQ(to_string(AlertKind::kRateRatio), "rate-ratio");
+  EXPECT_STREQ(to_string(AlertKind::kThreshold), "threshold");
+}
+
+}  // namespace
+}  // namespace floc::telemetry

@@ -53,11 +53,18 @@ TEST(Journal, BoundedRingEvictsButCountsEverything) {
   }
   EXPECT_EQ(j.events().size(), 4u);
   EXPECT_TRUE(j.overflowed());
+  EXPECT_EQ(j.overwritten(), 6u);  // exactly the evicted events, not a flag
   EXPECT_EQ(j.count(EventKind::kDrop), 10u);  // eviction does not under-count
   EXPECT_EQ(j.total(), 10u);
   // The survivors are the newest four.
   EXPECT_DOUBLE_EQ(j.events().front().time, 6.0);
   EXPECT_DOUBLE_EQ(j.events().back().time, 9.0);
+  // A clipped journal declares itself in the JSON header: consumers can tell
+  // a suffix-of-the-run export from a complete one without external state.
+  const std::string json = j.to_json();
+  EXPECT_NE(json.find("\"total\": 10"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"stored\": 4"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"overwritten\": 6"), std::string::npos) << json;
 }
 
 TEST(Journal, DisabledKindsCountedNotStored) {
@@ -84,6 +91,7 @@ TEST(Journal, DumpAndJson) {
   const std::string json = j.to_json();
   EXPECT_NE(json.find("\"kind\": \"attack-latch\""), std::string::npos) << json;
   EXPECT_NE(json.find("\"component\": \"floc\""), std::string::npos);
+  EXPECT_NE(json.find("\"overwritten\": 0"), std::string::npos) << json;
   j.clear();
   EXPECT_EQ(j.total(), 0u);
   EXPECT_TRUE(j.events().empty());

@@ -1,0 +1,202 @@
+// StateExhaustSource: static flow pool, identity-churn pacing, distinct
+// per-identity path keys, closed-loop escalation when starved (including the
+// spoofed-sender worst case, whose backscatter dies as unroutable), and the
+// TreeScenario kStateExhaust wiring.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "netsim/network.h"
+#include "transport/flow_monitor.h"
+#include "transport/state_exhaust_source.h"
+#include "transport/tcp_sink.h"
+#include "topology/tree_scenario.h"
+
+namespace floc {
+namespace {
+
+// Forwards to the real sink only while open; closing it starves the sender
+// of feedback without touching routing.
+struct GateSink : Agent {
+  TcpSink* inner = nullptr;
+  bool open = true;
+  void on_packet(Packet&& p) override {
+    if (open) inner->on_packet(std::move(p));
+  }
+};
+
+struct World {
+  Simulator sim;
+  Network net{&sim};
+  Host* client;
+  Host* server;
+  FlowMonitor monitor;
+  std::unique_ptr<TcpSink> sink;
+  GateSink gate;
+
+  World() {
+    client = net.add_host("c", 1);
+    Router* r = net.add_router("r", 2);
+    server = net.add_host("s", 3);
+    net.connect(client, r, mbps(100), 0.001);
+    net.connect(r, server, mbps(100), 0.001);
+    net.build_routes();
+    sink = std::make_unique<TcpSink>(&sim, server, &monitor);
+    gate.inner = sink.get();
+    server->set_default_agent(&gate);
+  }
+};
+
+StateExhaustConfig base_cfg(const World& w) {
+  StateExhaustConfig cfg;
+  cfg.first_flow = 100;
+  cfg.dst = w.server->addr();
+  cfg.base_path = PathId::of({5, 50});
+  cfg.rate = mbps(1);
+  cfg.identity_pool = 64;
+  cfg.churn_per_sec = 50.0;
+  cfg.churn_max = 800.0;
+  return cfg;
+}
+
+TEST(StateExhaustSource, FlowPoolIsStatic) {
+  World w;
+  StateExhaustConfig cfg = base_cfg(w);
+  StateExhaustSource src(&w.sim, w.client, cfg);
+  const auto pool = src.flow_pool();
+  ASSERT_EQ(pool.size(), 64u);
+  EXPECT_EQ(pool.front(), 100u);
+  EXPECT_EQ(pool.back(), 163u);
+  EXPECT_EQ(src.identities_used(), 0u);
+}
+
+TEST(StateExhaustSource, ChurnsAtConfiguredRateWhileServiced) {
+  World w;
+  StateExhaustConfig cfg = base_cfg(w);
+  StateExhaustSource src(&w.sim, w.client, cfg);
+  src.start_at(0.0);
+  w.sim.run_until(4.0);
+  // ~50 rotations/s for 4s; the exact count depends only on timer phase.
+  EXPECT_NEAR(static_cast<double>(src.identities_used()), 200.0, 10.0);
+  EXPECT_GT(src.packets_sent(), 0u);
+  EXPECT_GT(src.acks(), 0u);
+  // Probes are delivered and acked: the closed loop never escalates.
+  EXPECT_EQ(src.escalations(), 0);
+  EXPECT_DOUBLE_EQ(src.churn_per_sec(), cfg.churn_per_sec);
+}
+
+TEST(StateExhaustSource, EveryIdentityForgesADistinctPathKey) {
+  World w;
+  StateExhaustConfig cfg = base_cfg(w);
+  StateExhaustSource src(&w.sim, w.client, cfg);
+
+  // Capture at the server: every rotation plants a SYN, and each identity
+  // must present a fresh origin path even after the 64-wide flow pool wraps.
+  // (The collector never ACKs, so the closed loop escalates — rotations can
+  // then outnumber data sends, which is why the SYNs carry the count.)
+  struct Collector : Agent {
+    std::set<std::uint64_t> path_keys;
+    std::set<FlowId> flows;
+    void on_packet(Packet&& p) override {
+      path_keys.insert(p.path.key());
+      flows.insert(p.flow);
+    }
+  } col;
+  w.server->set_default_agent(&col);
+
+  src.start_at(0.0);
+  src.stop_at(4.0);
+  w.sim.run_until(4.5);  // let the last SYNs land before counting
+  EXPECT_GT(src.identities_used(), 100u) << "pool (64) has wrapped";
+  EXPECT_EQ(col.path_keys.size(), src.identities_used());
+  EXPECT_LE(col.flows.size(), 64u);
+}
+
+TEST(StateExhaustSource, EscalatesChurnWhenStarved) {
+  World w;
+  StateExhaustConfig cfg = base_cfg(w);
+  cfg.check_interval = 0.25;
+  StateExhaustSource src(&w.sim, w.client, cfg);
+  src.start_at(0.0);
+  w.sim.schedule_at(1.0, [&w] { w.gate.open = false; });
+  w.sim.run_until(6.0);
+  // Starved from t=1: the delivered fraction collapses and churn doubles
+  // every check until the ceiling.
+  EXPECT_GT(src.escalations(), 0);
+  EXPECT_DOUBLE_EQ(src.churn_per_sec(), cfg.churn_max);
+  // Escalation mints identities faster than the base rate would have.
+  EXPECT_GT(src.identities_used(), 50u * 6u);
+}
+
+TEST(StateExhaustSource, SpoofedSenderGetsNoFeedbackAndMaxesOut) {
+  World w;
+  StateExhaustConfig cfg = base_cfg(w);
+  cfg.spoof_sender = true;
+  cfg.check_interval = 0.25;
+  StateExhaustSource src(&w.sim, w.client, cfg);
+  src.start_at(0.0);
+  // Replies go to forged, unroutable addresses — they must vanish without
+  // crashing the sim, and the attacker, seeing nothing, escalates fully.
+  w.sim.run_until(5.0);
+  EXPECT_EQ(src.acks(), 0u);
+  EXPECT_DOUBLE_EQ(src.churn_per_sec(), cfg.churn_max);
+}
+
+TEST(StateExhaustSource, StopAtHaltsEverything) {
+  World w;
+  StateExhaustConfig cfg = base_cfg(w);
+  StateExhaustSource src(&w.sim, w.client, cfg);
+  src.start_at(0.0);
+  src.stop_at(1.0);
+  w.sim.run_until(1.0);
+  const std::uint64_t sent = src.packets_sent();
+  w.sim.run_until(5.0);
+  EXPECT_EQ(src.packets_sent(), sent);
+}
+
+// --- TreeScenario wiring -----------------------------------------------------
+
+TEST(TreeScenarioStateExhaust, BuildsRunsAndPressuresTheDefense) {
+  TreeScenarioConfig cfg;
+  cfg.scale = 0.1;
+  cfg.attack = AttackType::kStateExhaust;
+  cfg.state_churn_per_sec = 100.0;
+  cfg.state_identity_pool = 256;
+  cfg.duration = 12.0;
+  cfg.measure_start = 4.0;
+  cfg.measure_end = 12.0;
+  cfg.attack_start = 2.0;
+  cfg.floc.origin_budget.capacity = 128;
+  cfg.floc.flow_budget.capacity = 32;
+  TreeScenario s(cfg);
+  s.run();
+
+  ASSERT_FALSE(s.state_exhaust_sources().empty());
+  std::uint64_t identities = 0;
+  for (const auto& src : s.state_exhaust_sources()) {
+    identities += src->identities_used();
+  }
+  EXPECT_GT(identities, 100u);
+
+  FlocQueue* q = s.floc_queue();
+  ASSERT_NE(q, nullptr);
+  // The churn planted far more identities than the budget admits, yet the
+  // tables stayed bounded (and some eviction pressure was exercised).
+  EXPECT_LE(q->active_origin_path_count(), 128);
+  EXPECT_LE(q->max_path_flow_count(), 32u);
+  EXPECT_GT(q->evicted_origins() + q->evicted_flows(), 0u);
+  // Legitimate transfers still complete under identity churn.
+  EXPECT_GT(s.class_bandwidth().legit_legit_bps, 0.0);
+}
+
+TEST(TreeScenarioStateExhaust, AttackTypeNameRoundTrips) {
+  EXPECT_STREQ(to_string(AttackType::kStateExhaust), "state-exhaust");
+  AttackType out;
+  ASSERT_TRUE(from_string("state-exhaust", &out));
+  EXPECT_EQ(out, AttackType::kStateExhaust);
+}
+
+}  // namespace
+}  // namespace floc
