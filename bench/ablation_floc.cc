@@ -90,14 +90,29 @@ int main(int argc, char** argv) {
   };
   // Every variant sees the same derived traffic seed: the ablation isolates
   // the mechanism, not the draw.
-  const auto rows = runner::run_indexed<std::string>(
+  RunManifest manifest("ablation_floc", a);
+  struct Row {
+    std::string line;
+    double wall_seconds = 0.0;
+  };
+  const auto rows = runner::run_indexed<Row>(
       a.jobs, variants.size(), [&](std::size_t i) {
-        return run_case(variants[i].label,
-                        a.run_seed(0, kSeedStreamTreeScenario), a,
-                        variants[i].tweak);
+        Row out;
+        out.wall_seconds = runner::timed_seconds([&] {
+          out.line = run_case(variants[i].label,
+                              a.run_seed(0, kSeedStreamTreeScenario), a,
+                              variants[i].tweak);
+        });
+        return out;
       });
-  for (const auto& r : rows) std::fputs(r.c_str(), stdout);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    std::fputs(rows[i].line.c_str(), stdout);
+    manifest.add_run(variants[i].label,
+                     a.run_seed(0, kSeedStreamTreeScenario),
+                     rows[i].wall_seconds);
+  }
   std::printf("\n(first three columns: fractions of the link; last two: mean "
               "per-flow kbps of legit-in-attack-path vs attack flows)\n");
+  manifest.write();
   return 0;
 }

@@ -58,16 +58,32 @@ int main(int argc, char** argv) {
   const AttackType attacks[] = {AttackType::kCbr, AttackType::kOnOff,
                                 AttackType::kRolling};
   const std::size_t n_attacks = std::size(attacks);
-  const auto rows = runner::run_indexed<std::string>(
+  RunManifest manifest("ablation_timed_attacks", a);
+  struct Row {
+    std::string line;
+    double wall_seconds = 0.0;
+  };
+  const auto rows = runner::run_indexed<Row>(
       a.jobs, std::size(schemes) * n_attacks, [&](std::size_t i) {
-        return run_case(schemes[i / n_attacks], attacks[i % n_attacks],
-                        a.run_seed(i, kSeedStreamTreeScenario), a);
+        Row out;
+        out.wall_seconds = runner::timed_seconds([&] {
+          out.line = run_case(schemes[i / n_attacks], attacks[i % n_attacks],
+                              a.run_seed(i, kSeedStreamTreeScenario), a);
+        });
+        return out;
       });
   for (std::size_t i = 0; i < rows.size(); ++i) {
-    std::fputs(rows[i].c_str(), stdout);
+    std::fputs(rows[i].line.c_str(), stdout);
+    char label[48];
+    std::snprintf(label, sizeof(label), "%s/%s",
+                  to_string(schemes[i / n_attacks]),
+                  to_string(attacks[i % n_attacks]));
+    manifest.add_run(label, a.run_seed(i, kSeedStreamTreeScenario),
+                     rows[i].wall_seconds);
     if (i % n_attacks == n_attacks - 1) std::printf("\n");
   }
   std::printf("(equal time-averaged attack strength in all three rows of a "
               "scheme; lower attack share + higher legit share = better)\n");
+  manifest.write();
   return 0;
 }

@@ -25,6 +25,7 @@ struct Result {
   double drop_ratio;
   double est_flows;
   double mean_window;
+  double wall_seconds = 0.0;
 };
 
 Result run_flows(int n, BitsPerSec bw, std::uint64_t seed,
@@ -99,13 +100,19 @@ int main(int argc, char** argv) {
   const BitsPerSec bw = mbps(a.paper ? 100 : 40);
   std::printf("%6s %12s %12s %12s %10s %10s %10s\n", "flows", "service(p/s)",
               "drops(p/s)", "drop ratio", "gamma(W)", "meanW", "est flows");
+  RunManifest manifest("fig02", a);
   const int flow_counts[] = {4, 8, 16, 32};
   const auto results = runner::run_indexed<Result>(
-      a.jobs, std::size(flow_counts),
-      [&](std::size_t i) { return run_flows(flow_counts[i], bw,
-                                            a.run_seed(i), a); });
+      a.jobs, std::size(flow_counts), [&](std::size_t i) {
+        Result r;
+        r.wall_seconds = runner::timed_seconds(
+            [&] { r = run_flows(flow_counts[i], bw, a.run_seed(i), a); });
+        return r;
+      });
   for (std::size_t i = 0; i < results.size(); ++i) {
     const Result& r = results[i];
+    manifest.add_run(std::to_string(flow_counts[i]) + " flows",
+                     a.run_seed(i), r.wall_seconds);
     // Model drop ratio at the mean measured window (3/4 of peak => peak =
     // 4/3 * mean).
     const double w_peak = r.mean_window * 4.0 / 3.0;
@@ -116,5 +123,6 @@ int main(int argc, char** argv) {
   }
   std::printf("\nshape check: service/drop ratio large; estimate tracks the "
               "actual flow count within ~2x.\n");
+  manifest.write();
   return 0;
 }

@@ -19,29 +19,45 @@ int main(int argc, char** argv) {
          a);
   std::printf("%-12s %14s %14s %12s %8s\n", "attack pkt", "legit/legitP",
               "legit/attackP", "attack", "util");
+  RunManifest manifest("fig03", a);
   const int sizes[] = {1500, 1300, 700};
-  const auto rows = runner::run_indexed<std::string>(
+  struct Row {
+    std::string line;
+    double wall_seconds = 0.0;
+  };
+  const auto rows = runner::run_indexed<Row>(
       a.jobs, std::size(sizes), [&](std::size_t i) {
-        TreeScenarioConfig cfg = fig5_config(a);
-        cfg.scheme = DefenseScheme::kFloc;
-        cfg.attack = AttackType::kCbr;
-        cfg.attack_rate = mbps(2.0);
-        cfg.attack_packet_bytes = sizes[i];
-        cfg.seed = a.run_seed(i, kSeedStreamTreeScenario);
-        TreeScenario s(cfg);
-        s.run();
-        const auto cb = s.class_bandwidth();
-        const double link = s.scaled_target_bw();
-        char line[128];
-        std::snprintf(line, sizeof(line), "%-12d %14.3f %14.3f %12.3f %8.3f\n",
-                      sizes[i], cb.legit_legit_bps / link,
-                      cb.legit_attack_bps / link, cb.attack_bps / link,
-                      (cb.legit_legit_bps + cb.legit_attack_bps +
-                       cb.attack_bps) / link);
-        return std::string(line);
+        Row out;
+        out.wall_seconds = runner::timed_seconds([&] {
+          TreeScenarioConfig cfg = fig5_config(a);
+          cfg.scheme = DefenseScheme::kFloc;
+          cfg.attack = AttackType::kCbr;
+          cfg.attack_rate = mbps(2.0);
+          cfg.attack_packet_bytes = sizes[i];
+          cfg.seed = a.run_seed(i, kSeedStreamTreeScenario);
+          TreeScenario s(cfg);
+          s.run();
+          const auto cb = s.class_bandwidth();
+          const double link = s.scaled_target_bw();
+          char line[128];
+          std::snprintf(line, sizeof(line),
+                        "%-12d %14.3f %14.3f %12.3f %8.3f\n", sizes[i],
+                        cb.legit_legit_bps / link, cb.legit_attack_bps / link,
+                        cb.attack_bps / link,
+                        (cb.legit_legit_bps + cb.legit_attack_bps +
+                         cb.attack_bps) / link);
+          out.line = line;
+        });
+        return out;
       });
-  for (const auto& r : rows) std::fputs(r.c_str(), stdout);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    std::fputs(rows[i].line.c_str(), stdout);
+    manifest.add_run(std::to_string(sizes[i]) + "B",
+                     a.run_seed(i, kSeedStreamTreeScenario),
+                     rows[i].wall_seconds);
+  }
   std::printf("\n(the legit/attack split should be nearly constant across "
               "rows)\n");
+  manifest.write();
   return 0;
 }

@@ -88,31 +88,46 @@ int main(int argc, char** argv) {
   const int n = 24;
   std::printf("%-22s %14s %14s %18s\n", "synchronization", "util (base N)",
               "util (incr N')", "tok-used@peak-N");
+  RunManifest manifest("fig04", a);
   const double degrees[] = {0.0, 0.5, 1.0};
-  const auto rows = runner::run_indexed<std::string>(
+  struct Row {
+    std::string line;
+    double wall_seconds = 0.0;
+  };
+  const auto rows = runner::run_indexed<Row>(
       a.jobs, std::size(degrees), [&](std::size_t i) {
-        const double sync = degrees[i];
-        // Both variants share one derived seed so they see the same phases.
-        const std::uint64_t seed = a.run_seed(i);
-        const SyncResult base = run_sync(n, sync, /*increased=*/false, seed);
-        const SyncResult incr = run_sync(n, sync, /*increased=*/true, seed);
-        char label[32];
-        std::snprintf(label, sizeof(label), "degree %.1f%s", sync,
-                      sync == 0.0 ? " (unsync)"
-                                  : (sync == 1.0 ? " (sync)" : ""));
-        // The paper's "3/4 of generated tokens" statement sizes the bucket
-        // for the synchronized PEAK (4/3 of the mean): consumed fraction =
-        // util/(4/3).
-        char line[128];
-        std::snprintf(line, sizeof(line), "%-22s %14.3f %14.3f %18.3f\n",
-                      label, base.utilization, incr.utilization,
-                      incr.utilization * 3.0 / 4.0);
-        return std::string(line);
+        Row out;
+        out.wall_seconds = runner::timed_seconds([&] {
+          const double sync = degrees[i];
+          // Both variants share one derived seed so they see the same phases.
+          const std::uint64_t seed = a.run_seed(i);
+          const SyncResult base = run_sync(n, sync, /*increased=*/false, seed);
+          const SyncResult incr = run_sync(n, sync, /*increased=*/true, seed);
+          char label[32];
+          std::snprintf(label, sizeof(label), "degree %.1f%s", sync,
+                        sync == 0.0 ? " (unsync)"
+                                    : (sync == 1.0 ? " (sync)" : ""));
+          // The paper's "3/4 of generated tokens" statement sizes the bucket
+          // for the synchronized PEAK (4/3 of the mean): consumed fraction =
+          // util/(4/3).
+          char line[128];
+          std::snprintf(line, sizeof(line), "%-22s %14.3f %14.3f %18.3f\n",
+                        label, base.utilization, incr.utilization,
+                        incr.utilization * 3.0 / 4.0);
+          out.line = line;
+        });
+        return out;
       });
-  for (const auto& r : rows) std::fputs(r.c_str(), stdout);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    std::fputs(rows[i].line.c_str(), stdout);
+    char label[32];
+    std::snprintf(label, sizeof(label), "degree %.1f", degrees[i]);
+    manifest.add_run(label, a.run_seed(i), rows[i].wall_seconds);
+  }
   std::printf("\nmodel constants: synchronized utilization = %.2f, "
               "peak/trough request ratio = %.1f\n",
               model::synchronized_utilization(),
               model::synchronized_peak_to_trough());
+  manifest.write();
   return 0;
 }

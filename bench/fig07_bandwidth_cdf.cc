@@ -46,18 +46,34 @@ int main(int argc, char** argv) {
   // Flattened (scheme x rate) grid; run index == print position, so rows
   // merge back into the per-scheme tables in submission order.
   const std::size_t n_rates = std::size(rates);
-  const auto cdfs = runner::run_indexed<Cdf>(
+  RunManifest manifest("fig07", a);
+  struct Case {
+    Cdf cdf;
+    double wall_seconds = 0.0;
+  };
+  const auto cases = runner::run_indexed<Case>(
       a.jobs, std::size(schemes) * n_rates, [&](std::size_t i) {
-        return run_case(schemes[i / n_rates], rates[i % n_rates],
-                        a.run_seed(i, kSeedStreamTreeScenario), a);
+        Case out;
+        out.wall_seconds = runner::timed_seconds([&] {
+          out.cdf = run_case(schemes[i / n_rates], rates[i % n_rates],
+                             a.run_seed(i, kSeedStreamTreeScenario), a);
+        });
+        return out;
       });
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    char label[48];
+    std::snprintf(label, sizeof(label), "%s @ %.1f Mbps/bot",
+                  to_string(schemes[i / n_rates]), rates[i % n_rates]);
+    manifest.add_run(label, a.run_seed(i, kSeedStreamTreeScenario),
+                     cases[i].wall_seconds);
+  }
   for (std::size_t si = 0; si < std::size(schemes); ++si) {
     std::printf("--- %s ---\n", to_string(schemes[si]));
     std::printf("%-16s %9s %9s %9s %9s %12s\n", "attack rate", "p10", "p50",
                 "p90", "mean", "frac>=fair/2");
     for (std::size_t ri = 0; ri < n_rates; ++ri) {
       const double rate = rates[ri];
-      const Cdf& cdf = cdfs[si * n_rates + ri];
+      const Cdf& cdf = cases[si * n_rates + ri].cdf;
       char label[32];
       std::snprintf(label, sizeof(label),
                     rate == 0.0 ? "no attack" : "%.1f Mbps/bot", rate);
@@ -70,5 +86,6 @@ int main(int argc, char** argv) {
   }
   std::printf("(kbps per flow; frac>=fair/2 = share of legit-path flows at "
               "or above half the ideal fair bandwidth)\n");
+  manifest.write();
   return 0;
 }

@@ -59,13 +59,28 @@ int main(int argc, char** argv) {
 
   // Both cases share one derived seed: the comparison is aggregation on/off
   // over the *same* traffic draw.
+  RunManifest manifest("fig09", a);
   const bool flags[] = {false, true};
-  const auto results = runner::run_indexed<CaseResult>(
+  struct Case {
+    CaseResult result;
+    double wall_seconds = 0.0;
+  };
+  const auto results = runner::run_indexed<Case>(
       a.jobs, std::size(flags), [&](std::size_t i) {
-        return run_case(flags[i], a.run_seed(0, kSeedStreamTreeScenario), a);
+        Case out;
+        out.wall_seconds = runner::timed_seconds([&] {
+          out.result =
+              run_case(flags[i], a.run_seed(0, kSeedStreamTreeScenario), a);
+        });
+        return out;
       });
-  const CaseResult& off = results[0];
-  const CaseResult& on = results[1];
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    manifest.add_run(flags[i] ? "aggregation on" : "aggregation off",
+                     a.run_seed(0, kSeedStreamTreeScenario),
+                     results[i].wall_seconds);
+  }
+  const CaseResult& off = results[0].result;
+  const CaseResult& on = results[1].result;
 
   std::printf("%-24s %9s %9s %9s %9s %10s\n", "case", "p10", "p50", "p90",
               "mean", "p90/p10");
@@ -85,5 +100,6 @@ int main(int argc, char** argv) {
               on.legit_path_flows.mean() / 1e3);
   std::printf("(kbps per flow; spread = p90/p10 of legit-path flows: "
               "aggregation should reduce it)\n");
+  manifest.write();
   return 0;
 }

@@ -52,17 +52,32 @@ int main(int argc, char** argv) {
   const DefenseScheme schemes[] = {DefenseScheme::kFloc,
                                    DefenseScheme::kPushback,
                                    DefenseScheme::kRedPd};
+  RunManifest manifest("fig10", a);
   const int ks[] = {1, 2, 5, 10, 20};
   const std::size_t n_ks = std::size(ks);
-  const auto rows = runner::run_indexed<std::string>(
+  struct Row {
+    std::string line;
+    double wall_seconds = 0.0;
+  };
+  const auto rows = runner::run_indexed<Row>(
       a.jobs, std::size(schemes) * n_ks, [&](std::size_t i) {
-        return run_case(schemes[i / n_ks], ks[i % n_ks],
-                        a.run_seed(i, kSeedStreamTreeScenario), a);
+        Row out;
+        out.wall_seconds = runner::timed_seconds([&] {
+          out.line = run_case(schemes[i / n_ks], ks[i % n_ks],
+                              a.run_seed(i, kSeedStreamTreeScenario), a);
+        });
+        return out;
       });
   for (std::size_t i = 0; i < rows.size(); ++i) {
-    std::fputs(rows[i].c_str(), stdout);
+    std::fputs(rows[i].line.c_str(), stdout);
+    char label[48];
+    std::snprintf(label, sizeof(label), "%s k=%d",
+                  to_string(schemes[i / n_ks]), ks[i % n_ks]);
+    manifest.add_run(label, a.run_seed(i, kSeedStreamTreeScenario),
+                     rows[i].wall_seconds);
     if (i % n_ks == n_ks - 1) std::printf("\n");
   }
   std::printf("(fractions of the target link over the measurement window)\n");
+  manifest.write();
   return 0;
 }

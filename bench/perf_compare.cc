@@ -1,0 +1,83 @@
+// Perf regression gate: diffs two BENCH_perf.json reports (baseline vs
+// current) with the per-metric noise-derived tolerances from
+// src/telemetry/perf_baseline.h, prints the human delta table, and exits
+// nonzero when the gate fails — scripts/check.sh's perf leg and CI run it
+// against the committed repo-root baseline after every perf_suite run.
+//
+// Exit codes:
+//   0  gate passed (improvements and ungated drift are fine)
+//   1  a gated metric regressed beyond its tolerance
+//   2  schema drift: version mismatch or a baseline metric went missing
+//   3  could not load/parse an input
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "telemetry/perf_baseline.h"
+
+int main(int argc, char** argv) {
+  using floc::telemetry::PerfCompareOptions;
+  using floc::telemetry::PerfComparison;
+  using floc::telemetry::PerfReport;
+
+  PerfCompareOptions opts;
+  const char* paths[2] = {nullptr, nullptr};
+  int n_paths = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--min-rel") == 0 && i + 1 < argc) {
+      opts.min_rel = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--noise-mult") == 0 && i + 1 < argc) {
+      opts.noise_mult = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--gate-all") == 0) {
+      opts.gate_all = true;
+    } else if (argv[i][0] != '-' && n_paths < 2) {
+      paths[n_paths++] = argv[i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s BASELINE.json CURRENT.json [--min-rel F] "
+                   "[--noise-mult F] [--gate-all]\n",
+                   argv[0]);
+      return 3;
+    }
+  }
+  if (n_paths != 2) {
+    std::fprintf(stderr, "usage: %s BASELINE.json CURRENT.json\n", argv[0]);
+    return 3;
+  }
+
+  PerfReport baseline, current;
+  std::string err;
+  if (!PerfReport::load(paths[0], &baseline, &err)) {
+    std::fprintf(stderr, "perf_compare: baseline: %s\n", err.c_str());
+    return 3;
+  }
+  if (!PerfReport::load(paths[1], &current, &err)) {
+    std::fprintf(stderr, "perf_compare: current: %s\n", err.c_str());
+    return 3;
+  }
+
+  std::printf("baseline: %s (%s, git %s)\n", paths[0], baseline.mode.c_str(),
+              baseline.git.c_str());
+  std::printf("current:  %s (%s, git %s)\n\n", paths[1], current.mode.c_str(),
+              current.git.c_str());
+
+  const PerfComparison cmp =
+      floc::telemetry::compare_perf(baseline, current, opts);
+  std::fputs(cmp.table().c_str(), stdout);
+
+  if (cmp.schema_mismatch || cmp.missing > 0) {
+    std::fprintf(stderr,
+                 "perf_compare: SCHEMA DRIFT — refresh the committed "
+                 "baseline (run perf_suite and commit BENCH_perf.json)\n");
+    return 2;
+  }
+  if (cmp.gated_regressions > 0) {
+    std::fprintf(stderr, "perf_compare: GATE FAILED — %d gated metric(s) "
+                 "regressed beyond tolerance\n",
+                 cmp.gated_regressions);
+    return 1;
+  }
+  std::printf("perf gate: OK\n");
+  return 0;
+}

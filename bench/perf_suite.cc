@@ -1,0 +1,558 @@
+// Canonical perf suite: the one binary that turns the Profiler's numbers
+// into a per-PR trajectory. Emits a schema-versioned BENCH_perf.json
+// (src/telemetry/perf_baseline.h) that bench/perf_compare diffs against the
+// committed repo-root baseline in scripts/check.sh's perf leg and in CI.
+//
+// Three layers of measurement, all min-of-K with MAD-based noise estimation:
+//
+//  * micro:   SipHash, capability verify, Bloom drop-filter record/query,
+//             token-bucket admission — ns/op of the per-packet primitives;
+//  * queue:   each of the seven defense disciplines driven by three
+//             synthetic load shapes (steady / cbr flood / shrew pulses) —
+//             packets/sec per (scheme, load) cell, plus the machine-portable
+//             gated ratios floc-vs-droptail and the fast-path allocation
+//             counts from the scoped counting allocator;
+//  * macro:   a shrunk fig06 attack sweep (TCP-population / CBR / shrew on
+//             the FLoc-defended tree) — events/sec and ns/event from the
+//             Simulator, a per-Profiler-section ns breakdown that localizes
+//             a regression to cap_verify vs dispatch vs link, and the
+//             --jobs 1 vs --jobs N sweep speedup from the same wall times
+//             RunManifest records.
+//
+// Debug hook: FLOC_PERF_HANDICAP=<mult> scales every FLoc-attributed timing
+// by <mult> before it is recorded. It exists to prove the regression gate
+// closes (tests and the acceptance criteria inject a 2x slowdown and expect
+// perf_compare to exit nonzero); it must never be set in a real run.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <new>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/capability.h"
+#include "core/drop_filter.h"
+#include "core/model.h"
+#include "core/token_bucket.h"
+#include "telemetry/alloc_counter.h"
+#include "telemetry/perf_baseline.h"
+#include "topology/defense_factory.h"
+#include "util/siphash.h"
+
+// Real allocation counts for the alloc.* metrics (program-wide operator
+// new/delete replacement; see telemetry/alloc_counter.h).
+FLOC_DEFINE_COUNTING_ALLOCATOR
+
+namespace floc {
+namespace {
+
+using bench::BenchArgs;
+using telemetry::PerfReport;
+
+volatile std::uint64_t g_sink = 0;  // defeats dead-code elimination
+
+struct SuiteArgs {
+  bool quick = false;
+  std::string out = "BENCH_perf.json";
+  std::uint64_t seed = 1;
+  int jobs = 0;  // sweep-speedup parallel leg; 0 = min(4, hardware)
+  int repeats = 5;
+  int macro_repeats = 3;
+
+  static SuiteArgs parse(int argc, char** argv) {
+    SuiteArgs a;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--quick") == 0) {
+        a.quick = true;
+        a.repeats = 3;
+        a.macro_repeats = 2;
+      } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+        a.out = argv[++i];
+      } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+        a.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+      } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+        a.jobs = std::atoi(argv[++i]);
+      } else {
+        std::fprintf(stderr,
+                     "usage: %s [--quick] [--out PATH] [--seed N] [--jobs N]\n",
+                     argv[0]);
+        std::exit(2);
+      }
+    }
+    if (a.jobs <= 0) a.jobs = std::min(4, runner::default_jobs());
+    return a;
+  }
+};
+
+double handicap() {
+  static const double h = [] {
+    const char* env = std::getenv("FLOC_PERF_HANDICAP");
+    const double v = env != nullptr ? std::atof(env) : 1.0;
+    return v > 0.0 ? v : 1.0;
+  }();
+  return h;
+}
+
+// --- min-of-K with MAD noise ------------------------------------------------
+
+struct RepeatResult {
+  double best = 0.0;   // min (or max when higher is better) over K repeats
+  double noise = 0.0;  // relative MAD: median(|x - median|) / median
+};
+
+double median_of(std::vector<double> xs) {
+  std::sort(xs.begin(), xs.end());
+  const std::size_t n = xs.size();
+  return n % 2 == 1 ? xs[n / 2] : 0.5 * (xs[n / 2 - 1] + xs[n / 2]);
+}
+
+template <typename Fn>
+RepeatResult repeat(int k, bool higher_is_better, Fn&& measure) {
+  std::vector<double> xs;
+  xs.reserve(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) xs.push_back(measure());
+  RepeatResult r;
+  r.best = higher_is_better ? *std::max_element(xs.begin(), xs.end())
+                            : *std::min_element(xs.begin(), xs.end());
+  const double med = median_of(xs);
+  std::vector<double> dev;
+  dev.reserve(xs.size());
+  for (double x : xs) dev.push_back(std::abs(x - med));
+  r.noise = med != 0.0 ? median_of(std::move(dev)) / std::abs(med) : 0.0;
+  return r;
+}
+
+// --- micro benches ----------------------------------------------------------
+
+double ns_siphash(int iters) {
+  const SipKey key{0x123, 0x456};
+  std::uint64_t acc = 0;
+  const std::uint64_t t0 = telemetry::clock_ns();
+  for (int i = 0; i < iters; ++i) {
+    acc ^= siphash24_words(key, {static_cast<std::uint64_t>(i), 42, 7});
+  }
+  const std::uint64_t t1 = telemetry::clock_ns();
+  g_sink += acc;
+  return static_cast<double>(t1 - t0) / iters;
+}
+
+double ns_cap_verify(int iters) {
+  CapabilityIssuer issuer(0x5EC, 2);
+  Packet p;
+  p.src = 1;
+  p.dst = 99;
+  p.path = PathId::of({1, 2, 3});
+  const auto caps = issuer.issue(p.src, p.dst, p.path);
+  p.cap0 = caps.cap0;
+  p.cap1 = caps.cap1;
+  std::uint64_t acc = 0;
+  const std::uint64_t t0 = telemetry::clock_ns();
+  for (int i = 0; i < iters; ++i) acc += issuer.verify(p) ? 1 : 0;
+  const std::uint64_t t1 = telemetry::clock_ns();
+  g_sink += acc;
+  return static_cast<double>(t1 - t0) / iters;
+}
+
+double ns_bloom_record(int iters) {
+  DropFilterConfig cfg;
+  cfg.bits = 20;
+  ScalableDropFilter filter(cfg);
+  double t = 0.0;
+  const std::uint64_t t0 = telemetry::clock_ns();
+  for (int i = 0; i < iters; ++i) {
+    filter.record_drop(static_cast<std::uint64_t>(i) % 100000, t, 0.1);
+    t += 1e-5;
+  }
+  const std::uint64_t t1 = telemetry::clock_ns();
+  return static_cast<double>(t1 - t0) / iters;
+}
+
+double ns_bloom_query(int iters) {
+  DropFilterConfig cfg;
+  cfg.bits = 20;
+  ScalableDropFilter filter(cfg);
+  for (std::uint64_t k = 0; k < 100000; ++k) filter.record_drop(k, 1.0, 0.1);
+  double acc = 0.0;
+  const std::uint64_t t0 = telemetry::clock_ns();
+  for (int i = 0; i < iters; ++i) {
+    acc += filter.preferential_drop_prob(static_cast<std::uint64_t>(i) % 100000,
+                                         2.0, 0.1);
+  }
+  const std::uint64_t t1 = telemetry::clock_ns();
+  g_sink += static_cast<std::uint64_t>(acc);
+  return static_cast<double>(t1 - t0) / iters;
+}
+
+double ns_token_bucket(int iters) {
+  PathTokenBucket bucket;
+  bucket.configure(model::compute_params(mbps(100), 0.05, 30, 1500), 1500);
+  double t = 0.0;
+  std::uint64_t acc = 0;
+  const std::uint64_t t0 = telemetry::clock_ns();
+  for (int i = 0; i < iters; ++i) {
+    acc += bucket.try_consume(1500, t, true) ? 1 : 0;
+    t += 1e-4;
+  }
+  const std::uint64_t t1 = telemetry::clock_ns();
+  g_sink += acc;
+  return static_cast<double>(t1 - t0) / iters;
+}
+
+// --- queue-discipline matrix ------------------------------------------------
+
+enum class Load { kSteady, kCbr, kShrew };
+const char* to_string(Load l) {
+  switch (l) {
+    case Load::kSteady: return "steady";
+    case Load::kCbr: return "cbr";
+    case Load::kShrew: return "shrew";
+  }
+  return "?";
+}
+constexpr Load kLoads[] = {Load::kSteady, Load::kCbr, Load::kShrew};
+constexpr DefenseScheme kSchemes[] = {
+    DefenseScheme::kDropTail, DefenseScheme::kRed,  DefenseScheme::kRedPd,
+    DefenseScheme::kPushback, DefenseScheme::kPriorityFair,
+    DefenseScheme::kDrr,      DefenseScheme::kFloc};
+
+std::unique_ptr<QueueDisc> make_queue(DefenseScheme scheme,
+                                      std::uint64_t seed) {
+  DefenseFactoryConfig cfg;
+  cfg.link_bandwidth = mbps(500);
+  cfg.buffer_packets = 1024;
+  cfg.seed = seed;
+  cfg.legit_classifier = [](FlowId f) { return f < 1000; };
+  return make_defense_queue(scheme, cfg);
+}
+
+// Drives enqueue+dequeue with a deterministic arrival pattern; returns
+// wall ns per offered packet. `paths` 0..5 are legitimate, 6..7 carry the
+// flood when the load shape has one.
+double queue_workload_ns(QueueDisc& q, Load load, int packets) {
+  PathId paths[8];
+  for (int i = 0; i < 8; ++i) {
+    paths[i] = PathId::of({static_cast<AsNumber>(i + 1),
+                           static_cast<AsNumber>(100 + i)});
+  }
+  const double dt = 1500.0 * 8.0 / mbps(500);  // one full packet at link rate
+  double t = 0.0;
+  const std::uint64_t t0 = telemetry::clock_ns();
+  switch (load) {
+    case Load::kSteady:
+      // Offered load == link rate, spread over legitimate paths/flows.
+      for (int i = 0; i < packets; ++i) {
+        Packet p;
+        p.flow = static_cast<FlowId>(i % 192);
+        p.src = static_cast<HostAddr>(p.flow + 1);
+        p.dst = 9999;
+        p.path = paths[i % 6];
+        q.enqueue(std::move(p), t);
+        q.dequeue(t);
+        t += dt;
+      }
+      break;
+    case Load::kCbr:
+      // 3x overload: two flood paths offer twice the legitimate volume, the
+      // drain keeps link pace, so the drop/admission machinery runs hot.
+      for (int i = 0; i < packets; ++i) {
+        Packet p;
+        const bool attack = i % 3 != 0;
+        p.flow = attack ? static_cast<FlowId>(1000 + i % 32)
+                        : static_cast<FlowId>(i % 192);
+        p.src = static_cast<HostAddr>(p.flow + 1);
+        p.dst = 9999;
+        p.path = attack ? paths[6 + i % 2] : paths[i % 6];
+        q.enqueue(std::move(p), t);
+        if (i % 3 == 0) q.dequeue(t);
+        t += dt / 3.0;
+      }
+      break;
+    case Load::kShrew:
+      // Pulses: 48-packet bursts at 8x link pace, then a quiet gap that
+      // drains the queue and refills the token buckets.
+      for (int i = 0; i < packets; ++i) {
+        Packet p;
+        const bool burst_pkt = i % 64 < 48;
+        p.flow = burst_pkt ? static_cast<FlowId>(1000 + i % 16)
+                           : static_cast<FlowId>(i % 192);
+        p.src = static_cast<HostAddr>(p.flow + 1);
+        p.dst = 9999;
+        p.path = burst_pkt ? paths[6 + i % 2] : paths[i % 6];
+        q.enqueue(std::move(p), t);
+        q.dequeue(t);
+        t += burst_pkt ? dt / 8.0 : dt;
+        if (i % 64 == 63) {
+          t += 0.005;  // inter-pulse gap
+          while (q.dequeue(t).has_value()) {
+          }
+        }
+      }
+      break;
+  }
+  const std::uint64_t t1 = telemetry::clock_ns();
+  g_sink += q.drops() + q.admissions();
+  return static_cast<double>(t1 - t0) / packets;
+}
+
+// --- macro: shrunk fig06 sweep ---------------------------------------------
+
+TreeScenarioConfig macro_config(AttackType attack, std::uint64_t seed,
+                                bool quick) {
+  TreeScenarioConfig cfg;
+  cfg.tree_degree = 3;
+  cfg.tree_height = 2;  // 9 leaves
+  cfg.legit_per_leaf = 2;
+  cfg.attack_leaf_count = 2;
+  cfg.attack_per_leaf = 3;
+  cfg.target_link = mbps(10);
+  cfg.internal_link = mbps(40);
+  cfg.access_link = mbps(5);
+  cfg.legit_file_bytes = 200'000;
+  cfg.legit_start_spread = 1.0;
+  cfg.attack = attack;
+  cfg.attack_rate = mbps(2.0);
+  cfg.attack_start = 2.0;
+  cfg.scheme = DefenseScheme::kFloc;
+  cfg.duration = quick ? 8.0 : 14.0;
+  cfg.measure_start = 2.0;
+  cfg.measure_end = cfg.duration;
+  cfg.seed = seed;
+  if (attack == AttackType::kShrew) {
+    cfg.shrew_period = 0.05;
+    cfg.shrew_duty = 0.25;
+  }
+  return cfg;
+}
+
+struct SectionStats {
+  std::uint64_t calls = 0;
+  std::uint64_t total_ns = 0;
+};
+
+struct SweepResult {
+  double wall_seconds = 0.0;
+  std::uint64_t events = 0;
+  std::map<std::string, SectionStats> sections;  // aggregated across cases
+};
+
+SweepResult run_macro_sweep(const SuiteArgs& a, int jobs,
+                            std::uint64_t sweep_salt) {
+  const AttackType attacks[] = {AttackType::kTcpPopulation, AttackType::kCbr,
+                                AttackType::kShrew};
+  struct CaseOut {
+    std::uint64_t events = 0;
+    std::vector<std::pair<std::string, SectionStats>> sections;
+  };
+  SweepResult out;
+  out.wall_seconds = runner::timed_seconds([&] {
+    const auto cases = runner::run_indexed<CaseOut>(
+        jobs, std::size(attacks), [&](std::size_t i) {
+          TreeScenario s(macro_config(
+              attacks[i],
+              derive_seed(a.seed, i + sweep_salt, kSeedStreamTreeScenario),
+              a.quick));
+          telemetry::Profiler prof;
+          if (s.floc_queue() != nullptr) s.floc_queue()->set_profiler(&prof);
+          s.target_link()->set_profiler(prof.section("link.enqueue"),
+                                        prof.section("link.dequeue"));
+          s.sim().set_profile_section(prof.section("sim.dispatch"));
+          s.run();
+          CaseOut c;
+          c.events = s.sim().events_processed();
+          for (const auto& sec : prof.sections()) {
+            c.sections.emplace_back(sec->name,
+                                    SectionStats{sec->calls, sec->total_ns});
+          }
+          return c;
+        });
+    for (const auto& c : cases) {
+      out.events += c.events;
+      for (const auto& [name, st] : c.sections) {
+        SectionStats& agg = out.sections[name];
+        agg.calls += st.calls;
+        agg.total_ns += st.total_ns;
+      }
+    }
+  });
+  return out;
+}
+
+// --- suite ------------------------------------------------------------------
+
+int run_suite(const SuiteArgs& a) {
+  PerfReport report;
+  report.git = bench::git_describe();
+  report.mode = a.quick ? "quick" : "full";
+  report.seed = a.seed;
+  report.repeats = a.repeats;
+
+  bench::BenchArgs margs;
+  margs.seed = a.seed;
+  margs.jobs = a.jobs;
+  margs.scale = a.quick ? 0.08 : 0.12;
+  bench::RunManifest manifest("perf_suite", margs);
+  manifest.note("mode", report.mode);
+  manifest.note("handicap", handicap());
+
+  const int micro_iters = a.quick ? 200'000 : 1'000'000;
+  const int queue_pkts = a.quick ? 60'000 : 200'000;
+
+  std::printf("== perf_suite (%s, seed %llu, %d repeats) ==\n",
+              report.mode.c_str(), static_cast<unsigned long long>(a.seed),
+              a.repeats);
+  if (handicap() != 1.0) {
+    std::printf("!! FLOC_PERF_HANDICAP=%g: FLoc timings are artificially "
+                "scaled — debug runs only\n",
+                handicap());
+  }
+
+  // Micro: per-packet primitives.
+  struct Micro {
+    const char* name;
+    double (*fn)(int);
+  };
+  const Micro micros[] = {
+      {"micro.siphash.ns_per_op", ns_siphash},
+      {"micro.cap_verify.ns_per_op", ns_cap_verify},
+      {"micro.bloom_record.ns_per_op", ns_bloom_record},
+      {"micro.bloom_query.ns_per_op", ns_bloom_query},
+      {"micro.token_bucket.ns_per_op", ns_token_bucket},
+  };
+  for (const Micro& m : micros) {
+    const RepeatResult r = repeat(a.repeats, /*higher_is_better=*/false,
+                                  [&] { return m.fn(micro_iters); });
+    report.add(m.name, r.best, "ns/op", r.noise, false, /*gate=*/false);
+    std::printf("%-38s %10.1f ns/op  (noise %.1f%%)\n", m.name, r.best,
+                100.0 * r.noise);
+  }
+
+  // Queue matrix: 7 disciplines x 3 load shapes. FLoc timings take the
+  // handicap; the gated metric is the machine-portable floc/droptail ratio.
+  for (const Load load : kLoads) {
+    double droptail_ns = 0.0, droptail_noise = 0.0;
+    double floc_ns = 0.0, floc_noise = 0.0;
+    for (const DefenseScheme scheme : kSchemes) {
+      const RepeatResult r =
+          repeat(a.repeats, /*higher_is_better=*/false, [&] {
+            auto q = make_queue(scheme, a.seed);
+            queue_workload_ns(*q, load, queue_pkts / 10);  // warm-up
+            return queue_workload_ns(*q, load, queue_pkts);
+          });
+      double ns = r.best;
+      if (scheme == DefenseScheme::kFloc) ns *= handicap();
+      if (scheme == DefenseScheme::kDropTail) {
+        droptail_ns = ns;
+        droptail_noise = r.noise;
+      }
+      if (scheme == DefenseScheme::kFloc) {
+        floc_ns = ns;
+        floc_noise = r.noise;
+      }
+      char name[96];
+      std::snprintf(name, sizeof(name), "queue.%s.%s.pkts_per_sec",
+                    to_string(scheme), to_string(load));
+      report.add(name, 1e9 / ns, "pkts/s", r.noise, /*higher_is_better=*/true,
+                 /*gate=*/false);
+      std::printf("%-38s %10.0f pkts/s (noise %.1f%%)\n", name, 1e9 / ns,
+                  100.0 * r.noise);
+    }
+    char name[96];
+    std::snprintf(name, sizeof(name), "ratio.floc_vs_droptail.%s",
+                  to_string(load));
+    // Noise of a ratio of two min-of-K measurements: conservatively the sum
+    // of the operands' measured noise (first-order error propagation).
+    report.add(name, floc_ns / droptail_ns, "ratio",
+               floc_noise + droptail_noise, false, /*gate=*/true);
+    std::printf("%-38s %10.2f x\n", name, floc_ns / droptail_ns);
+  }
+
+  // Fast-path allocation counts (counting allocator; machine-portable).
+  for (const DefenseScheme scheme :
+       {DefenseScheme::kDropTail, DefenseScheme::kFloc}) {
+    const RepeatResult r = repeat(a.repeats, /*higher_is_better=*/false, [&] {
+      auto q = make_queue(scheme, a.seed);
+      queue_workload_ns(*q, Load::kSteady, queue_pkts / 10);  // warm tables
+      telemetry::ScopedAllocCount guard;
+      queue_workload_ns(*q, Load::kSteady, queue_pkts);
+      return static_cast<double>(guard.allocs()) * 1000.0 / queue_pkts;
+    });
+    char name[96];
+    std::snprintf(name, sizeof(name), "alloc.%s_steady.allocs_per_kpkt",
+                  to_string(scheme));
+    report.add(name, r.best, "allocs/kpkt", r.noise, false, /*gate=*/true);
+    std::printf("%-38s %10.2f allocs/kpkt (noise %.1f%%)\n", name, r.best,
+                100.0 * r.noise);
+  }
+
+  // Macro: shrunk fig06 sweep — events/sec, section breakdown, speedup.
+  std::vector<double> serial_walls, parallel_walls, events_per_sec;
+  SweepResult best_serial;
+  for (int rep = 0; rep < a.macro_repeats; ++rep) {
+    const std::uint64_t salt = static_cast<std::uint64_t>(rep) * 1000;
+    SweepResult serial = run_macro_sweep(a, 1, salt);
+    const SweepResult parallel = run_macro_sweep(a, a.jobs, salt);
+    serial_walls.push_back(serial.wall_seconds);
+    parallel_walls.push_back(parallel.wall_seconds);
+    events_per_sec.push_back(static_cast<double>(serial.events) /
+                             serial.wall_seconds);
+    if (rep == 0 || serial.wall_seconds < best_serial.wall_seconds) {
+      best_serial = std::move(serial);
+    }
+  }
+  {
+    const double best_eps =
+        *std::max_element(events_per_sec.begin(), events_per_sec.end());
+    const double med = median_of(events_per_sec);
+    std::vector<double> dev;
+    for (double x : events_per_sec) dev.push_back(std::abs(x - med));
+    const double noise = med != 0.0 ? median_of(std::move(dev)) / med : 0.0;
+    report.add("macro.fig06.events_per_sec", best_eps, "events/s", noise,
+               /*higher_is_better=*/true, /*gate=*/false);
+    report.add("macro.fig06.ns_per_event", 1e9 / best_eps, "ns/event", noise,
+               false, /*gate=*/false);
+    const double speedup = median_of(serial_walls) / median_of(parallel_walls);
+    report.add("sweep.fig06.speedup", speedup, "x", noise,
+               /*higher_is_better=*/true, /*gate=*/false);
+    report.add("sweep.fig06.jobs", static_cast<double>(a.jobs), "jobs", 0.0,
+               true, /*gate=*/false);
+    std::printf("%-38s %10.0f events/s (noise %.1f%%)\n",
+                "macro.fig06.events_per_sec", best_eps, 100.0 * noise);
+    std::printf("%-38s %10.2f x (--jobs %d)\n", "sweep.fig06.speedup", speedup,
+                a.jobs);
+  }
+  for (const auto& [sec, st] : best_serial.sections) {
+    if (st.calls == 0) continue;
+    double ns = static_cast<double>(st.total_ns) / static_cast<double>(st.calls);
+    std::string prom = sec;
+    if (prom.rfind("floc.", 0) == 0) ns *= handicap();
+    const std::string name = "profile." + prom + ".ns_per_call";
+    // Section means wobble with scheduler noise; trajectory only.
+    report.add(name, ns, "ns/call", 0.10, false, /*gate=*/false);
+    std::printf("%-38s %10.1f ns/call (%llu calls)\n", name.c_str(), ns,
+                static_cast<unsigned long long>(st.calls));
+  }
+
+  std::string err;
+  if (!report.save(a.out, &err)) {
+    std::fprintf(stderr, "perf_suite: %s\n", err.c_str());
+    return 1;
+  }
+  manifest.add_artifact(a.out);
+  manifest.write();
+  std::printf("\nwrote %s (%zu metrics)\n", a.out.c_str(),
+              report.metrics.size());
+  return 0;
+}
+
+}  // namespace
+}  // namespace floc
+
+int main(int argc, char** argv) {
+  return floc::run_suite(floc::SuiteArgs::parse(argc, argv));
+}

@@ -8,6 +8,7 @@
 // the FLoc queue end-to-end enqueue path, and the control-plane aggregation.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_common.h"
 #include "core/aggregation.h"
 #include "core/capability.h"
 #include "core/drop_filter.h"
@@ -196,3 +197,17 @@ BENCHMARK(BM_FilterFalsePositiveMath);
 
 }  // namespace
 }  // namespace floc
+
+// Custom main (instead of benchmark_main) so the run leaves a
+// router_design_micro.manifest.json like every other bench: provenance for
+// any results directory that collects the google-benchmark output.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  floc::bench::BenchArgs args;  // google-benchmark owns the real flags
+  floc::bench::RunManifest manifest("router_design_micro", args);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  manifest.write();
+  return 0;
+}

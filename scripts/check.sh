@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Local pre-PR gate: tier-1 tests, the ASan+UBSan suite, the TSan run of the
 # multi-threaded (ScenarioRunner) suite, a churn smoke run of the
-# fault-injection ablation, and a parallel bench smoke (fig06 --jobs 4).
+# fault-injection ablation, a parallel bench smoke (fig06 --jobs 4), and the
+# perf-regression gate (perf_suite vs the committed BENCH_perf.json).
 # Any failure aborts with nonzero exit.
 #
 #   scripts/check.sh                 # everything
@@ -31,13 +32,16 @@ check_no_stray_artifacts() {
   # still caught. Build trees and editor/tooling caches are exempt.
   # Matched explicitly on top of the generic extensions: exported causal
   # traces (*.trace.json), run manifests (*manifest.json), journal dumps
-  # (*.journal.json), alert histories (*.alerts.json), and Prometheus text
-  # scrapes (*.prom) — the observability artifacts the benches write.
+  # (*.journal.json), alert histories (*.alerts.json), Prometheus text
+  # scrapes (*.prom), and perf reports (BENCH_*.json) — the observability
+  # artifacts the benches write. The committed repo-root BENCH_perf.json
+  # baseline is tracked, so `git ls-files -o` (untracked only) never flags
+  # it; only freshly generated copies outside the build tree are strays.
   local stray
   stray="$(git ls-files -o \
     | grep -vE '^(build[^/]*|\.cache|\.ccache|\.vscode|\.idea)/' \
     | grep -vE '^compile_commands\.json$' \
-    | grep -E '(\.trace\.json|manifest\.json|\.journal\.json|\.alerts\.json|\.prom|\.(csv|json))$' \
+    | grep -E '(\.trace\.json|manifest\.json|\.journal\.json|\.alerts\.json|\.prom|BENCH_[^/]*\.json|\.(csv|json))$' \
     || true)"
   if [[ -n "$stray" ]]; then
     echo "error: generated artifacts left in the source tree:" >&2
@@ -82,6 +86,19 @@ state_smoke() {
   (cd "$bindir" && ./bench/ablation_state_exhaust --quick --jobs 4)
 }
 
+perf_gate() {
+  local bindir="$1"
+  echo "== perf gate: canonical suite vs committed BENCH_perf.json =="
+  # Runs the canonical perf suite (--quick) and diffs the fresh report
+  # against the committed repo-root baseline. Only machine-portable metrics
+  # (allocation counts, floc-vs-droptail ratios) gate by default; absolute
+  # wall-clock numbers are trajectory-only, so the gate is meaningful on
+  # hardware other than the baseline's. Exit 1 = gated regression; exit 2 =
+  # schema drift (refresh the baseline: run perf_suite and commit the JSON).
+  (cd "$bindir" && ./bench/perf_suite --quick --out BENCH_perf.json)
+  "$bindir"/bench/perf_compare BENCH_perf.json "$bindir"/BENCH_perf.json
+}
+
 if [[ "${1:-}" == "--preset" ]]; then
   PRESET="${2:?usage: scripts/check.sh --preset <name>}"
   echo "== preset $PRESET: configure + build + ctest =="
@@ -98,6 +115,7 @@ if [[ "${1:-}" == "--preset" ]]; then
       parallel_bench_smoke "build-$PRESET"
       adaptive_smoke "build-$PRESET"
       state_smoke "build-$PRESET"
+      perf_gate "build-$PRESET"
     fi
   fi
   check_no_stray_artifacts
@@ -130,6 +148,7 @@ churn_smoke build
 parallel_bench_smoke build
 adaptive_smoke build
 state_smoke build
+perf_gate build
 check_no_stray_artifacts
 
 echo "== all checks passed =="

@@ -157,9 +157,14 @@ std::string prom_name(const std::string& name) {
   return out.empty() ? std::string("_") : out;
 }
 
+// Exposition-format block for one sample: `# HELP` first, then `# TYPE`,
+// then the sample line, per the Prometheus text-format grammar. The help
+// string carries the original dotted registry name so operators can map an
+// exported series back to its in-process metric.
 void append_sample(std::string& out, const std::string& name,
-                   const char* type, double value) {
+                   const char* type, double value, const std::string& help) {
   char buf[64];
+  out += "# HELP " + name + " " + help + "\n";
   out += "# TYPE " + name + " " + type + "\n";
   std::snprintf(buf, sizeof(buf), " %.9g\n", value);
   out += name;
@@ -173,6 +178,7 @@ std::string AlertEngine::render_prometheus(const MetricRegistry& reg) {
   out.reserve(reg.size() * 64);
   for (const auto& m : reg.metrics()) {
     const std::string name = prom_name(m->name);
+    const std::string src = "FLoc metric " + m->name;
     switch (m->kind) {
       case MetricKind::kCounter: {
         // Counters get the conventional `_total` suffix — unless the dotted
@@ -181,23 +187,25 @@ std::string AlertEngine::render_prometheus(const MetricRegistry& reg) {
             name.size() >= 6 &&
             name.compare(name.size() - 6, 6, "_total") == 0;
         append_sample(out, suffixed ? name : name + "_total", "counter",
-                      static_cast<double>(m->counter->value()));
+                      static_cast<double>(m->counter->value()), src);
         break;
       }
       case MetricKind::kGauge:
-        append_sample(out, name, "gauge", m->gauge->value());
+        append_sample(out, name, "gauge", m->gauge->value(), src);
         break;
       case MetricKind::kGaugeFn:
-        append_sample(out, name, "gauge", m->fn());
+        append_sample(out, name, "gauge", m->fn(), src);
         break;
       case MetricKind::kHistogram: {
         append_sample(out, name + "_count", "counter",
-                      static_cast<double>(m->histogram->count()));
-        append_sample(out, name + "_sum", "counter", m->histogram->sum());
+                      static_cast<double>(m->histogram->count()),
+                      src + " (sample count)");
+        append_sample(out, name + "_sum", "counter", m->histogram->sum(),
+                      src + " (sample sum)");
         append_sample(out, name + "_p50", "gauge",
-                      m->histogram->quantile(0.5));
+                      m->histogram->quantile(0.5), src + " (p50)");
         append_sample(out, name + "_p99", "gauge",
-                      m->histogram->quantile(0.99));
+                      m->histogram->quantile(0.99), src + " (p99)");
         break;
       }
     }
@@ -209,6 +217,7 @@ std::string AlertEngine::render_prometheus_with_alerts() const {
   std::string out =
       reg_ != nullptr ? render_prometheus(*reg_) : std::string();
   if (!rules_.empty()) {
+    out += "# HELP floc_alert_firing 1 while the named alert rule fires\n";
     out += "# TYPE floc_alert_firing gauge\n";
     for (const RuleState& rs : rules_) {
       out += "floc_alert_firing{alert=\"" + prom_name(rs.rule.name) + "\"} ";

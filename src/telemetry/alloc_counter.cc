@@ -1,0 +1,12 @@
+#include "telemetry/alloc_counter.h"
+
+namespace floc::telemetry {
+
+AllocCounters& alloc_counters() {
+  // Constant-initialized function-local: no static-init-order hazard even
+  // though operator new replacements may run before main().
+  static AllocCounters counters;
+  return counters;
+}
+
+}  // namespace floc::telemetry

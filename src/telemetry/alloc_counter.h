@@ -1,0 +1,91 @@
+// Scoped allocation counting for fast-path guarantees.
+//
+// The repo's telemetry contract says a detached component allocates nothing
+// on the packet path, and the perf suite tracks "allocations per kilopacket"
+// as a gated BENCH_perf.json metric. Both need a way to count global
+// operator new/delete calls — but replacing those operators is program-wide,
+// so the replacement cannot live in a library that every binary links.
+//
+// Split: this header/cc owns the process-wide atomic counters and the
+// snapshot-delta guard; a binary that wants counting (bench/perf_suite, the
+// fastpath test) opts in by placing FLOC_DEFINE_COUNTING_ALLOCATOR once at
+// namespace scope in exactly one of its TUs, which defines operator
+// new/delete replacements that tick the counters. In a binary without the
+// macro the counters never move: ScopedAllocCount still constructs, reports
+// zero deltas, and — being two u64 loads — is itself allocation-free either
+// way (pinned by tests/telemetry_fastpath_test.cc).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace floc::telemetry {
+
+// Process-wide counters. Relaxed ordering: totals only, no synchronization.
+struct AllocCounters {
+  std::atomic<std::uint64_t> allocs{0};
+  std::atomic<std::uint64_t> frees{0};
+  std::atomic<std::uint64_t> bytes{0};
+};
+
+AllocCounters& alloc_counters();
+
+// Called from the FLOC_DEFINE_COUNTING_ALLOCATOR operator replacements.
+inline void note_alloc(std::size_t bytes) {
+  AllocCounters& c = alloc_counters();
+  c.allocs.fetch_add(1, std::memory_order_relaxed);
+  c.bytes.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+inline void note_free() {
+  alloc_counters().frees.fetch_add(1, std::memory_order_relaxed);
+}
+
+// Snapshot-delta guard: construct before the measured region, read deltas
+// after. No heap use of its own.
+class ScopedAllocCount {
+ public:
+  ScopedAllocCount() { reset(); }
+
+  void reset() {
+    const AllocCounters& c = alloc_counters();
+    allocs0_ = c.allocs.load(std::memory_order_relaxed);
+    frees0_ = c.frees.load(std::memory_order_relaxed);
+    bytes0_ = c.bytes.load(std::memory_order_relaxed);
+  }
+
+  std::uint64_t allocs() const {
+    return alloc_counters().allocs.load(std::memory_order_relaxed) - allocs0_;
+  }
+  std::uint64_t frees() const {
+    return alloc_counters().frees.load(std::memory_order_relaxed) - frees0_;
+  }
+  std::uint64_t bytes() const {
+    return alloc_counters().bytes.load(std::memory_order_relaxed) - bytes0_;
+  }
+
+ private:
+  std::uint64_t allocs0_ = 0;
+  std::uint64_t frees0_ = 0;
+  std::uint64_t bytes0_ = 0;
+};
+
+}  // namespace floc::telemetry
+
+// Place once, at namespace scope, in ONE translation unit of a binary that
+// wants real counts. (Definitions of replaceable global operators must not be
+// inline, hence a macro rather than a header definition.)
+#define FLOC_DEFINE_COUNTING_ALLOCATOR                                   \
+  void* operator new(std::size_t n) {                                    \
+    ::floc::telemetry::note_alloc(n);                                    \
+    if (void* p = std::malloc(n ? n : 1)) return p;                      \
+    throw std::bad_alloc();                                              \
+  }                                                                      \
+  void operator delete(void* p) noexcept {                               \
+    if (p != nullptr) {                                                  \
+      ::floc::telemetry::note_free();                                    \
+      std::free(p);                                                      \
+    }                                                                    \
+  }                                                                      \
+  void operator delete(void* p, std::size_t) noexcept { operator delete(p); }

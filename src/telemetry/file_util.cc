@@ -28,4 +28,21 @@ bool write_text_file(const std::string& path, const std::string& text,
   return wrote && closed;
 }
 
+bool read_text_file(const std::string& path, std::string* text,
+                    std::string* err) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    fill_err(err, path);
+    return false;
+  }
+  text->clear();
+  char buf[1 << 14];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text->append(buf, n);
+  const bool read_ok = std::ferror(f) == 0;
+  if (!read_ok) fill_err(err, path);
+  std::fclose(f);
+  return read_ok;
+}
+
 }  // namespace floc::telemetry

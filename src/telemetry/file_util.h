@@ -1,7 +1,8 @@
-// One shared "write this string to that file" helper so every telemetry
-// exporter (time-series CSV, journal JSON, trace JSON, manifests) reports
-// I/O failures the same way instead of silently returning false — or worse,
-// hand-rolling an unchecked ofstream block per bench.
+// Shared "write this string to that file" / "read that file into a string"
+// helpers so every telemetry exporter (time-series CSV, journal JSON, trace
+// JSON, manifests, perf reports) reports I/O failures the same way instead
+// of silently returning false — or worse, hand-rolling an unchecked
+// ofstream block per bench.
 #pragma once
 
 #include <string>
@@ -13,5 +14,9 @@ namespace floc::telemetry {
 // "<path>: <strerror>" so callers can report without touching errno.
 bool write_text_file(const std::string& path, const std::string& text,
                      std::string* err = nullptr);
+
+// Reads all of `path` into *text. Same error contract as write_text_file.
+bool read_text_file(const std::string& path, std::string* text,
+                    std::string* err = nullptr);
 
 }  // namespace floc::telemetry

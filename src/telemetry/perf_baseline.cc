@@ -1,0 +1,246 @@
+#include "telemetry/perf_baseline.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "telemetry/file_util.h"
+#include "util/json.h"
+
+namespace floc::telemetry {
+
+PerfMetric* PerfReport::add(const std::string& name, double value,
+                            const std::string& unit, double noise,
+                            bool higher_is_better, bool gate) {
+  PerfMetric m;
+  m.name = name;
+  m.value = value;
+  m.unit = unit;
+  m.noise = noise;
+  m.higher_is_better = higher_is_better;
+  m.gate = gate;
+  metrics.push_back(std::move(m));
+  return &metrics.back();
+}
+
+const PerfMetric* PerfReport::find(const std::string& name) const {
+  for (const PerfMetric& m : metrics) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+namespace {
+
+std::string escaped(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string PerfReport::to_json() const {
+  std::string out = "{\n";
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "  \"schema_version\": %d,\n",
+                schema_version);
+  out += buf;
+  out += "  \"bench\": \"" + escaped(bench) + "\",\n";
+  out += "  \"git\": \"" + escaped(git) + "\",\n";
+  out += "  \"mode\": \"" + escaped(mode) + "\",\n";
+  std::snprintf(buf, sizeof(buf), "  \"seed\": %llu,\n  \"repeats\": %d,\n",
+                static_cast<unsigned long long>(seed), repeats);
+  out += buf;
+  out += "  \"metrics\": [\n";
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    const PerfMetric& m = metrics[i];
+    out += "    {\"name\": \"" + escaped(m.name) + "\", ";
+    std::snprintf(buf, sizeof(buf), "\"value\": %.9g, ", m.value);
+    out += buf;
+    out += "\"unit\": \"" + escaped(m.unit) + "\", ";
+    std::snprintf(buf, sizeof(buf),
+                  "\"noise\": %.6g, \"higher_is_better\": %s, \"gate\": %s}",
+                  m.noise, m.higher_is_better ? "true" : "false",
+                  m.gate ? "true" : "false");
+    out += buf;
+    out += i + 1 == metrics.size() ? "\n" : ",\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+bool PerfReport::parse(const std::string& text, PerfReport* out,
+                       std::string* err) {
+  json::Value root;
+  if (!json::parse(text, &root, err)) return false;
+  if (!root.is_object()) {
+    if (err != nullptr) *err = "perf report: top level is not an object";
+    return false;
+  }
+  const json::Value* version = root.get("schema_version");
+  if (version == nullptr || !version->is_number()) {
+    if (err != nullptr) *err = "perf report: missing schema_version";
+    return false;
+  }
+  PerfReport r;
+  r.schema_version = static_cast<int>(version->number);
+  r.bench = root.string_or("bench", "");
+  r.git = root.string_or("git", "");
+  r.mode = root.string_or("mode", "");
+  r.seed = static_cast<std::uint64_t>(root.number_or("seed", 0.0));
+  r.repeats = static_cast<int>(root.number_or("repeats", 0.0));
+  const json::Value* metrics = root.get("metrics");
+  if (metrics == nullptr || !metrics->is_array()) {
+    if (err != nullptr) *err = "perf report: missing metrics array";
+    return false;
+  }
+  for (const json::Value& mv : metrics->items) {
+    if (!mv.is_object() || mv.get("name") == nullptr ||
+        !mv.get("name")->is_string() || mv.get("value") == nullptr ||
+        !mv.get("value")->is_number()) {
+      if (err != nullptr) {
+        *err = "perf report: metric entries need a string name and a "
+               "numeric value";
+      }
+      return false;
+    }
+    PerfMetric m;
+    m.name = mv.get("name")->str;
+    m.value = mv.get("value")->number;
+    m.unit = mv.string_or("unit", "");
+    m.noise = mv.number_or("noise", 0.0);
+    m.higher_is_better = mv.bool_or("higher_is_better", false);
+    m.gate = mv.bool_or("gate", false);
+    r.metrics.push_back(std::move(m));
+  }
+  *out = std::move(r);
+  return true;
+}
+
+bool PerfReport::save(const std::string& path, std::string* err) const {
+  return write_text_file(path, to_json(), err);
+}
+
+bool PerfReport::load(const std::string& path, PerfReport* out,
+                      std::string* err) {
+  std::string text;
+  if (!read_text_file(path, &text, err)) return false;
+  if (parse(text, out, err)) return true;
+  if (err != nullptr) *err = path + ": " + *err;
+  return false;
+}
+
+const char* to_string(PerfVerdict v) {
+  switch (v) {
+    case PerfVerdict::kOk: return "ok";
+    case PerfVerdict::kImproved: return "improved";
+    case PerfVerdict::kRegressed: return "REGRESSED";
+    case PerfVerdict::kMissing: return "MISSING";
+    case PerfVerdict::kNew: return "new";
+  }
+  return "?";
+}
+
+PerfComparison compare_perf(const PerfReport& baseline,
+                            const PerfReport& current,
+                            const PerfCompareOptions& opts) {
+  PerfComparison out;
+  out.schema_mismatch = baseline.schema_version != current.schema_version;
+
+  for (const PerfMetric& b : baseline.metrics) {
+    PerfDelta d;
+    d.name = b.name;
+    d.unit = b.unit;
+    d.baseline = b.value;
+    d.gated = opts.gate_all || b.gate;
+    const PerfMetric* c = current.find(b.name);
+    if (c == nullptr) {
+      d.verdict = PerfVerdict::kMissing;
+      ++out.missing;
+      out.deltas.push_back(std::move(d));
+      continue;
+    }
+    d.current = c->value;
+    d.tolerance =
+        std::max(opts.min_rel, opts.noise_mult * (b.noise + c->noise));
+    const double denom = std::abs(b.value);
+    d.rel_delta = denom > 0.0 ? (c->value - b.value) / denom
+                              : (c->value == b.value ? 0.0 : 1.0);
+    // "Worse" is up for lower-is-better metrics, down for higher-is-better.
+    const double worse = b.higher_is_better ? -d.rel_delta : d.rel_delta;
+    if (worse > d.tolerance) {
+      d.verdict = PerfVerdict::kRegressed;
+      ++out.regressions;
+      if (d.gated) ++out.gated_regressions;
+    } else if (worse < -d.tolerance) {
+      d.verdict = PerfVerdict::kImproved;
+      ++out.improvements;
+    }
+    out.deltas.push_back(std::move(d));
+  }
+  for (const PerfMetric& c : current.metrics) {
+    if (baseline.find(c.name) != nullptr) continue;
+    PerfDelta d;
+    d.name = c.name;
+    d.unit = c.unit;
+    d.current = c.value;
+    d.gated = opts.gate_all || c.gate;
+    d.verdict = PerfVerdict::kNew;
+    out.deltas.push_back(std::move(d));
+  }
+  return out;
+}
+
+namespace {
+
+std::string format_value(double v) {
+  char buf[32];
+  if (v == 0.0) {
+    std::snprintf(buf, sizeof(buf), "0");
+  } else if (std::abs(v) >= 1e6 || std::abs(v) < 1e-2) {
+    std::snprintf(buf, sizeof(buf), "%.3e", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3f", v);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string PerfComparison::table() const {
+  std::string out;
+  char buf[224];
+  std::snprintf(buf, sizeof(buf), "%-38s %12s %12s %8s %6s  %s\n", "metric",
+                "baseline", "current", "delta%", "tol%", "verdict");
+  out += buf;
+  for (const PerfDelta& d : deltas) {
+    std::string verdict = to_string(d.verdict);
+    if (!d.gated && d.verdict != PerfVerdict::kOk &&
+        d.verdict != PerfVerdict::kNew) {
+      verdict = "[" + verdict + "]";  // informational: outside the gate
+    }
+    std::snprintf(buf, sizeof(buf), "%-38s %12s %12s %+7.1f%% %5.0f%%  %s\n",
+                  d.name.c_str(), format_value(d.baseline).c_str(),
+                  format_value(d.current).c_str(), 100.0 * d.rel_delta,
+                  100.0 * d.tolerance, verdict.c_str());
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf),
+                "\n%d gated regression(s), %d regression(s) total, "
+                "%d improvement(s), %d missing%s\n",
+                gated_regressions, regressions, improvements, missing,
+                schema_mismatch ? ", SCHEMA VERSION MISMATCH" : "");
+  out += buf;
+  return out;
+}
+
+}  // namespace floc::telemetry

@@ -1,0 +1,119 @@
+// Perf-trajectory model: the schema-versioned BENCH_perf.json report the
+// canonical perf suite (bench/perf_suite) emits, and the noise-tolerant
+// comparison the regression gate (bench/perf_compare, scripts/check.sh perf
+// leg, CI) runs between two reports.
+//
+// Design (docs/INTERNALS.md, "Perf trajectory & regression gating"):
+//  * every metric records its own `noise` — the relative MAD (median absolute
+//    deviation / median) across the suite's repeats — so the compare
+//    tolerance is derived from the measurement's actual stability, not a
+//    global fudge factor;
+//  * metrics declare a direction (`higher_is_better`) and whether they are
+//    `gate`d: machine-portable metrics (allocation counts, relative-cost
+//    ratios like floc-vs-droptail) gate CI; absolute wall-clock metrics
+//    (ns/op, packets/sec) are recorded for the trajectory but do not fail a
+//    run on a different machine by default (perf_compare --gate-all flips
+//    that for same-machine A/B runs);
+//  * a metric present in the baseline but absent from the current report is
+//    schema drift and fails the compare — a rename must refresh the
+//    committed baseline, never silently drop trajectory.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace floc::telemetry {
+
+inline constexpr int kPerfSchemaVersion = 1;
+
+struct PerfMetric {
+  std::string name;   // dotted, e.g. "queue.floc.cbr.ns_per_pkt"
+  double value = 0.0;
+  std::string unit;   // "ns/op", "pkts/s", "allocs/kpkt", "ratio", "x"
+  double noise = 0.0;            // relative MAD across repeats, >= 0
+  bool higher_is_better = false;
+  bool gate = false;             // participates in the regression gate
+};
+
+struct PerfReport {
+  int schema_version = kPerfSchemaVersion;
+  std::string bench = "perf_suite";
+  std::string git;      // source revision of the emitting binary
+  std::string mode;     // "quick" | "full"
+  std::uint64_t seed = 0;
+  int repeats = 0;      // noise-estimation repeats per metric
+  std::vector<PerfMetric> metrics;
+
+  // Appends and returns the new metric (pointer valid until next append).
+  PerfMetric* add(const std::string& name, double value,
+                  const std::string& unit, double noise,
+                  bool higher_is_better, bool gate);
+  const PerfMetric* find(const std::string& name) const;
+
+  std::string to_json() const;
+  // Parses a report emitted by to_json(). False + human error in *err on
+  // malformed JSON or schema violations (missing fields, wrong types).
+  static bool parse(const std::string& text, PerfReport* out,
+                    std::string* err = nullptr);
+
+  bool save(const std::string& path, std::string* err = nullptr) const;
+  static bool load(const std::string& path, PerfReport* out,
+                   std::string* err = nullptr);
+};
+
+struct PerfCompareOptions {
+  // Per-metric relative tolerance:
+  //   tol = max(min_rel, noise_mult * (baseline.noise + current.noise)).
+  double noise_mult = 3.0;
+  double min_rel = 0.15;
+  // Gate every metric, not just the ones flagged `gate` (same-machine A/B).
+  bool gate_all = false;
+};
+
+enum class PerfVerdict : std::uint8_t {
+  kOk,         // within tolerance
+  kImproved,   // beyond tolerance in the good direction
+  kRegressed,  // beyond tolerance in the bad direction
+  kMissing,    // in baseline, absent from current (schema drift)
+  kNew,        // in current only (starts its trajectory)
+};
+
+const char* to_string(PerfVerdict v);
+
+struct PerfDelta {
+  std::string name;
+  std::string unit;
+  double baseline = 0.0;
+  double current = 0.0;
+  double rel_delta = 0.0;  // (current - baseline) / |baseline|
+  double tolerance = 0.0;
+  bool gated = false;
+  PerfVerdict verdict = PerfVerdict::kOk;
+};
+
+struct PerfComparison {
+  std::vector<PerfDelta> deltas;  // baseline order, then new metrics
+  int gated_regressions = 0;
+  int regressions = 0;  // including ungated ones
+  int improvements = 0;
+  int missing = 0;
+  bool schema_mismatch = false;  // schema_version differs
+
+  // The gate: schema matches, nothing gated regressed, nothing went missing.
+  bool ok() const {
+    return !schema_mismatch && gated_regressions == 0 && missing == 0;
+  }
+
+  // Human delta table, one row per metric:
+  //   metric  base  current  delta%  tol%  verdict
+  // Ungated rows print their verdict in brackets ("[regressed]") so a noisy
+  // wall-clock shift is visible without failing the gate.
+  std::string table() const;
+};
+
+PerfComparison compare_perf(const PerfReport& baseline,
+                            const PerfReport& current,
+                            const PerfCompareOptions& opts = {});
+
+}  // namespace floc::telemetry

@@ -64,21 +64,25 @@ std::string Profiler::report() const {
 
   const double total = static_cast<double>(std::max<std::uint64_t>(1, total_ns()));
   std::string out;
-  char buf[160];
-  std::snprintf(buf, sizeof(buf), "%-28s %12s %10s %6s %9s %9s %9s\n",
-                "section", "calls", "total", "%", "mean", "p50", "p99");
+  char buf[192];
+  std::snprintf(buf, sizeof(buf), "%-28s %12s %10s %6s %9s %9s %9s %9s\n",
+                "section", "calls", "total", "%", "mean", "p50", "p95", "p99");
   out += buf;
   for (const Section* s : rows) {
     const double mean =
         s->calls ? static_cast<double>(s->total_ns) / static_cast<double>(s->calls) : 0.0;
-    const double p50 = s->hist != nullptr ? s->hist->quantile(0.50) : 0.0;
-    const double p99 = s->hist != nullptr ? s->hist->quantile(0.99) : 0.0;
-    std::snprintf(buf, sizeof(buf), "%-28s %12llu %10s %5.1f%% %9s %9s %9s\n",
+    // Percentiles come from the per-section registry histogram; without an
+    // attached registry there is no distribution to quote, only totals.
+    const bool dist = s->hist != nullptr;
+    std::snprintf(buf, sizeof(buf),
+                  "%-28s %12llu %10s %5.1f%% %9s %9s %9s %9s\n",
                   s->name.c_str(), static_cast<unsigned long long>(s->calls),
                   format_ns(static_cast<double>(s->total_ns)).c_str(),
                   100.0 * static_cast<double>(s->total_ns) / total,
-                  format_ns(mean).c_str(), format_ns(p50).c_str(),
-                  format_ns(p99).c_str());
+                  format_ns(mean).c_str(),
+                  dist ? format_ns(s->hist->quantile(0.50)).c_str() : "-",
+                  dist ? format_ns(s->hist->quantile(0.95)).c_str() : "-",
+                  dist ? format_ns(s->hist->quantile(0.99)).c_str() : "-");
     out += buf;
   }
   return out;

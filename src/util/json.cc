@@ -1,0 +1,222 @@
+#include "util/json.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace floc::json {
+
+double Value::number_or(const std::string& key, double fallback) const {
+  const Value* v = get(key);
+  return v != nullptr && v->kind == kNumber ? v->number : fallback;
+}
+
+std::string Value::string_or(const std::string& key,
+                             const std::string& fallback) const {
+  const Value* v = get(key);
+  return v != nullptr && v->kind == kString ? v->str : fallback;
+}
+
+bool Value::bool_or(const std::string& key, bool fallback) const {
+  const Value* v = get(key);
+  return v != nullptr && v->kind == kBool ? v->boolean : fallback;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  bool parse(Value* out, std::string* err) {
+    skip_ws();
+    if (!value(out)) return fail(err);
+    skip_ws();
+    if (pos_ != s_.size()) {
+      what_ = "trailing garbage";
+      return fail(err);
+    }
+    return true;
+  }
+
+ private:
+  bool fail(std::string* err) {
+    if (err != nullptr) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "offset %zu: ", pos_);
+      *err = buf + (what_.empty() ? std::string("malformed JSON") : what_);
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool literal(const char* lit, std::size_t n) {
+    if (s_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  bool string(std::string* out) {
+    if (pos_ >= s_.size() || s_[pos_] != '"') {
+      what_ = "expected string";
+      return false;
+    }
+    ++pos_;
+    out->clear();
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char c = s_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= s_.size()) {
+          what_ = "unterminated escape";
+          return false;
+        }
+        const char esc = s_[pos_++];
+        switch (esc) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          default:
+            // \uXXXX, \b, \f: no emitter in this repo produces them.
+            what_ = std::string("unsupported escape \\") + esc;
+            return false;
+        }
+      }
+      *out += c;
+    }
+    if (pos_ >= s_.size()) {
+      what_ = "unterminated string";
+      return false;
+    }
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool value(Value* out) {
+    if (pos_ >= s_.size()) {
+      what_ = "unexpected end of input";
+      return false;
+    }
+    const char c = s_[pos_];
+    if (c == '{') return object(out);
+    if (c == '[') return array(out);
+    if (c == '"') {
+      out->kind = Value::kString;
+      return string(&out->str);
+    }
+    if (literal("true", 4)) {
+      out->kind = Value::kBool;
+      out->boolean = true;
+      return true;
+    }
+    if (literal("false", 5)) {
+      out->kind = Value::kBool;
+      out->boolean = false;
+      return true;
+    }
+    if (literal("null", 4)) {
+      out->kind = Value::kNull;
+      return true;
+    }
+    char* end = nullptr;
+    out->number = std::strtod(s_.c_str() + pos_, &end);
+    if (end == s_.c_str() + pos_) {
+      what_ = "expected value";
+      return false;
+    }
+    pos_ = static_cast<std::size_t>(end - s_.c_str());
+    out->kind = Value::kNumber;
+    return true;
+  }
+
+  bool object(Value* out) {
+    out->kind = Value::kObject;
+    ++pos_;  // '{'
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!string(&key)) return false;
+      skip_ws();
+      if (pos_ >= s_.size() || s_[pos_] != ':') {
+        what_ = "expected ':'";
+        return false;
+      }
+      ++pos_;
+      skip_ws();
+      Value v;
+      if (!value(&v)) return false;
+      out->fields.emplace(std::move(key), std::move(v));
+      skip_ws();
+      if (pos_ >= s_.size()) {
+        what_ = "unterminated object";
+        return false;
+      }
+      if (s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (s_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      what_ = "expected ',' or '}'";
+      return false;
+    }
+  }
+
+  bool array(Value* out) {
+    out->kind = Value::kArray;
+    ++pos_;  // '['
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      Value v;
+      if (!value(&v)) return false;
+      out->items.push_back(std::move(v));
+      skip_ws();
+      if (pos_ >= s_.size()) {
+        what_ = "unterminated array";
+        return false;
+      }
+      if (s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (s_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      what_ = "expected ',' or ']'";
+      return false;
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+  std::string what_;
+};
+
+}  // namespace
+
+bool parse(const std::string& text, Value* out, std::string* err) {
+  return Parser(text).parse(out, err);
+}
+
+}  // namespace floc::json

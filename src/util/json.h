@@ -1,0 +1,55 @@
+// Minimal JSON value model + recursive-descent parser.
+//
+// The repo emits JSON from several places (run manifests, Chrome traces,
+// event journals, alert histories, BENCH_perf.json perf reports) and needs to
+// read it back in exactly two: the perf-regression gate (perf_compare loads
+// two BENCH_perf.json files) and the tests that validate emitted artifacts
+// are well-formed. This parser covers the JSON subset those emitters produce:
+// objects, arrays, strings with simple escapes, numbers, booleans, null.
+// It rejects trailing garbage and reports the byte offset of the first error.
+//
+// Not a general-purpose JSON library: no \uXXXX escapes (no emitter in this
+// repo produces them), no duplicate-key policy beyond first-wins, and numbers
+// are always doubles.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace floc::json {
+
+struct Value {
+  enum Kind { kNull, kBool, kNumber, kString, kArray, kObject } kind = kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<Value> items;               // kArray
+  std::map<std::string, Value> fields;    // kObject (first key wins)
+
+  // Object field lookup; nullptr when absent or not an object.
+  const Value* get(const std::string& key) const {
+    if (kind != kObject) return nullptr;
+    const auto it = fields.find(key);
+    return it == fields.end() ? nullptr : &it->second;
+  }
+
+  bool is_string() const { return kind == kString; }
+  bool is_number() const { return kind == kNumber; }
+  bool is_array() const { return kind == kArray; }
+  bool is_object() const { return kind == kObject; }
+
+  // Typed field accessors with defaults, for tolerant readers.
+  double number_or(const std::string& key, double fallback) const;
+  std::string string_or(const std::string& key,
+                        const std::string& fallback) const;
+  bool bool_or(const std::string& key, bool fallback) const;
+};
+
+// Parses `text` into *out. Returns true on success; on failure returns false
+// and, when `err` is non-null, fills it with "offset N: <what went wrong>".
+// The whole input must be one JSON value (trailing garbage is an error).
+bool parse(const std::string& text, Value* out, std::string* err = nullptr);
+
+}  // namespace floc::json

@@ -201,6 +201,63 @@ TEST(Alerts, PrometheusRenderingSanitizesAndTypesMetrics) {
       << with_alerts;
 }
 
+// Pins the Prometheus text-exposition grammar: every `# TYPE` is preceded
+// by a `# HELP` for the same series, every exported name is legal
+// ([a-zA-Z_:][a-zA-Z0-9_:]*), and help text references the original dotted
+// registry name so a scrape can be traced back to its source metric.
+TEST(Alerts, PrometheusExpositionGrammar) {
+  MetricRegistry reg;
+  reg.counter("floc.caps.issued")->add(3);
+  reg.gauge("floc.window.size")->set(12.0);
+  reg.histogram("floc.verify.ns")->observe(100.0);
+
+  const std::string text = AlertEngine::render_prometheus(reg);
+
+  std::istringstream in(text);
+  std::string line;
+  std::string last_help_name;
+  while (std::getline(in, line)) {
+    if (line.rfind("# HELP ", 0) == 0) {
+      const std::string rest = line.substr(7);
+      const size_t sp = rest.find(' ');
+      ASSERT_NE(sp, std::string::npos) << line;
+      last_help_name = rest.substr(0, sp);
+      // Help text must mention the dotted source name.
+      EXPECT_NE(rest.find("floc."), std::string::npos) << line;
+    } else if (line.rfind("# TYPE ", 0) == 0) {
+      const std::string rest = line.substr(7);
+      const size_t sp = rest.find(' ');
+      ASSERT_NE(sp, std::string::npos) << line;
+      const std::string name = rest.substr(0, sp);
+      EXPECT_EQ(name, last_help_name) << "TYPE without preceding HELP: "
+                                      << line;
+      const std::string type = rest.substr(sp + 1);
+      EXPECT_TRUE(type == "counter" || type == "gauge") << line;
+    } else if (!line.empty()) {
+      // Sample line: legal metric name, space, value.
+      const size_t sp = line.find(' ');
+      ASSERT_NE(sp, std::string::npos) << line;
+      const std::string name = line.substr(0, sp);
+      ASSERT_FALSE(name.empty());
+      auto legal_first = [](char c) {
+        return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+               c == '_' || c == ':';
+      };
+      EXPECT_TRUE(legal_first(name[0])) << line;
+      for (char c : name) {
+        const bool ok = legal_first(c) || (c >= '0' && c <= '9');
+        EXPECT_TRUE(ok) << "illegal char in exported name: " << line;
+      }
+      EXPECT_EQ(name.find('.'), std::string::npos) << line;
+    }
+  }
+  // All three kinds actually rendered.
+  EXPECT_NE(text.find("# HELP floc_caps_issued_total"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# HELP floc_window_size"), std::string::npos);
+  EXPECT_NE(text.find("# HELP floc_verify_ns_p99"), std::string::npos);
+}
+
 TEST(Alerts, KindNamesExist) {
   EXPECT_STREQ(to_string(AlertKind::kRateRatio), "rate-ratio");
   EXPECT_STREQ(to_string(AlertKind::kThreshold), "threshold");

@@ -2,9 +2,10 @@
 // attached — or had it detached again — must do the exact same work as the
 // seed queue. We pin that down two ways:
 //
-//  1. Allocation parity. Global operator new/delete are replaced with
-//     counting versions (which is why this test lives in its own binary:
-//     the replacement is program-wide). A detached queue must allocate
+//  1. Allocation parity. Global operator new/delete are replaced with the
+//     shared counting versions from telemetry/alloc_counter.h (which is why
+//     this test lives in its own binary: the replacement is program-wide,
+//     same opt-in as bench/perf_suite). A detached queue must allocate
 //     exactly as much as a never-attached one over an identical workload,
 //     and a steady-state enqueue/dequeue loop must allocate (almost)
 //     nothing per packet.
@@ -12,42 +13,25 @@
 //  2. A generous wall-clock bound, as a smoke check that the pointer-null
 //     guard did not accidentally put a slow path (string formatting,
 //     journal append) on the packet path.
-#include <atomic>
 #include <chrono>
 #include <cstdlib>
 #include <new>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "core/floc_queue.h"
+#include "telemetry/alloc_counter.h"
 #include "telemetry/profiler.h"
 #include "telemetry/telemetry.h"
 #include "telemetry/tracing.h"
 
-namespace {
-
-std::atomic<std::uint64_t> g_allocs{0};
-std::atomic<std::uint64_t> g_frees{0};
-
-}  // namespace
-
-void* operator new(std::size_t n) {
-  g_allocs.fetch_add(1, std::memory_order_relaxed);
-  if (void* p = std::malloc(n ? n : 1)) return p;
-  throw std::bad_alloc();
-}
-
-void operator delete(void* p) noexcept {
-  if (p != nullptr) {
-    g_frees.fetch_add(1, std::memory_order_relaxed);
-    std::free(p);
-  }
-}
-
-void operator delete(void* p, std::size_t) noexcept { operator delete(p); }
+FLOC_DEFINE_COUNTING_ALLOCATOR
 
 namespace floc {
 namespace {
+
+using telemetry::ScopedAllocCount;
 
 FlocConfig bench_cfg() {
   FlocConfig cfg;
@@ -88,9 +72,9 @@ TEST(TelemetryFastPath, DetachedQueueAllocatesExactlyLikeSeedQueue) {
 
   // Baseline: telemetry never attached.
   FlocQueue plain(bench_cfg());
-  const std::uint64_t a0 = g_allocs.load();
+  ScopedAllocCount guard;
   const std::uint64_t plain_admitted = run_workload(plain, kPackets);
-  const std::uint64_t plain_allocs = g_allocs.load() - a0;
+  const std::uint64_t plain_allocs = guard.allocs();
 
   // Attached then detached: registration may allocate, but once journal_
   // is null again the packet path must be byte-for-byte the seed path.
@@ -100,9 +84,9 @@ TEST(TelemetryFastPath, DetachedQueueAllocatesExactlyLikeSeedQueue) {
     detached.attach_telemetry(&tel);
     detached.attach_telemetry(nullptr);
   }
-  const std::uint64_t a1 = g_allocs.load();
+  guard.reset();
   const std::uint64_t detached_admitted = run_workload(detached, kPackets);
-  const std::uint64_t detached_allocs = g_allocs.load() - a1;
+  const std::uint64_t detached_allocs = guard.allocs();
 
   EXPECT_EQ(plain_admitted, detached_admitted);
   EXPECT_EQ(plain.drops(), detached.drops());
@@ -119,18 +103,18 @@ TEST(TelemetryFastPath, AttachedButQuiescentAddsNoAllocations) {
   // guard allocates nothing.
   FlocQueue plain(bench_cfg());
   run_workload(plain, 50000);  // warm up flow tables, deque blocks
-  const std::uint64_t p0 = g_allocs.load();
+  ScopedAllocCount guard;
   run_workload(plain, 50000);
-  const std::uint64_t plain_steady = g_allocs.load() - p0;
+  const std::uint64_t plain_steady = guard.allocs();
 
   FlocQueue attached(bench_cfg());
   telemetry::Telemetry tel;
   run_workload(attached, 50000);
   attached.attach_telemetry(&tel);  // after warmup: registration is cold
   const std::uint64_t before_events = tel.journal.total();
-  const std::uint64_t a0 = g_allocs.load();
+  guard.reset();
   run_workload(attached, 50000);
-  const std::uint64_t attached_steady = g_allocs.load() - a0;
+  const std::uint64_t attached_steady = guard.allocs();
 
   // Quiescent run: nothing was journaled, so nothing may have allocated.
   ASSERT_EQ(tel.journal.total(), before_events);
@@ -144,9 +128,9 @@ TEST(TelemetryFastPath, DetachedTracerAndProfilerAllocateLikeSeedQueue) {
 
   FlocQueue plain(bench_cfg());
   run_workload(plain, kPackets);  // warm up flow tables, deque blocks
-  const std::uint64_t p0 = g_allocs.load();
+  ScopedAllocCount guard;
   const std::uint64_t plain_admitted = run_workload(plain, kPackets);
-  const std::uint64_t plain_steady = g_allocs.load() - p0;
+  const std::uint64_t plain_steady = guard.allocs();
 
   // Tracer and profiler attached, then detached again: the packet path must
   // be byte-for-byte the seed path (one pointer test per hook site).
@@ -160,9 +144,9 @@ TEST(TelemetryFastPath, DetachedTracerAndProfilerAllocateLikeSeedQueue) {
     detached.set_tracer(nullptr);
     detached.set_profiler(nullptr);
   }
-  const std::uint64_t d0 = g_allocs.load();
+  guard.reset();
   const std::uint64_t detached_admitted = run_workload(detached, kPackets);
-  const std::uint64_t detached_steady = g_allocs.load() - d0;
+  const std::uint64_t detached_steady = guard.allocs();
 
   EXPECT_EQ(plain_admitted, detached_admitted);
   EXPECT_EQ(plain_steady, detached_steady);
@@ -176,20 +160,51 @@ TEST(TelemetryFastPath, AttachedTracerIgnoresUntracedPackets) {
 
   FlocQueue plain(bench_cfg());
   run_workload(plain, kPackets);
-  const std::uint64_t p0 = g_allocs.load();
+  ScopedAllocCount guard;
   run_workload(plain, kPackets);
-  const std::uint64_t plain_steady = g_allocs.load() - p0;
+  const std::uint64_t plain_steady = guard.allocs();
 
   FlocQueue traced(bench_cfg());
   telemetry::Tracer tracer;
   run_workload(traced, kPackets);
   traced.set_tracer(&tracer);
-  const std::uint64_t t0 = g_allocs.load();
+  guard.reset();
   run_workload(traced, kPackets);
-  const std::uint64_t traced_steady = g_allocs.load() - t0;
+  const std::uint64_t traced_steady = guard.allocs();
 
   EXPECT_EQ(tracer.begun(), 0u);
   EXPECT_EQ(traced_steady, plain_steady);
+}
+
+TEST(ScopedAllocCount, CountsHeapTrafficInThisBinary) {
+  // This binary placed FLOC_DEFINE_COUNTING_ALLOCATOR, so new/delete tick
+  // the shared counters and the guard sees real deltas. The runtime-sized
+  // vector stops the optimizer from eliding the allocation outright
+  // (new-expression elision is legal since C++14).
+  volatile std::size_t n = 64;
+  ScopedAllocCount guard;
+  {
+    std::vector<std::uint64_t> v(n);
+    v[0] = 7;
+  }
+  EXPECT_GE(guard.allocs(), 1u);
+  EXPECT_GE(guard.frees(), 1u);
+  EXPECT_GE(guard.bytes(), 64 * sizeof(std::uint64_t));
+}
+
+TEST(ScopedAllocCount, GuardItselfAllocatesNothing) {
+  // The guard is snapshot/load only — constructing, resetting, and reading
+  // one must not itself touch the heap, or it could not sit on a fast path.
+  ScopedAllocCount outer;
+  {
+    ScopedAllocCount inner;
+    inner.reset();
+    (void)inner.allocs();
+    (void)inner.frees();
+    (void)inner.bytes();
+  }
+  EXPECT_EQ(outer.allocs(), 0u);
+  EXPECT_EQ(outer.frees(), 0u);
 }
 
 TEST(TelemetryFastPath, PerPacketCostStaysBounded) {

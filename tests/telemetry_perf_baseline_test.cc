@@ -1,0 +1,178 @@
+// Perf-trajectory model: BENCH_perf.json round-trip through to_json/parse,
+// and the regression-gate semantics of compare_perf — self-compare passes,
+// an injected 2x slowdown on a gated metric fails, a baseline metric missing
+// from the current report is schema drift, and noise widens tolerance.
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "telemetry/perf_baseline.h"
+
+namespace floc::telemetry {
+namespace {
+
+PerfReport sample_report() {
+  PerfReport r;
+  r.git = "abc1234";
+  r.mode = "quick";
+  r.seed = 42;
+  r.repeats = 3;
+  r.add("micro.siphash.ns", 18.5, "ns/op", 0.02, /*higher=*/false,
+        /*gate=*/false);
+  r.add("ratio.floc_vs_droptail.steady", 1.8, "ratio", 0.03, /*higher=*/false,
+        /*gate=*/true);
+  r.add("alloc.floc_steady.allocs_per_kpkt", 12.0, "allocs/kpkt", 0.0,
+        /*higher=*/false, /*gate=*/true);
+  r.add("macro.fig06.events_per_sec", 5.0e5, "events/s", 0.05,
+        /*higher=*/true, /*gate=*/false);
+  return r;
+}
+
+TEST(PerfBaseline, JsonRoundTripPreservesEverything) {
+  const PerfReport r = sample_report();
+  PerfReport back;
+  std::string err;
+  ASSERT_TRUE(PerfReport::parse(r.to_json(), &back, &err)) << err;
+  EXPECT_EQ(back.schema_version, kPerfSchemaVersion);
+  EXPECT_EQ(back.bench, r.bench);
+  EXPECT_EQ(back.git, r.git);
+  EXPECT_EQ(back.mode, r.mode);
+  EXPECT_EQ(back.seed, r.seed);
+  EXPECT_EQ(back.repeats, r.repeats);
+  ASSERT_EQ(back.metrics.size(), r.metrics.size());
+  for (std::size_t i = 0; i < r.metrics.size(); ++i) {
+    EXPECT_EQ(back.metrics[i].name, r.metrics[i].name);
+    EXPECT_DOUBLE_EQ(back.metrics[i].value, r.metrics[i].value);
+    EXPECT_EQ(back.metrics[i].unit, r.metrics[i].unit);
+    EXPECT_DOUBLE_EQ(back.metrics[i].noise, r.metrics[i].noise);
+    EXPECT_EQ(back.metrics[i].higher_is_better, r.metrics[i].higher_is_better);
+    EXPECT_EQ(back.metrics[i].gate, r.metrics[i].gate);
+  }
+}
+
+TEST(PerfBaseline, SaveLoadRoundTrip) {
+  const PerfReport r = sample_report();
+  const std::string path = "perf_baseline_test.BENCH.json";
+  std::string err;
+  ASSERT_TRUE(r.save(path, &err)) << err;
+  PerfReport back;
+  ASSERT_TRUE(PerfReport::load(path, &back, &err)) << err;
+  EXPECT_EQ(back.metrics.size(), r.metrics.size());
+  std::remove(path.c_str());
+}
+
+TEST(PerfBaseline, SelfCompareIsClean) {
+  const PerfReport r = sample_report();
+  const PerfComparison cmp = compare_perf(r, r);
+  EXPECT_TRUE(cmp.ok());
+  EXPECT_EQ(cmp.gated_regressions, 0);
+  EXPECT_EQ(cmp.regressions, 0);
+  EXPECT_EQ(cmp.improvements, 0);
+  EXPECT_EQ(cmp.missing, 0);
+  for (const PerfDelta& d : cmp.deltas) {
+    EXPECT_EQ(d.verdict, PerfVerdict::kOk) << d.name;
+  }
+}
+
+TEST(PerfBaseline, InjectedSlowdownOnGatedMetricFailsGate) {
+  const PerfReport base = sample_report();
+  PerfReport slow = base;
+  for (PerfMetric& m : slow.metrics) {
+    if (m.name == "ratio.floc_vs_droptail.steady") m.value *= 2.0;  // 2x worse
+  }
+  const PerfComparison cmp = compare_perf(base, slow);
+  EXPECT_FALSE(cmp.ok());
+  EXPECT_EQ(cmp.gated_regressions, 1);
+  bool found = false;
+  for (const PerfDelta& d : cmp.deltas) {
+    if (d.name != "ratio.floc_vs_droptail.steady") continue;
+    found = true;
+    EXPECT_EQ(d.verdict, PerfVerdict::kRegressed);
+    EXPECT_TRUE(d.gated);
+    EXPECT_NEAR(d.rel_delta, 1.0, 1e-9);
+  }
+  EXPECT_TRUE(found);
+  // The human table marks the row for the log reader.
+  EXPECT_NE(cmp.table().find("REGRESSED"), std::string::npos) << cmp.table();
+}
+
+TEST(PerfBaseline, UngatedSlowdownIsReportedButDoesNotFail) {
+  const PerfReport base = sample_report();
+  PerfReport slow = base;
+  for (PerfMetric& m : slow.metrics) {
+    if (m.name == "micro.siphash.ns") m.value *= 2.0;
+  }
+  const PerfComparison cmp = compare_perf(base, slow);
+  EXPECT_TRUE(cmp.ok());  // gate unaffected
+  EXPECT_EQ(cmp.gated_regressions, 0);
+  EXPECT_EQ(cmp.regressions, 1);  // still counted and visible
+  // --gate-all promotes it to a failure (same-machine A/B mode).
+  PerfCompareOptions all;
+  all.gate_all = true;
+  EXPECT_EQ(compare_perf(base, slow, all).gated_regressions, 1);
+}
+
+TEST(PerfBaseline, ImprovementInGoodDirectionIsNotARegression) {
+  const PerfReport base = sample_report();
+  PerfReport fast = base;
+  for (PerfMetric& m : fast.metrics) {
+    if (m.name == "macro.fig06.events_per_sec") m.value *= 2.0;  // higher=good
+    if (m.name == "ratio.floc_vs_droptail.steady") m.value *= 0.5;  // lower=good
+  }
+  const PerfComparison cmp = compare_perf(base, fast);
+  EXPECT_TRUE(cmp.ok());
+  EXPECT_EQ(cmp.improvements, 2);
+}
+
+TEST(PerfBaseline, MissingBaselineMetricIsSchemaDrift) {
+  const PerfReport base = sample_report();
+  PerfReport renamed = base;
+  renamed.metrics[1].name = "ratio.floc_vs_droptail.renamed";
+  const PerfComparison cmp = compare_perf(base, renamed);
+  EXPECT_FALSE(cmp.ok());
+  EXPECT_EQ(cmp.missing, 1);
+  bool saw_missing = false, saw_new = false;
+  for (const PerfDelta& d : cmp.deltas) {
+    if (d.verdict == PerfVerdict::kMissing) saw_missing = true;
+    if (d.verdict == PerfVerdict::kNew) saw_new = true;
+  }
+  EXPECT_TRUE(saw_missing);
+  EXPECT_TRUE(saw_new);  // the renamed metric starts a new trajectory
+}
+
+TEST(PerfBaseline, SchemaVersionMismatchFailsCompare) {
+  const PerfReport base = sample_report();
+  PerfReport other = base;
+  other.schema_version = kPerfSchemaVersion + 1;
+  const PerfComparison cmp = compare_perf(base, other);
+  EXPECT_TRUE(cmp.schema_mismatch);
+  EXPECT_FALSE(cmp.ok());
+}
+
+TEST(PerfBaseline, NoiseWidensTolerance) {
+  // A 40% shift on a metric whose recorded noise is 10%+10% stays within
+  // tol = 3 * 0.20 = 60%; the same shift with near-zero noise regresses
+  // (tol = max(0.15, ~0)).
+  PerfReport base, cur;
+  base.add("noisy.metric", 100.0, "ns/op", 0.10, false, true);
+  cur.add("noisy.metric", 140.0, "ns/op", 0.10, false, true);
+  EXPECT_TRUE(compare_perf(base, cur).ok());
+
+  PerfReport base2, cur2;
+  base2.add("stable.metric", 100.0, "ns/op", 0.001, false, true);
+  cur2.add("stable.metric", 140.0, "ns/op", 0.001, false, true);
+  EXPECT_EQ(compare_perf(base2, cur2).gated_regressions, 1);
+}
+
+TEST(PerfBaseline, ParseRejectsGarbageAndWrongShape) {
+  PerfReport out;
+  std::string err;
+  EXPECT_FALSE(PerfReport::parse("not json", &out, &err));
+  EXPECT_FALSE(err.empty());
+  EXPECT_FALSE(PerfReport::parse("[1, 2]", &out, &err));  // not an object
+  EXPECT_FALSE(PerfReport::parse("{}", &out, &err));      // missing fields
+}
+
+}  // namespace
+}  // namespace floc::telemetry

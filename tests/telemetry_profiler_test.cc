@@ -69,6 +69,32 @@ TEST(Profiler, ReportListsSectionsSortedByTotal) {
   EXPECT_LT(rep.find("big"), rep.find("small"));  // sorted desc by total
 }
 
+TEST(Profiler, ReportShowsPercentilesWithRegistry) {
+  MetricRegistry reg;
+  Profiler prof(&reg, "prof.test");
+  Profiler::Section* s = prof.section("verify");
+  for (int i = 0; i < 100; ++i) s->record(1000);
+  const std::string rep = prof.report();
+  EXPECT_NE(rep.find("p50"), std::string::npos) << rep;
+  EXPECT_NE(rep.find("p95"), std::string::npos) << rep;
+  EXPECT_NE(rep.find("p99"), std::string::npos) << rep;
+  // With a registry-backed histogram the row carries real quantiles, not
+  // the "-" placeholder.
+  const size_t row = rep.find("verify");
+  ASSERT_NE(row, std::string::npos);
+  EXPECT_EQ(rep.find(" -", row), std::string::npos) << rep;
+}
+
+TEST(Profiler, ReportWithoutRegistryShowsPlaceholders) {
+  Profiler prof;  // no registry: sections have no histogram
+  prof.section("bare")->record(500);
+  const std::string rep = prof.report();
+  const size_t row = rep.find("bare");
+  ASSERT_NE(row, std::string::npos);
+  // mean column still renders, percentile columns degrade to "-".
+  EXPECT_NE(rep.find(" -", row), std::string::npos) << rep;
+}
+
 TEST(Profiler, ResetZeroesCountersButKeepsSections) {
   Profiler prof;
   Profiler::Section* s = prof.section("x");

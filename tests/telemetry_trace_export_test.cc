@@ -1,196 +1,36 @@
 // Trace exporters, validated by parsing: chrome_trace_json() must be real
-// Chrome trace-event JSON (a minimal recursive-descent parser asserts the
-// schema event by event), and a fig06-style TreeScenario run must contain at
+// Chrome trace-event JSON (util/json parses it and the schema is asserted
+// event by event), and a fig06-style TreeScenario run must contain at
 // least one full causal chain — TCP send span -> queue-residency span with
 // the FLoc admission verdict (mode; DropReason on drops) -> link
 // serialization slice. spans_csv() is checked for shape on the same data.
-#include <cctype>
-#include <cstdlib>
 #include <map>
-#include <memory>
 #include <string>
-#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "telemetry/trace_export.h"
 #include "telemetry/tracing.h"
 #include "topology/tree_scenario.h"
+#include "util/json.h"
 
 namespace floc::telemetry {
 namespace {
 
-// --- Minimal JSON parser (objects/arrays/strings/numbers/bools/null) -------
-
-struct JsonValue {
-  enum Kind { kNull, kBool, kNumber, kString, kArray, kObject } kind = kNull;
-  bool boolean = false;
-  double number = 0.0;
-  std::string str;
-  std::vector<JsonValue> items;
-  std::map<std::string, JsonValue> fields;
-
-  const JsonValue* get(const std::string& key) const {
-    const auto it = fields.find(key);
-    return it == fields.end() ? nullptr : &it->second;
-  }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(const std::string& text) : s_(text) {}
-
-  bool parse(JsonValue* out) {
-    skip_ws();
-    if (!value(out)) return false;
-    skip_ws();
-    return pos_ == s_.size();  // no trailing garbage
-  }
-
- private:
-  void skip_ws() {
-    while (pos_ < s_.size() &&
-           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
-      ++pos_;
-    }
-  }
-  bool literal(const char* lit) {
-    const std::size_t n = std::string(lit).size();
-    if (s_.compare(pos_, n, lit) != 0) return false;
-    pos_ += n;
-    return true;
-  }
-  bool string(std::string* out) {
-    if (pos_ >= s_.size() || s_[pos_] != '"') return false;
-    ++pos_;
-    out->clear();
-    while (pos_ < s_.size() && s_[pos_] != '"') {
-      char c = s_[pos_++];
-      if (c == '\\') {
-        if (pos_ >= s_.size()) return false;
-        const char esc = s_[pos_++];
-        switch (esc) {
-          case '"': c = '"'; break;
-          case '\\': c = '\\'; break;
-          case 'n': c = '\n'; break;
-          case 't': c = '\t'; break;
-          case '/': c = '/'; break;
-          default: return false;  // \uXXXX etc. not produced by the exporter
-        }
-      }
-      *out += c;
-    }
-    if (pos_ >= s_.size()) return false;
-    ++pos_;  // closing quote
-    return true;
-  }
-  bool value(JsonValue* out) {
-    if (pos_ >= s_.size()) return false;
-    const char c = s_[pos_];
-    if (c == '{') return object(out);
-    if (c == '[') return array(out);
-    if (c == '"') {
-      out->kind = JsonValue::kString;
-      return string(&out->str);
-    }
-    if (literal("true")) {
-      out->kind = JsonValue::kBool;
-      out->boolean = true;
-      return true;
-    }
-    if (literal("false")) {
-      out->kind = JsonValue::kBool;
-      out->boolean = false;
-      return true;
-    }
-    if (literal("null")) {
-      out->kind = JsonValue::kNull;
-      return true;
-    }
-    char* end = nullptr;
-    out->number = std::strtod(s_.c_str() + pos_, &end);
-    if (end == s_.c_str() + pos_) return false;
-    pos_ = static_cast<std::size_t>(end - s_.c_str());
-    out->kind = JsonValue::kNumber;
-    return true;
-  }
-  bool object(JsonValue* out) {
-    out->kind = JsonValue::kObject;
-    ++pos_;  // '{'
-    skip_ws();
-    if (pos_ < s_.size() && s_[pos_] == '}') {
-      ++pos_;
-      return true;
-    }
-    while (true) {
-      skip_ws();
-      std::string key;
-      if (!string(&key)) return false;
-      skip_ws();
-      if (pos_ >= s_.size() || s_[pos_] != ':') return false;
-      ++pos_;
-      skip_ws();
-      JsonValue v;
-      if (!value(&v)) return false;
-      out->fields.emplace(std::move(key), std::move(v));
-      skip_ws();
-      if (pos_ >= s_.size()) return false;
-      if (s_[pos_] == ',') {
-        ++pos_;
-        continue;
-      }
-      if (s_[pos_] == '}') {
-        ++pos_;
-        return true;
-      }
-      return false;
-    }
-  }
-  bool array(JsonValue* out) {
-    out->kind = JsonValue::kArray;
-    ++pos_;  // '['
-    skip_ws();
-    if (pos_ < s_.size() && s_[pos_] == ']') {
-      ++pos_;
-      return true;
-    }
-    while (true) {
-      skip_ws();
-      JsonValue v;
-      if (!value(&v)) return false;
-      out->items.push_back(std::move(v));
-      skip_ws();
-      if (pos_ >= s_.size()) return false;
-      if (s_[pos_] == ',') {
-        ++pos_;
-        continue;
-      }
-      if (s_[pos_] == ']') {
-        ++pos_;
-        return true;
-      }
-      return false;
-    }
-  }
-
-  const std::string& s_;
-  std::size_t pos_ = 0;
-};
-
 // Every trace event must carry the fields its phase requires.
-void check_event_schema(const JsonValue& ev) {
-  ASSERT_EQ(ev.kind, JsonValue::kObject);
-  const JsonValue* ph = ev.get("ph");
+void check_event_schema(const json::Value& ev) {
+  ASSERT_EQ(ev.kind, json::Value::kObject);
+  const json::Value* ph = ev.get("ph");
   ASSERT_NE(ph, nullptr);
-  ASSERT_EQ(ph->kind, JsonValue::kString);
-  const JsonValue* name = ev.get("name");
+  ASSERT_EQ(ph->kind, json::Value::kString);
+  const json::Value* name = ev.get("name");
   ASSERT_NE(name, nullptr);
-  const JsonValue* pid = ev.get("pid");
+  const json::Value* pid = ev.get("pid");
   ASSERT_NE(pid, nullptr);
-  EXPECT_EQ(pid->kind, JsonValue::kNumber);
+  EXPECT_EQ(pid->kind, json::Value::kNumber);
   if (ph->str == "M") return;  // metadata: name/pid/args only
   ASSERT_NE(ev.get("ts"), nullptr);
-  EXPECT_EQ(ev.get("ts")->kind, JsonValue::kNumber);
+  EXPECT_EQ(ev.get("ts")->kind, json::Value::kNumber);
   ASSERT_NE(ev.get("tid"), nullptr);
   if (ph->str == "X") {
     ASSERT_NE(ev.get("dur"), nullptr);
@@ -216,17 +56,18 @@ TEST(TraceExport, HandBuiltSpansExportValidChromeJson) {
 
   TraceExportOptions opts;
   opts.process_names.emplace_back(3, "router \"R\"");
-  const std::string json = chrome_trace_json(tr, opts);
+  const std::string out = chrome_trace_json(tr, opts);
 
-  JsonValue root;
-  ASSERT_TRUE(JsonParser(json).parse(&root)) << json;
-  ASSERT_EQ(root.kind, JsonValue::kObject);
-  const JsonValue* events = root.get("traceEvents");
+  json::Value root;
+  std::string err;
+  ASSERT_TRUE(json::parse(out, &root, &err)) << err << "\n" << out;
+  ASSERT_EQ(root.kind, json::Value::kObject);
+  const json::Value* events = root.get("traceEvents");
   ASSERT_NE(events, nullptr);
-  ASSERT_EQ(events->kind, JsonValue::kArray);
+  ASSERT_EQ(events->kind, json::Value::kArray);
 
   int meta = 0, complete = 0, begins = 0, ends = 0;
-  for (const JsonValue& ev : events->items) {
+  for (const json::Value& ev : events->items) {
     check_event_schema(ev);
     const std::string& ph = ev.get("ph")->str;
     if (ph == "M") ++meta;
@@ -241,10 +82,10 @@ TEST(TraceExport, HandBuiltSpansExportValidChromeJson) {
 
   // The dropped span's verdict survives escaping and lands in args.
   bool saw_drop_annot = false;
-  for (const JsonValue& ev : events->items) {
-    const JsonValue* args = ev.get("args");
+  for (const json::Value& ev : events->items) {
+    const json::Value* args = ev.get("args");
     if (args == nullptr) continue;
-    const JsonValue* annot = args->get("annot");
+    const json::Value* annot = args->get("annot");
     if (annot != nullptr &&
         annot->str.find("drop=queue-full") != std::string::npos) {
       saw_drop_annot = true;
@@ -320,13 +161,14 @@ TEST(TraceExport, Fig06ScenarioProducesFullSpanChain) {
   // The whole run exports as parseable Chrome trace JSON...
   TraceExportOptions opts;
   opts.process_names.emplace_back(s.target_link()->to()->id(), "target");
-  const std::string json = chrome_trace_json(tracer, opts);
-  JsonValue root;
-  ASSERT_TRUE(JsonParser(json).parse(&root));
-  const JsonValue* events = root.get("traceEvents");
+  const std::string out = chrome_trace_json(tracer, opts);
+  json::Value root;
+  std::string err;
+  ASSERT_TRUE(json::parse(out, &root, &err)) << err;
+  const json::Value* events = root.get("traceEvents");
   ASSERT_NE(events, nullptr);
   ASSERT_GT(events->items.size(), 10u);
-  for (const JsonValue& ev : events->items) check_event_schema(ev);
+  for (const json::Value& ev : events->items) check_event_schema(ev);
 
   // ...and as the flat CSV with one row per closed span.
   const std::string csv = spans_csv(tracer);

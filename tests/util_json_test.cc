@@ -1,0 +1,82 @@
+// util/json: the minimal parser behind perf_compare and the artifact
+// well-formedness tests. Pins the accepted subset (objects, arrays, strings
+// with simple escapes, numbers, booleans, null), the typed accessors, and
+// the rejection behavior (trailing garbage, truncation, bad escapes) with
+// byte-offset error messages.
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "util/json.h"
+
+namespace floc::json {
+namespace {
+
+TEST(Json, ParsesScalarsAndContainers) {
+  Value v;
+  ASSERT_TRUE(parse(R"({"a": 1.5, "b": "x", "c": true, "d": null,
+                        "e": [1, 2, 3], "f": {"nested": -2e3}})",
+                    &v));
+  ASSERT_TRUE(v.is_object());
+  EXPECT_DOUBLE_EQ(v.get("a")->number, 1.5);
+  EXPECT_EQ(v.get("b")->str, "x");
+  EXPECT_TRUE(v.get("c")->boolean);
+  EXPECT_EQ(v.get("d")->kind, Value::kNull);
+  ASSERT_TRUE(v.get("e")->is_array());
+  ASSERT_EQ(v.get("e")->items.size(), 3u);
+  EXPECT_DOUBLE_EQ(v.get("e")->items[1].number, 2.0);
+  EXPECT_DOUBLE_EQ(v.get("f")->get("nested")->number, -2000.0);
+}
+
+TEST(Json, TypedAccessorsFallBackOnMissingOrWrongKind) {
+  Value v;
+  ASSERT_TRUE(parse(R"({"n": 3, "s": "hi", "flag": false})", &v));
+  EXPECT_DOUBLE_EQ(v.number_or("n", -1.0), 3.0);
+  EXPECT_DOUBLE_EQ(v.number_or("absent", -1.0), -1.0);
+  EXPECT_DOUBLE_EQ(v.number_or("s", -1.0), -1.0);  // wrong kind
+  EXPECT_EQ(v.string_or("s", "dflt"), "hi");
+  EXPECT_EQ(v.string_or("n", "dflt"), "dflt");
+  EXPECT_FALSE(v.bool_or("flag", true));
+  EXPECT_TRUE(v.bool_or("absent", true));
+}
+
+TEST(Json, StringEscapes) {
+  Value v;
+  ASSERT_TRUE(parse(R"({"k": "a\"b\\c\nd\te\/f"})", &v));
+  EXPECT_EQ(v.get("k")->str, "a\"b\\c\nd\te/f");
+}
+
+TEST(Json, GetOnNonObjectReturnsNull) {
+  Value v;
+  ASSERT_TRUE(parse("[1, 2]", &v));
+  EXPECT_EQ(v.get("anything"), nullptr);
+}
+
+TEST(Json, RejectsMalformedInputWithOffset) {
+  const char* bad[] = {
+      "",                    // empty
+      "{\"a\": }",           // missing value
+      "{\"a\": 1",           // unterminated object
+      "[1, 2",               // unterminated array
+      "\"unterminated",      // unterminated string
+      "{\"a\": 1} extra",    // trailing garbage
+      "{\"a\" 1}",           // missing colon
+      "{\"e\": \"\\q\"}",    // unsupported escape
+      "nul",                 // truncated literal
+  };
+  for (const char* text : bad) {
+    Value v;
+    std::string err;
+    EXPECT_FALSE(parse(text, &v, &err)) << text;
+    EXPECT_NE(err.find("offset"), std::string::npos) << text << " -> " << err;
+  }
+}
+
+TEST(Json, FirstKeyWinsOnDuplicates) {
+  Value v;
+  ASSERT_TRUE(parse(R"({"k": 1, "k": 2})", &v));
+  EXPECT_DOUBLE_EQ(v.get("k")->number, 1.0);
+}
+
+}  // namespace
+}  // namespace floc::json
