@@ -34,6 +34,7 @@
 
 #include "bench/bench_common.h"
 #include "faultsim/sim_monitor.h"
+#include "telemetry/flight_recorder.h"
 #include "telemetry/telemetry.h"
 #include "telemetry/time_series.h"
 
@@ -125,8 +126,20 @@ CaseResult run_case(const Strategy& strat, bool hardened, std::uint64_t seed,
                                        cfg.floc.control_interval);
   sampler.attach(&sim, cfg.duration);
 
+  char stem[96];
+  std::snprintf(stem, sizeof(stem), "ablation_adaptive_%s_%s", strat.name,
+                hardened ? "on" : "off");
+
+  // Flight recorder: invariant violations and the never-detected gate
+  // freeze the full FlocQueue decision state for post-mortem inspection.
+  telemetry::FlightRecorder recorder(&tel.registry);
+  recorder.set_journal(&tel.journal);
+  recorder.set_bench(stem);
+  recorder.add_queue("floc-bottleneck", fq);
+
   SimMonitor mon;
   mon.set_journal(&tel.journal);
+  mon.set_flight_recorder(&recorder);
   mon.watch_queue("floc-bottleneck", fq);
   mon.attach(&sim, 0.5, cfg.duration);
 
@@ -171,6 +184,7 @@ CaseResult run_case(const Strategy& strat, bool hardened, std::uint64_t seed,
         ++fp_probes;
         if (fq->is_attack_path(path)) ++fp_hits;
       }
+      recorder.sample(sim.now());
     });
   }
 
@@ -190,6 +204,18 @@ CaseResult run_case(const Strategy& strat, bool hardened, std::uint64_t seed,
   r.escalations = tel.journal.count(telemetry::EventKind::kBackoffEscalate);
   r.blacklists = tel.journal.count(telemetry::EventKind::kBlacklistAdd);
   r.violations = mon.violations().size();
+
+  // In-case gate capture: an attack the defense never flagged is the
+  // failure worth a post-mortem bundle here.
+  if (strat.attack != AttackType::kNone && r.detect_latency < 0.0) {
+    telemetry::IncidentTrigger trig;
+    trig.source = telemetry::IncidentTrigger::Source::kGate;
+    trig.time = cfg.duration;
+    trig.name = "attack_never_detected";
+    trig.detail = std::string("strategy=") + strat.name +
+                  " hardened=" + (hardened ? "on" : "off");
+    recorder.capture(trig);
+  }
 
   // Evasion half-life: windowed attack goodput, peak after attack start,
   // first window at/below half the peak afterwards.
@@ -231,6 +257,13 @@ CaseResult run_case(const Strategy& strat, bool hardened, std::uint64_t seed,
     std::fprintf(stderr, "ablation_adaptive: %s\n", err.c_str());
   }
   r.artifacts.emplace_back(name);
+  std::snprintf(name, sizeof(name), "%s.incident.json", stem);
+  if (!recorder.save(name, &err)) {
+    std::fprintf(stderr, "ablation_adaptive: %s\n", err.c_str());
+  }
+  r.artifacts.emplace_back(name);
+  const std::string mpath = save_metrics(tel.registry, a, stem);
+  if (!mpath.empty()) r.artifacts.push_back(mpath);
   r.wall_seconds = static_cast<double>(telemetry::clock_ns() - t0) / 1e9;
   return r;
 }

@@ -200,6 +200,11 @@ CaseResult run_case(DefenseScheme scheme, FaultKind fault, std::uint64_t seed,
     }
     r.artifacts.emplace_back(name);
   }
+  const std::string mpath =
+      save_metrics(tel.registry, a,
+                   std::string("ablation_churn_") + floc::to_string(scheme) +
+                       "_" + to_string(fault));
+  if (!mpath.empty()) r.artifacts.push_back(mpath);
   r.wall_seconds = static_cast<double>(telemetry::clock_ns() - t0) / 1e9;
   return r;
 }

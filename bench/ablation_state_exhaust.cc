@@ -39,6 +39,7 @@
 #include "bench/bench_common.h"
 #include "faultsim/sim_monitor.h"
 #include "telemetry/alerts.h"
+#include "telemetry/flight_recorder.h"
 #include "telemetry/telemetry.h"
 #include "telemetry/time_series.h"
 
@@ -124,8 +125,23 @@ CaseResult run_case(bool churn, bool bounded, std::uint64_t seed,
     alerts.add_rule(o);
   }
 
+  const char* akey = churn ? "churn" : "baseline";
+  const char* bkey = bounded ? "on" : "off";
+  char stem[96];
+  std::snprintf(stem, sizeof(stem), "ablation_state_exhaust_%s_%s", akey,
+                bkey);
+
+  // Flight recorder: alert fires and invariant violations freeze a bundle
+  // with the full FlocQueue decision state (budget occupancy included).
+  telemetry::FlightRecorder recorder(&tel.registry);
+  recorder.set_journal(&tel.journal);
+  recorder.set_bench(stem);
+  recorder.add_queue("floc-bottleneck", fq);
+  alerts.set_flight_recorder(&recorder);
+
   SimMonitor mon;
   mon.set_journal(&tel.journal);
+  mon.set_flight_recorder(&recorder);
   mon.watch_queue("floc-bottleneck", fq);
   mon.attach(&sim, 0.5, cfg.duration);
 
@@ -134,12 +150,13 @@ CaseResult run_case(bool churn, bool bounded, std::uint64_t seed,
   CaseResult r;
   constexpr TimeSec kProbeStep = 0.25;
   for (TimeSec t = kProbeStep; t < cfg.duration; t += kProbeStep) {
-    sim.schedule_at(t, [&r, fq, &alerts, &sim] {
+    sim.schedule_at(t, [&r, fq, &alerts, &recorder, &sim] {
       r.origins_max = std::max(
           r.origins_max, static_cast<std::size_t>(fq->active_origin_path_count()));
       r.flows_max = std::max(r.flows_max, fq->max_path_flow_count());
       r.offense_max = std::max(r.offense_max, fq->offense_size());
       r.offenders_max = std::max(r.offenders_max, fq->offender_size());
+      recorder.sample(sim.now());
       alerts.sample(sim.now());
     });
   }
@@ -158,11 +175,24 @@ CaseResult run_case(bool churn, bool bounded, std::uint64_t seed,
   r.evict_storm_fires = alerts.fired("state_evict_storm");
   r.violations = mon.violations().size();
 
-  // Artifacts: journal, alert history, and a Prometheus scrape per case.
+  // In-case gate capture: a bounded table past its budget is THE failure
+  // this scorecard exists to catch — freeze the full queue state for it.
+  if (bounded &&
+      (r.origins_max > kOriginBudget || r.flows_max > kFlowBudget ||
+       r.offense_max > kOffenseBudget || r.offenders_max > kOffenderBudget)) {
+    telemetry::IncidentTrigger trig;
+    trig.source = telemetry::IncidentTrigger::Source::kGate;
+    trig.time = cfg.duration;
+    trig.name = "bounded_table_over_budget";
+    trig.detail = "a bounded defense table exceeded its capacity budget";
+    trig.observed = static_cast<double>(r.origins_max);
+    recorder.capture(trig);
+  }
+
+  // Artifacts: journal, alert history, incidents, and a Prometheus scrape
+  // per case.
   char name[96];
   std::string err;
-  const char* akey = churn ? "churn" : "baseline";
-  const char* bkey = bounded ? "on" : "off";
   std::snprintf(name, sizeof(name),
                 "ablation_state_exhaust_%s_%s.journal.json", akey, bkey);
   if (!tel.journal.save(name, &err)) {
@@ -182,6 +212,13 @@ CaseResult run_case(bool churn, bool bounded, std::uint64_t seed,
     std::fprintf(stderr, "ablation_state_exhaust: %s\n", err.c_str());
   }
   r.artifacts.emplace_back(name);
+  std::snprintf(name, sizeof(name), "%s.incident.json", stem);
+  if (!recorder.save(name, &err)) {
+    std::fprintf(stderr, "ablation_state_exhaust: %s\n", err.c_str());
+  }
+  r.artifacts.emplace_back(name);
+  const std::string mpath = save_metrics(tel.registry, a, stem);
+  if (!mpath.empty()) r.artifacts.push_back(mpath);
   r.wall_seconds = static_cast<double>(telemetry::clock_ns() - t0) / 1e9;
   return r;
 }

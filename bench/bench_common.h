@@ -18,8 +18,10 @@
 
 #include "runner/scenario_runner.h"
 #include "telemetry/file_util.h"
+#include "telemetry/metrics.h"
 #include "telemetry/profiler.h"
 #include "topology/tree_scenario.h"
+#include "util/json.h"
 #include "util/seed.h"
 #include "util/stats.h"
 
@@ -32,6 +34,9 @@ struct BenchArgs {
   TimeSec measure_start = 20.0;
   std::uint64_t seed = 1;
   int jobs = 1;          // --jobs N: scenario-grid parallelism (0 = auto)
+  // --metrics-out csv|json: final-value registry export via save_metrics()
+  // ("none" writes nothing).
+  std::string metrics_out = "none";
 
   static BenchArgs parse(int argc, char** argv) {
     BenchArgs a;
@@ -51,10 +56,15 @@ struct BenchArgs {
       } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
         a.jobs = std::atoi(argv[++i]);
         if (a.jobs <= 0) a.jobs = runner::default_jobs();
+      } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc &&
+                 (std::strcmp(argv[i + 1], "csv") == 0 ||
+                  std::strcmp(argv[i + 1], "json") == 0 ||
+                  std::strcmp(argv[i + 1], "none") == 0)) {
+        a.metrics_out = argv[++i];
       } else {
         std::fprintf(stderr,
                      "usage: %s [--paper|--quick] [--scale F] [--seed N] "
-                     "[--jobs N]\n",
+                     "[--jobs N] [--metrics-out csv|json|none]\n",
                      argv[0]);
         std::exit(2);
       }
@@ -202,6 +212,40 @@ class RunManifest {
   std::vector<RunRecord> runs_;
   std::vector<std::string> artifacts_;
 };
+
+// Unified final-value metric export behind --metrics-out, replacing the
+// per-bench hand-rolled dumps. Writes "<stem>.metrics.csv" (metric,value
+// rows) or "<stem>.metrics.json" (one flat object) in registration order,
+// through the registry's scalar view (histograms export their count).
+// Returns the artifact path, empty when metrics_out is "none" or the write
+// failed — callers feed it straight to the manifest / artifact list.
+inline std::string save_metrics(const telemetry::MetricRegistry& reg,
+                                const BenchArgs& a, const std::string& stem) {
+  if (a.metrics_out == "none") return {};
+  std::string path, body;
+  if (a.metrics_out == "csv") {
+    path = stem + ".metrics.csv";
+    body = "metric,value\n";
+    char buf[48];
+    for (const auto& m : reg.metrics()) {
+      std::snprintf(buf, sizeof(buf), ",%.9g\n", reg.value(m->name));
+      body += m->name + buf;
+    }
+  } else {
+    path = stem + ".metrics.json";
+    json::JsonWriter w;
+    w.begin_object();
+    for (const auto& m : reg.metrics()) w.field(m->name, reg.value(m->name));
+    w.end_object();
+    body = w.str() + "\n";
+  }
+  std::string err;
+  if (!telemetry::write_text_file(path, body, &err)) {
+    std::fprintf(stderr, "metrics-out: %s\n", err.c_str());
+    return {};
+  }
+  return path;
+}
 
 // The Fig. 5 scenario with the bench's scale applied.
 inline TreeScenarioConfig fig5_config(const BenchArgs& a) {

@@ -19,7 +19,10 @@
 #include <cstdio>
 
 #include "bench/bench_common.h"
+#include "telemetry/alerts.h"
+#include "telemetry/flight_recorder.h"
 #include "telemetry/metrics.h"
+#include "telemetry/telemetry.h"
 #include "telemetry/time_series.h"
 #include "telemetry/trace_export.h"
 #include "telemetry/tracing.h"
@@ -57,15 +60,17 @@ CaseOutput run_case(AttackType attack, std::uint64_t seed,
   }
   TreeScenario s(cfg);
 
-  telemetry::MetricRegistry reg;
+  telemetry::Telemetry tel;
+  tel.journal.set_enabled(telemetry::EventKind::kDrop, false);
+  if (s.floc_queue() != nullptr) s.floc_queue()->attach_telemetry(&tel);
   for (int leaf = 0; leaf < s.leaf_count(); ++leaf) {
     const std::string pname = "L" + std::to_string(leaf);
-    reg.gauge_fn("path." + pname + ".bytes", [&s, pname] {
+    tel.registry.gauge_fn("path." + pname + ".bytes", [&s, pname] {
       return s.monitor().class_cumulative_bytes(
           [&pname](const FlowLabel& l) { return l.path_name == pname; });
     });
   }
-  telemetry::TimeSeriesSampler sampler(&reg, cfg.path_series_bucket);
+  telemetry::TimeSeriesSampler sampler(&tel.registry, cfg.path_series_bucket);
   sampler.attach(&s.sim(), cfg.duration);
 
   // Ring-bounded: the export keeps the most recent ~32k spans (~10 MB of
@@ -73,9 +78,51 @@ CaseOutput run_case(AttackType attack, std::uint64_t seed,
   telemetry::Tracer tracer(std::size_t{1} << 15);
   s.attach_tracer(&tracer);
 
-  telemetry::Profiler prof(&reg);
+  telemetry::Profiler prof(&tel.registry);
   if (s.floc_queue() != nullptr) s.floc_queue()->set_profiler(&prof);
   s.sim().set_profile_section(prof.section("sim.dispatch"));
+
+  // Incident flight recorder: a pre-incident metric ring on the probe
+  // cadence, with a deliberately tight drop alert (any drop at the FLoc
+  // queue) so every attack case captures a bundle holding the latched
+  // paths and their token-bucket levels at the moment the drops began.
+  char stem[64];
+  std::snprintf(stem, sizeof(stem), "fig06_%s", to_string(attack));
+  telemetry::FlightRecorder recorder(&tel.registry);
+  recorder.set_journal(&tel.journal);
+  recorder.set_tracer(&tracer);
+  recorder.set_bench(stem);
+  if (s.floc_queue() != nullptr) {
+    recorder.add_queue("floc-bottleneck", s.floc_queue());
+  }
+  recorder.attach(&s.sim(), 0.5, cfg.duration);
+
+  telemetry::AlertEngine alerts(&tel.registry);
+  {
+    telemetry::AlertRule r;
+    r.name = "floc_drops_seen";
+    r.metric = "floc.drops.total";
+    r.kind = telemetry::AlertKind::kThreshold;
+    r.threshold = 1.0;
+    r.clear_threshold = 0.0;  // never clears: one fire edge, one capture
+    alerts.add_rule(r);
+  }
+  {
+    // Fires when the first path latches as attack — so this bundle's
+    // FlocQueue state dump names the latched path with its token-bucket
+    // levels.
+    telemetry::AlertRule r;
+    r.name = "floc_attack_latched";
+    r.metric = "floc.paths.attack";
+    r.kind = telemetry::AlertKind::kThreshold;
+    r.threshold = 1.0;
+    r.clear_threshold = 0.0;
+    alerts.add_rule(r);
+  }
+  alerts.set_flight_recorder(&recorder);
+  for (TimeSec t = 0.5; t < cfg.duration; t += 0.5) {
+    s.sim().schedule_at(t, [&alerts, &s] { alerts.sample(s.sim().now()); });
+  }
 
   s.run();
 
@@ -98,6 +145,15 @@ CaseOutput run_case(AttackType attack, std::uint64_t seed,
     std::fprintf(stderr, "fig06: %s\n", err.c_str());
   }
   out.artifacts.emplace_back(name);
+
+  std::snprintf(name, sizeof(name), "fig06_%s.incident.json",
+                to_string(attack));
+  if (!recorder.save(name, &err)) {
+    std::fprintf(stderr, "fig06: %s\n", err.c_str());
+  }
+  out.artifacts.emplace_back(name);
+  const std::string mpath = save_metrics(tel.registry, a, stem);
+  if (!mpath.empty()) out.artifacts.push_back(mpath);
 
   const double fair_path = s.scaled_target_bw() / s.leaf_count();
   const auto per_path = s.per_path_bps();

@@ -1,0 +1,74 @@
+// floc_inspect: read-side CLI for `*.incident.json` flight-recorder bundles.
+//
+//   floc_inspect summary  BUNDLE.json           what fired, and what moved
+//   floc_inspect timeline BUNDLE.json           trigger + journal-tail table
+//   floc_inspect diff     A.json B.json         field-level bundle diff
+//
+// Exit codes (scripting-friendly, perf_compare-style):
+//   0  ok (diff: files equivalent)
+//   1  diff: files differ materially
+//   2  usage error
+//   3  could not load/parse an input
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "telemetry/file_util.h"
+#include "telemetry/incident_bundle.h"
+#include "util/json.h"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s summary BUNDLE.json\n"
+               "       %s timeline BUNDLE.json\n"
+               "       %s diff A.json B.json\n",
+               argv0, argv0, argv0);
+  return 2;
+}
+
+// Loads and parses one bundle file; returns false (after reporting) on any
+// I/O or JSON error.
+bool load(const char* path, floc::json::Value* out) {
+  std::string text, err;
+  if (!floc::telemetry::read_text_file(path, &text, &err)) {
+    std::fprintf(stderr, "floc_inspect: %s\n", err.c_str());
+    return false;
+  }
+  if (!floc::json::parse(text, out, &err)) {
+    std::fprintf(stderr, "floc_inspect: %s: %s\n", path, err.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage(argv[0]);
+  const char* cmd = argv[1];
+
+  if (std::strcmp(cmd, "summary") == 0 || std::strcmp(cmd, "timeline") == 0) {
+    if (argc != 3) return usage(argv[0]);
+    floc::json::Value v;
+    if (!load(argv[2], &v)) return 3;
+    const std::string out = std::strcmp(cmd, "summary") == 0
+                                ? floc::telemetry::summarize_bundle_file(v)
+                                : floc::telemetry::timeline_table(v);
+    std::fputs(out.c_str(), stdout);
+    return 0;
+  }
+
+  if (std::strcmp(cmd, "diff") == 0) {
+    if (argc != 4) return usage(argv[0]);
+    floc::json::Value a, b;
+    if (!load(argv[2], &a) || !load(argv[3], &b)) return 3;
+    std::string out;
+    const bool differ = floc::telemetry::diff_bundle_files(a, b, &out);
+    std::fputs(out.c_str(), stdout);
+    return differ ? 1 : 0;
+  }
+
+  return usage(argv[0]);
+}

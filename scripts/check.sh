@@ -32,16 +32,17 @@ check_no_stray_artifacts() {
   # still caught. Build trees and editor/tooling caches are exempt.
   # Matched explicitly on top of the generic extensions: exported causal
   # traces (*.trace.json), run manifests (*manifest.json), journal dumps
-  # (*.journal.json), alert histories (*.alerts.json), Prometheus text
-  # scrapes (*.prom), and perf reports (BENCH_*.json) — the observability
-  # artifacts the benches write. The committed repo-root BENCH_perf.json
+  # (*.journal.json), alert histories (*.alerts.json), incident bundles
+  # (*.incident.json), Prometheus text scrapes (*.prom), metric exports
+  # (*.metrics.csv/.json), and perf reports (BENCH_*.json) — the
+  # observability artifacts the benches write. The committed repo-root BENCH_perf.json
   # baseline is tracked, so `git ls-files -o` (untracked only) never flags
   # it; only freshly generated copies outside the build tree are strays.
   local stray
   stray="$(git ls-files -o \
     | grep -vE '^(build[^/]*|\.cache|\.ccache|\.vscode|\.idea)/' \
     | grep -vE '^compile_commands\.json$' \
-    | grep -E '(\.trace\.json|manifest\.json|\.journal\.json|\.alerts\.json|\.prom|BENCH_[^/]*\.json|\.(csv|json))$' \
+    | grep -E '(\.trace\.json|manifest\.json|\.journal\.json|\.alerts\.json|\.incident\.json|\.prom|BENCH_[^/]*\.json|\.metrics\.(csv|json)|\.(csv|json))$' \
     || true)"
   if [[ -n "$stray" ]]; then
     echo "error: generated artifacts left in the source tree:" >&2

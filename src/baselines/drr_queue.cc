@@ -1,6 +1,10 @@
 #include "baselines/drr_queue.h"
 
+#include <algorithm>
+#include <vector>
+
 #include "telemetry/metrics.h"
+#include "util/json.h"
 
 namespace floc {
 
@@ -67,6 +71,33 @@ void DrrQueue::register_metrics(telemetry::MetricRegistry& reg,
   QueueDisc::register_metrics(reg, prefix);
   reg.gauge_fn(prefix + ".active_flows",
                [this] { return static_cast<double>(active_flows()); });
+}
+
+void DrrQueue::snapshot_state(json::JsonWriter& w, TimeSec now) const {
+  (void)now;
+  w.begin_object();
+  w.field("scheme", "drr");
+  w.field("packets", static_cast<std::uint64_t>(packet_count()));
+  w.field("bytes", static_cast<std::uint64_t>(byte_count()));
+  w.field("drops", drops());
+  w.field("admissions", admissions());
+  w.field("quantum_bytes", static_cast<std::int64_t>(cfg_.quantum_bytes));
+  std::vector<FlowId> ids;
+  ids.reserve(flows_.size());
+  for (const auto& [f, fq] : flows_) ids.push_back(f);
+  std::sort(ids.begin(), ids.end());
+  w.key("flows").begin_array();
+  for (const FlowId f : ids) {
+    const FlowQueue& fq = flows_.at(f);
+    w.begin_object();
+    w.field("flow", f);
+    w.field("backlog_packets", static_cast<std::uint64_t>(fq.q.size()));
+    w.field("deficit", static_cast<std::int64_t>(fq.deficit));
+    w.field("in_round", fq.in_round);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
 }
 
 }  // namespace floc

@@ -39,6 +39,10 @@ class DrrQueue : public QueueDisc {
   void register_metrics(telemetry::MetricRegistry& reg,
                         const std::string& prefix) const override;
 
+  // Minimal incident dump: base counters plus per-flow backlog and deficit
+  // (sorted by flow id).
+  void snapshot_state(json::JsonWriter& w, TimeSec now) const override;
+
  private:
   struct FlowQueue {
     std::deque<Packet> q;

@@ -1,6 +1,9 @@
 #include "baselines/priority_fair.h"
 
 #include <algorithm>
+#include <vector>
+
+#include "util/json.h"
 
 namespace floc {
 
@@ -58,6 +61,20 @@ std::optional<Packet> PriorityFairQueue::dequeue(TimeSec) {
   src->pop_front();
   bytes_ -= static_cast<std::size_t>(p.size_bytes);
   return p;
+}
+
+void PriorityFairQueue::snapshot_state(json::JsonWriter& w, TimeSec now) const {
+  (void)now;
+  w.begin_object();
+  w.field("scheme", "priority-fair");
+  w.field("packets", static_cast<std::uint64_t>(packet_count()));
+  w.field("bytes", static_cast<std::uint64_t>(byte_count()));
+  w.field("drops", drops());
+  w.field("admissions", admissions());
+  w.field("high_backlog", static_cast<std::uint64_t>(high_.size()));
+  w.field("low_backlog", static_cast<std::uint64_t>(low_.size()));
+  w.field("flows_seen", static_cast<std::uint64_t>(flows_seen_));
+  w.end_object();
 }
 
 }  // namespace floc

@@ -40,6 +40,10 @@ class PriorityFairQueue : public QueueDisc {
   std::size_t packet_count() const override { return high_.size() + low_.size(); }
   std::size_t byte_count() const override { return bytes_; }
 
+  // Minimal incident dump: base counters plus the two priority backlogs and
+  // the fair-share denominator.
+  void snapshot_state(json::JsonWriter& w, TimeSec now) const override;
+
  private:
   void roll_interval(TimeSec now);
 

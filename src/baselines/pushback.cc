@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "telemetry/metrics.h"
+#include "util/json.h"
 
 namespace floc {
 
@@ -176,6 +177,34 @@ void PushbackQueue::register_metrics(telemetry::MetricRegistry& reg,
   });
   reg.gauge_fn(prefix + ".throttling",
                [this] { return throttling_active() ? 1.0 : 0.0; });
+}
+
+void PushbackQueue::snapshot_state(json::JsonWriter& w, TimeSec now) const {
+  (void)now;
+  w.begin_object();
+  w.field("scheme", "pushback");
+  w.field("packets", static_cast<std::uint64_t>(packet_count()));
+  w.field("bytes", static_cast<std::uint64_t>(byte_count()));
+  w.field("drops", drops());
+  w.field("admissions", admissions());
+  w.field("throttling", throttling_active());
+  std::vector<std::uint64_t> keys;
+  keys.reserve(limits_.size());
+  for (const auto& [k, lim] : limits_) keys.push_back(k);
+  std::sort(keys.begin(), keys.end());
+  w.key("limits").begin_array();
+  for (const std::uint64_t k : keys) {
+    const Limit& lim = limits_.at(k);
+    w.begin_object();
+    w.field("aggregate", k);
+    const auto pit = prefix_of_.find(k);
+    w.field("prefix", pit != prefix_of_.end() ? pit->second.to_string() : "?");
+    w.field("rate_bps", lim.rate_bps);
+    w.field("tokens_bytes", lim.tokens_bytes);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
 }
 
 }  // namespace floc

@@ -71,6 +71,10 @@ class PushbackQueue : public QueueDisc {
   void register_metrics(telemetry::MetricRegistry& reg,
                         const std::string& prefix) const override;
 
+  // Minimal incident dump: base counters plus the active aggregate limits
+  // (sorted by aggregate key).
+  void snapshot_state(json::JsonWriter& w, TimeSec now) const override;
+
  private:
   std::uint64_t aggregate_key(const PathId& path) const;
   void acc_update(TimeSec now);

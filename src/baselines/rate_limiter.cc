@@ -1,6 +1,9 @@
 #include "baselines/rate_limiter.h"
 
 #include <algorithm>
+#include <vector>
+
+#include "util/json.h"
 
 namespace floc {
 
@@ -68,6 +71,33 @@ std::optional<Packet> RateLimiterQueue::dequeue(TimeSec) {
   q_.pop_front();
   bytes_ -= static_cast<std::size_t>(p.size_bytes);
   return p;
+}
+
+void RateLimiterQueue::snapshot_state(json::JsonWriter& w, TimeSec now) const {
+  w.begin_object();
+  w.field("scheme", "rate-limiter");
+  w.field("packets", static_cast<std::uint64_t>(packet_count()));
+  w.field("bytes", static_cast<std::uint64_t>(byte_count()));
+  w.field("drops", drops());
+  w.field("admissions", admissions());
+  std::vector<std::uint64_t> keys;
+  keys.reserve(limits_.size());
+  for (const auto& [k, lim] : limits_) keys.push_back(k);
+  std::sort(keys.begin(), keys.end());
+  w.key("limits").begin_array();
+  for (const std::uint64_t k : keys) {
+    const Limit& lim = limits_.at(k);
+    w.begin_object();
+    w.field("prefix", lim.prefix.to_string());
+    w.field("rate_bps", lim.rate_bps);
+    w.field("tokens_bytes", lim.tokens_bytes);
+    w.field("expires", lim.expires);
+    w.field("expired", now >= lim.expires);
+    w.field("shed_bytes", lim.shed_bytes);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
 }
 
 }  // namespace floc

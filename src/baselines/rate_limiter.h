@@ -36,6 +36,10 @@ class RateLimiterQueue : public QueueDisc {
   // locally observed arrivals to recover the aggregate's true offered rate.
   double take_shed_bytes(const PathId& prefix);
 
+  // Minimal incident dump: base counters plus the installed prefix limits
+  // (sorted by prefix key).
+  void snapshot_state(json::JsonWriter& w, TimeSec now) const override;
+
  private:
   struct Limit {
     PathId prefix;

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <bit>
+#include <vector>
 
 #include "telemetry/metrics.h"
+#include "util/json.h"
 
 namespace floc {
 
@@ -110,6 +112,32 @@ void RedPdQueue::register_metrics(telemetry::MetricRegistry& reg,
   reg.gauge_fn(prefix + ".avg", [this] { return red_.avg(); });
   reg.gauge_fn(prefix + ".monitored_flows",
                [this] { return static_cast<double>(monitored_count()); });
+}
+
+void RedPdQueue::snapshot_state(json::JsonWriter& w, TimeSec now) const {
+  (void)now;
+  w.begin_object();
+  w.field("scheme", "red-pd");
+  w.field("packets", static_cast<std::uint64_t>(packet_count()));
+  w.field("bytes", static_cast<std::uint64_t>(byte_count()));
+  w.field("drops", drops());
+  w.field("admissions", admissions());
+  w.field("avg_queue", red_.avg());
+  std::vector<FlowId> flows;
+  flows.reserve(monitored_.size());
+  for (const auto& [f, ms] : monitored_) flows.push_back(f);
+  std::sort(flows.begin(), flows.end());
+  w.key("monitored").begin_array();
+  for (const FlowId f : flows) {
+    const MonState& ms = monitored_.at(f);
+    w.begin_object();
+    w.field("flow", f);
+    w.field("prob", ms.prob);
+    w.field("drops_this_epoch", static_cast<std::int64_t>(ms.drops_this_epoch));
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
 }
 
 }  // namespace floc

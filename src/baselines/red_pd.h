@@ -53,6 +53,10 @@ class RedPdQueue : public QueueDisc {
   void register_metrics(telemetry::MetricRegistry& reg,
                         const std::string& prefix) const override;
 
+  // Minimal incident dump: base counters plus the monitored-flow list with
+  // per-flow pre-drop probabilities (sorted by flow id).
+  void snapshot_state(json::JsonWriter& w, TimeSec now) const override;
+
  private:
   void rotate_epoch(TimeSec now);
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "telemetry/metrics.h"
+#include "util/json.h"
 
 namespace floc {
 
@@ -69,6 +70,22 @@ void RedQueue::register_metrics(telemetry::MetricRegistry& reg,
                                 const std::string& prefix) const {
   QueueDisc::register_metrics(reg, prefix);
   reg.gauge_fn(prefix + ".avg", [this] { return avg_queue(); });
+}
+
+void RedQueue::snapshot_state(json::JsonWriter& w, TimeSec now) const {
+  (void)now;
+  w.begin_object();
+  w.field("scheme", "red");
+  w.field("packets", static_cast<std::uint64_t>(packet_count()));
+  w.field("bytes", static_cast<std::uint64_t>(byte_count()));
+  w.field("drops", drops());
+  w.field("admissions", admissions());
+  w.field("avg_queue", avg_queue());
+  w.field("min_th", cfg_.min_th);
+  w.field("max_th", cfg_.max_th);
+  w.field("max_p", cfg_.max_p);
+  w.field("gentle", cfg_.gentle);
+  w.end_object();
 }
 
 }  // namespace floc

@@ -63,6 +63,10 @@ class RedQueue : public QueueDisc {
   void register_metrics(telemetry::MetricRegistry& reg,
                         const std::string& prefix) const override;
 
+  // Minimal incident dump: base counters plus the EWMA estimate and
+  // thresholds that drive the drop probability.
+  void snapshot_state(json::JsonWriter& w, TimeSec now) const override;
+
  private:
   RedConfig cfg_;
   RedCore core_;

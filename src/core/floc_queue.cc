@@ -2,6 +2,7 @@
 
 #include "core/conformance.h"
 #include "telemetry/tracing.h"
+#include "util/json.h"
 
 #include <algorithm>
 #include <cassert>
@@ -169,6 +170,204 @@ double FlocQueue::state_occupancy() const {
     occ = std::max(occ, frac(max_path_flow_count(), cfg_.flow_budget));
   }
   return occ;
+}
+
+namespace {
+
+// Sorted keys of an unordered_map: incident bundles must not leak hash
+// iteration order into gated artifacts (--jobs byte-identity).
+template <typename Map>
+std::vector<typename Map::key_type> sorted_keys(const Map& m) {
+  std::vector<typename Map::key_type> keys;
+  keys.reserve(m.size());
+  for (const auto& [k, v] : m) keys.push_back(k);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+void dump_budget(json::JsonWriter& w, const char* name,
+                 const StateBudgetConfig& b, std::size_t size) {
+  w.key(name).begin_object();
+  w.field("capacity", static_cast<std::uint64_t>(b.capacity));
+  w.field("policy", to_string(b.policy));
+  w.field("size", static_cast<std::uint64_t>(size));
+  w.end_object();
+}
+
+}  // namespace
+
+void FlocQueue::snapshot_state(json::JsonWriter& w, TimeSec now) const {
+  w.begin_object();
+  w.field("scheme", "floc");
+
+  w.key("mode").begin_object();
+  w.field("name", mode_name(mode()));
+  w.field("queue_packets", static_cast<std::uint64_t>(q_.size()));
+  w.field("queue_bytes", static_cast<std::uint64_t>(q_bytes_));
+  w.field("q_min", static_cast<std::uint64_t>(q_min_));
+  w.field("q_max", static_cast<std::uint64_t>(q_max_));
+  w.field("control_ticks", static_cast<std::int64_t>(control_ticks_));
+  w.field("in_recovery", in_recovery(now));
+  w.field("recovery_until", recovery_until_);
+  w.field("reboots", reboots_);
+  w.field("flushed", flushed_);
+  w.field("dequeues", dequeues_);
+  w.end_object();
+
+  w.key("drops").begin_object();
+  w.field("total", drops());
+  for (std::size_t i = 0; i < kDropReasonCount; ++i) {
+    w.field(to_string(static_cast<DropReason>(i)), drop_counts_[i]);
+  }
+  w.end_object();
+
+  w.key("capabilities").begin_object();
+  w.field("enabled", cfg_.enable_capabilities);
+  w.field("secret", "redacted");  // provisioned key material, never dumped
+  w.field("n_max", issuer_.n_max());
+  w.field("rotations", issuer_.rotations());
+  w.field("in_grace", issuer_.in_grace(now));
+  w.field("violations", cap_violations_);
+  w.field("reissues", cap_reissues_);
+  w.end_object();
+
+  w.key("aggregates").begin_array();
+  for (const std::uint64_t akey : sorted_keys(aggregates_)) {
+    const Aggregate& agg = aggregates_.at(akey);
+    w.begin_object();
+    w.field("path", agg.id.to_string());
+    w.field("key", akey);
+    w.field("attack", agg.attack);
+    w.field("weight", agg.weight);
+    w.field("n", agg.n);
+    w.field("n_estimated", agg.n_estimated);
+    w.field("rtt", agg.rtt);
+    w.field("c_bps", agg.c);
+    w.field("lambda_bps", agg.lambda_bps);
+    w.field("attack_streak", static_cast<std::int64_t>(agg.attack_streak));
+    w.field("calm_streak", static_cast<std::int64_t>(agg.calm_streak));
+    w.field("dip_strict", agg.dip_strict);
+    w.field("arrivals_interval", agg.arrivals_interval);
+    w.field("drops_interval", agg.drops_interval);
+    w.field("token_misses_interval", agg.token_misses_interval);
+    w.key("params").begin_object();
+    w.field("period", agg.params.period);
+    w.field("bucket_packets", agg.params.bucket_packets);
+    w.field("bucket_packets_incr", agg.params.bucket_packets_incr);
+    w.field("peak_window", agg.params.peak_window);
+    w.field("ref_mtd", agg.params.ref_mtd);
+    w.end_object();
+    w.key("bucket").begin_object();
+    w.field("configured", agg.bucket.configured());
+    w.field("tokens_base", agg.bucket.peek_tokens(now, false));
+    w.field("tokens_incr", agg.bucket.peek_tokens(now, true));
+    w.field("capacity_base", agg.bucket.capacity_bytes(false));
+    w.field("capacity_incr", agg.bucket.capacity_bytes(true));
+    w.field("refills", agg.bucket.refills());
+    w.end_object();
+    std::vector<std::uint64_t> members = agg.members;
+    std::sort(members.begin(), members.end());
+    w.key("members").begin_array();
+    for (const std::uint64_t m : members) w.value(m);
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+
+  // Per-origin flow tables can be large under churn; bound the per-path dump
+  // and say how much was omitted rather than truncating silently.
+  constexpr std::size_t kMaxFlowsPerOrigin = 32;
+  w.key("origins").begin_array();
+  for (const std::uint64_t okey : sorted_keys(origins_)) {
+    const OriginPathState& op = origins_.at(okey);
+    w.begin_object();
+    w.field("path", op.path().to_string());
+    w.field("key", okey);
+    w.field("aggregate_key", op.aggregate_key);
+    w.field("conformance", op.conformance());
+    w.field("has_rtt", op.has_rtt());
+    w.field("mean_rtt", op.mean_rtt(cfg_.default_rtt));
+    w.field("bytes_arrived", op.bytes_arrived);
+    w.field("pkts_arrived", op.pkts_arrived);
+    w.field("drops", op.drops);
+    w.field("token_misses", op.token_misses);
+    w.field("flow_count", static_cast<std::uint64_t>(op.flow_count()));
+    std::vector<std::uint64_t> fkeys = sorted_keys(op.flows());
+    const std::size_t shown = std::min(fkeys.size(), kMaxFlowsPerOrigin);
+    w.field("flows_omitted",
+            static_cast<std::uint64_t>(fkeys.size() - shown));
+    w.key("flows").begin_array();
+    for (std::size_t i = 0; i < shown; ++i) {
+      const FlowRecord& fr = op.flows().at(fkeys[i]);
+      w.begin_object();
+      w.field("acct_key", fkeys[i]);
+      w.field("first_seen", fr.first_seen);
+      w.field("last_seen", fr.last_seen);
+      w.field("rtt_sampled", fr.rtt_sampled);
+      w.field("rate_bps", fr.rate_bps);
+      w.field("bytes_arrived", fr.bytes_arrived);
+      w.field("drops_interval", fr.drops);
+      w.field("total_drops", fr.total_drops);
+      w.field("mtd_window", fr.mtd.window());
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("plan").begin_array();
+  for (const std::uint64_t okey : sorted_keys(plan_map_)) {
+    w.begin_object();
+    w.field("origin", okey);
+    w.field("aggregate", plan_map_.at(okey));
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("offense").begin_array();
+  for (const std::uint64_t pkey : sorted_keys(offense_)) {
+    const PathOffense& po = offense_.at(pkey);
+    w.begin_object();
+    w.field("path_key", pkey);
+    w.field("multiplier", static_cast<std::int64_t>(po.multiplier));
+    w.field("ever_latched", po.ever_latched);
+    w.field("attack", po.attack);
+    w.field("next_decay", po.next_decay);
+    w.field("last_release", po.last_release);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("offenders").begin_array();
+  for (const HostAddr src : sorted_keys(offenders_)) {
+    const Offender& off = offenders_.at(src);
+    w.begin_object();
+    w.field("src", static_cast<std::uint64_t>(src));
+    w.field("strikes", static_cast<std::int64_t>(off.strikes));
+    w.field("blacklisted", now < off.blacklisted_until);
+    w.field("blacklisted_until", off.blacklisted_until);
+    w.field("last_strike", off.last_strike);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("state_budget").begin_object();
+  w.field("occupancy", state_occupancy());
+  w.field("overloaded", overloaded_);
+  w.field("overload_entries", overload_entries_);
+  w.field("evicted_origins", evict_origins_);
+  w.field("evicted_flows", evict_flows_);
+  w.field("evicted_offense", evict_offense_);
+  w.field("evicted_offenders", evict_offenders_);
+  w.field("sketch_marks", relatch_.marks());
+  dump_budget(w, "origin_budget", cfg_.origin_budget, origins_.size());
+  dump_budget(w, "flow_budget", cfg_.flow_budget, max_path_flow_count());
+  dump_budget(w, "offense_budget", cfg_.offense_budget, offense_.size());
+  dump_budget(w, "offender_budget", cfg_.offender_budget, offenders_.size());
+  w.end_object();
+
+  w.end_object();
 }
 
 void FlocQueue::journal_mode(TimeSec now) {

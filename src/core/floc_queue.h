@@ -318,6 +318,14 @@ class FlocQueue : public QueueDisc {
   void register_metrics(telemetry::MetricRegistry& reg,
                         const std::string& prefix) const override;
 
+  // Full decision-state dump for incident bundles: mode machine, every
+  // aggregate with its token-bucket levels and members, origin paths with
+  // conformance / RTT / per-flow MTD records, the offense ledger, the
+  // offender blacklist, state-budget occupancy and drop ledger. The
+  // capability secret is redacted. Maps are emitted in sorted key order
+  // (--jobs byte-identity); capture-time only, never on the packet path.
+  void snapshot_state(json::JsonWriter& w, TimeSec now) const override;
+
   // Attribute the queue's wall-clock cost to profiler sections
   // "<prefix>.enqueue", ".dequeue", ".control" (the lazy control loop) and
   // ".cap_verify" (SipHash capability verification). nullptr detaches.

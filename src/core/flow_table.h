@@ -62,6 +62,9 @@ class OriginPathState {
 
   std::size_t flow_count() const { return flows_.size(); }
   std::unordered_map<std::uint64_t, FlowRecord>& flows() { return flows_; }
+  const std::unordered_map<std::uint64_t, FlowRecord>& flows() const {
+    return flows_;
+  }
 
   void add_rtt_sample(TimeSec s) { rtt_.add(s); }
   bool has_rtt() const { return rtt_.seeded(); }

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "telemetry/flight_recorder.h"
+
 namespace floc {
 
 void SimMonitor::add_check(std::string name, Check fn) {
@@ -23,6 +25,14 @@ void SimMonitor::run_checks(TimeSec now) {
     if (journal_ != nullptr) {
       journal_->record(now, telemetry::EventKind::kInvariantViolation, c.name,
                        detail);
+    }
+    if (recorder_ != nullptr) {
+      telemetry::IncidentTrigger trig;
+      trig.source = telemetry::IncidentTrigger::Source::kInvariant;
+      trig.time = now;
+      trig.name = c.name;
+      trig.detail = detail;
+      recorder_->capture(trig);
     }
     if (report_ != nullptr) {
       std::fprintf(report_, "[SimMonitor] t=%.6f invariant '%s' violated: %s\n",

@@ -20,6 +20,10 @@
 
 namespace floc {
 
+namespace telemetry {
+class FlightRecorder;
+}
+
 class SimMonitor {
  public:
   // A check returns true if the invariant holds; on failure it may describe
@@ -56,6 +60,10 @@ class SimMonitor {
   // (component = check name, detail = violation text). nullptr detaches.
   void set_journal(telemetry::EventJournal* j) { journal_ = j; }
 
+  // Capture an incident bundle on every violation (trigger source
+  // kInvariant, name = check name). nullptr detaches.
+  void set_flight_recorder(telemetry::FlightRecorder* rec) { recorder_ = rec; }
+
  private:
   struct Named {
     std::string name;
@@ -67,6 +75,7 @@ class SimMonitor {
   std::uint64_t checks_run_ = 0;
   std::FILE* report_ = stderr;
   telemetry::EventJournal* journal_ = nullptr;
+  telemetry::FlightRecorder* recorder_ = nullptr;
 };
 
 }  // namespace floc

@@ -2,6 +2,7 @@
 
 #include "telemetry/metrics.h"
 #include "telemetry/tracing.h"
+#include "util/json.h"
 
 namespace floc {
 
@@ -21,6 +22,16 @@ void QueueDisc::register_metrics(telemetry::MetricRegistry& reg,
                [this] { return static_cast<double>(drops()); });
   reg.gauge_fn(prefix + ".admissions",
                [this] { return static_cast<double>(admissions()); });
+}
+
+void QueueDisc::snapshot_state(json::JsonWriter& w, TimeSec now) const {
+  (void)now;
+  w.begin_object();
+  w.field("packets", static_cast<std::uint64_t>(packet_count()));
+  w.field("bytes", static_cast<std::uint64_t>(byte_count()));
+  w.field("drops", drops());
+  w.field("admissions", admissions());
+  w.end_object();
 }
 
 const char* to_string(DropReason r) {

@@ -16,6 +16,9 @@
 
 namespace floc {
 
+namespace json {
+class JsonWriter;
+}
 namespace telemetry {
 class MetricRegistry;
 class Tracer;
@@ -71,6 +74,16 @@ class QueueDisc {
   // packet path.
   virtual void register_metrics(telemetry::MetricRegistry& reg,
                                 const std::string& prefix) const;
+
+  // Dump the discipline's full decision state as one JSON object into `w`,
+  // for incident bundles (src/telemetry/flight_recorder). `now` lets
+  // time-dependent state (token levels, blacklist sentences) be rendered at
+  // the capture instant without mutating anything. The base emits the
+  // counters every scheme shares; overrides must emit a complete picture of
+  // their verdict state. Capture-time only — never on the packet path — and
+  // must iterate internal maps in sorted key order so bundles stay
+  // byte-identical across --jobs (see docs/INTERNALS.md).
+  virtual void snapshot_state(json::JsonWriter& w, TimeSec now) const;
 
   void set_drop_handler(DropHandler h) { drop_handler_ = std::move(h); }
 

@@ -103,6 +103,9 @@ class TracedQueue : public QueueDisc {
   bool audit(TimeSec now, std::string* why) const override {
     return inner_->audit(now, why);
   }
+  void snapshot_state(json::JsonWriter& w, TimeSec now) const override {
+    inner_->snapshot_state(w, now);
+  }
   void set_tracer(telemetry::Tracer* tracer) override {
     QueueDisc::set_tracer(tracer);
     inner_->set_tracer(tracer);

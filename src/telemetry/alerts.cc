@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "telemetry/file_util.h"
+#include "telemetry/flight_recorder.h"
 
 namespace floc::telemetry {
 
@@ -68,6 +69,16 @@ void AlertEngine::evaluate(RuleState& rs, TimeSec now) {
   if (fire) {
     ++rs.fire_edges;
     ++fired_total_;
+    if (recorder_ != nullptr) {
+      IncidentTrigger trig;
+      trig.source = IncidentTrigger::Source::kAlert;
+      trig.time = now;
+      trig.name = rs.rule.name;
+      trig.detail = std::string("metric=") + rs.rule.metric +
+                    " kind=" + to_string(rs.rule.kind);
+      trig.observed = observed;
+      recorder_->capture(trig);
+    }
   }
   history_.push_back(AlertEvent{now, rs.rule.name, fire, observed});
 }
@@ -157,6 +168,23 @@ std::string prom_name(const std::string& name) {
   return out.empty() ? std::string("_") : out;
 }
 
+// Label VALUES are free-form UTF-8; the text-format spec requires exactly
+// backslash -> \\, double quote -> \", and line feed -> \n to be escaped
+// (other bytes, tabs included, pass through raw).
+std::string prom_label_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
 // Exposition-format block for one sample: `# HELP` first, then `# TYPE`,
 // then the sample line, per the Prometheus text-format grammar. The help
 // string carries the original dotted registry name so operators can map an
@@ -220,7 +248,11 @@ std::string AlertEngine::render_prometheus_with_alerts() const {
     out += "# HELP floc_alert_firing 1 while the named alert rule fires\n";
     out += "# TYPE floc_alert_firing gauge\n";
     for (const RuleState& rs : rules_) {
-      out += "floc_alert_firing{alert=\"" + prom_name(rs.rule.name) + "\"} ";
+      // The rule name goes in as a label VALUE, escaped per the spec —
+      // mangling through prom_name here would silently alias rules like
+      // "a.b" and "a b".
+      out += "floc_alert_firing{alert=\"" + prom_label_escape(rs.rule.name) +
+             "\"} ";
       out += rs.firing ? "1\n" : "0\n";
     }
   }

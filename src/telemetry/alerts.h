@@ -26,6 +26,8 @@
 
 namespace floc::telemetry {
 
+class FlightRecorder;
+
 enum class AlertKind : std::uint8_t {
   kRateRatio,   // short-window avg rate vs long-window avg rate
   kThreshold,   // instantaneous value vs fixed threshold
@@ -70,6 +72,11 @@ class AlertEngine {
   explicit AlertEngine(const MetricRegistry* registry) : reg_(registry) {}
 
   void add_rule(AlertRule rule);
+
+  // Attach an incident flight recorder: every rule FIRE edge (not clears)
+  // triggers a capture, stamped with the rule name and the observed
+  // measurement. nullptr detaches. The recorder must outlive the engine.
+  void set_flight_recorder(FlightRecorder* recorder) { recorder_ = recorder; }
 
   // Read every watched metric, advance the sliding windows, evaluate the
   // rules. Call on the simulation clock (e.g. alongside the sampler).
@@ -118,6 +125,7 @@ class AlertEngine {
   std::vector<RuleState> rules_;
   std::vector<AlertEvent> history_;
   std::uint64_t fired_total_ = 0;
+  FlightRecorder* recorder_ = nullptr;
 };
 
 }  // namespace floc::telemetry

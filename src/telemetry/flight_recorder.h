@@ -1,0 +1,145 @@
+// FlightRecorder: bounded pre-incident capture for "why did that gate trip".
+//
+// The recorder continuously keeps a small ring of sampled metric values (one
+// row per sample() call, driven by the simulation clock like the
+// TimeSeriesSampler), and on a trigger — an AlertEngine rule fire, a
+// SimMonitor invariant violation, a bench gate failure, or an explicit
+// capture() — freezes a self-contained IncidentBundle: the trigger,
+// short/long-window metric deltas bracketed against the ring, the journal
+// tail, the last-N trace spans, and a full structured state dump of every
+// registered component (QueueDisc::snapshot_state). save() writes all
+// captured incidents as one `<bench>.incident.json` file.
+//
+// Contracts, same as the rest of the telemetry stack:
+//  * detached is free: the recorder touches nothing on the packet path —
+//    components never see it; sample()/capture() run from the control plane
+//    (schedulers, probe loops, gate checks). The zero-alloc parity test
+//    (tests/telemetry_fastpath_test.cc) pins that an existing recorder adds
+//    no packet-path allocations;
+//  * bundles are --jobs byte-identical: every field derives from simulated
+//    time, registration order, or sorted-key state dumps — never wall clock
+//    or hash iteration order.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "telemetry/incident_bundle.h"
+#include "util/units.h"
+
+namespace floc::json {
+class JsonWriter;
+}
+
+namespace floc::telemetry {
+
+class MetricRegistry;
+class EventJournal;
+class Tracer;
+
+class FlightRecorder {
+ public:
+  struct Config {
+    std::size_t metric_ring = 256;   // pre-incident sample rows kept
+    std::size_t journal_tail = 64;   // journal events per bundle
+    std::size_t span_tail = 64;      // closed spans per bundle
+    std::size_t max_incidents = 8;   // bundles kept (further captures counted)
+    TimeSec short_window = 2.0;      // delta horizons, in sim seconds
+    TimeSec long_window = 10.0;
+  };
+
+  // Two overloads rather than a defaulted Config argument: a nested
+  // aggregate's member initializers are not usable in a default argument
+  // until the enclosing class is complete.
+  explicit FlightRecorder(const MetricRegistry* registry);
+  FlightRecorder(const MetricRegistry* registry, Config cfg);
+
+  // Optional sections; null leaves the section empty in captured bundles.
+  void set_journal(const EventJournal* journal) { journal_ = journal; }
+  void set_tracer(const Tracer* tracer) { tracer_ = tracer; }
+  // Stamped into the bundle file ("bench" field and default save name).
+  void set_bench(std::string bench) { bench_ = std::move(bench); }
+
+  // Register a component state dump. `fn` must emit exactly one JSON value
+  // into the writer (QueueDisc::snapshot_state does). Dump order in bundles
+  // follows registration order.
+  using StateDumper = std::function<void(json::JsonWriter&, TimeSec)>;
+  void add_state(std::string name, StateDumper fn);
+
+  // Convenience for anything with snapshot_state(JsonWriter&, TimeSec) —
+  // a template so telemetry needs no dependency on netsim's QueueDisc.
+  template <typename Q>
+  void add_queue(std::string name, const Q* q) {
+    add_state(std::move(name), [q](json::JsonWriter& w, TimeSec now) {
+      q->snapshot_state(w, now);
+    });
+  }
+
+  // Snapshot every registered metric into the pre-incident ring (one row).
+  void sample(TimeSec now);
+
+  // Drive sample() off a simulation scheduler every `period` until `until`,
+  // aligned as t0 + k*period (the TimeSeriesSampler idiom). Sched must
+  // outlive the run.
+  template <typename Sched>
+  void attach(Sched* sched, TimeSec period, TimeSec until) {
+    sample(sched->now());
+    schedule_next(sched, sched->now(), period, until, 1);
+  }
+
+  // Freeze a bundle for `trig`. Returns the stored bundle, or nullptr when
+  // max_incidents bundles are already held (the capture is still counted in
+  // captured_total / suppressed, so a storm of triggers stays bounded).
+  const IncidentBundle* capture(const IncidentTrigger& trig);
+
+  const std::deque<IncidentBundle>& incidents() const { return incidents_; }
+  std::uint64_t captured_total() const { return captured_total_; }
+  std::uint64_t suppressed() const { return suppressed_; }
+  std::size_t ring_rows() const { return ring_.size(); }
+
+  // {"schema": "floc-incident-v1", "bench": ..., "captured_total": N,
+  //  "suppressed": M, "incidents": [...]}.
+  std::string to_json() const;
+  // Write to_json() to `path`; error contract of telemetry::write_text_file.
+  bool save(const std::string& path, std::string* err = nullptr) const;
+
+ private:
+  struct SampleRow {
+    TimeSec time = 0.0;
+    std::vector<double> values;  // registry metrics()-order prefix
+  };
+
+  template <typename Sched>
+  void schedule_next(Sched* sched, TimeSec t0, TimeSec period, TimeSec until,
+                     std::uint64_t k) {
+    const TimeSec t = t0 + static_cast<double>(k) * period;
+    if (t > until) return;
+    sched->schedule_at(t, [this, sched, t0, period, until, k] {
+      sample(sched->now());
+      schedule_next(sched, t0, period, until, k + 1);
+    });
+  }
+
+  // Latest row sampled at or before `t`; falls back to the oldest row (a
+  // clipped window) when the ring does not reach back that far. Null only
+  // when the ring is empty.
+  const SampleRow* bracket(TimeSec t) const;
+
+  const MetricRegistry* registry_;
+  Config cfg_;
+  const EventJournal* journal_ = nullptr;
+  const Tracer* tracer_ = nullptr;
+  std::string bench_ = "bench";
+
+  std::vector<std::pair<std::string, StateDumper>> dumpers_;
+  std::deque<SampleRow> ring_;
+  std::deque<IncidentBundle> incidents_;
+  std::uint64_t captured_total_ = 0;
+  std::uint64_t suppressed_ = 0;
+};
+
+}  // namespace floc::telemetry

@@ -1,0 +1,338 @@
+#include "telemetry/incident_bundle.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/json.h"
+
+namespace floc::telemetry {
+
+const char* to_string(IncidentTrigger::Source s) {
+  switch (s) {
+    case IncidentTrigger::Source::kAlert: return "alert";
+    case IncidentTrigger::Source::kInvariant: return "invariant";
+    case IncidentTrigger::Source::kGate: return "gate";
+    case IncidentTrigger::Source::kManual: return "manual";
+  }
+  return "?";
+}
+
+void IncidentBundle::to_json(json::JsonWriter& w) const {
+  w.begin_object();
+
+  w.key("trigger").begin_object();
+  w.field("source", to_string(trigger.source));
+  w.field("time", trigger.time);
+  w.field("name", trigger.name);
+  w.field("detail", trigger.detail);
+  w.field("observed", trigger.observed);
+  w.end_object();
+
+  w.field("short_since", short_since);
+  w.field("long_since", long_since);
+
+  w.key("metrics").begin_array();
+  for (const MetricDelta& d : metrics) {
+    w.begin_object();
+    w.field("name", d.name);
+    w.field("value", d.value);
+    w.key("delta_short");
+    if (d.have_short) w.value(d.delta_short); else w.value_null();
+    w.key("delta_long");
+    if (d.have_long) w.value(d.delta_long); else w.value_null();
+    w.end_object();
+  }
+  w.end_array();
+
+  w.field("journal_total", journal_total);
+  w.key("journal_tail").begin_array();
+  for (const DefenseEvent& e : journal_tail) {
+    w.begin_object();
+    w.field("time", e.time);
+    w.field("seq", e.seq);
+    w.field("kind", to_string(e.kind));
+    w.field("component", e.component);
+    w.field("detail", e.detail);
+    w.field("a", e.a);
+    w.field("value", e.value);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("spans").begin_array();
+  for (const Span& s : spans) {
+    w.begin_object();
+    w.field("trace", s.trace);
+    w.field("span", s.id);
+    w.field("parent", s.parent);
+    w.field("kind", to_string(s.kind));
+    w.field("pid", static_cast<std::int64_t>(s.pid));
+    w.field("tid", s.tid);
+    w.field("begin", s.begin);
+    w.field("end", s.end);
+    w.field("seq", s.seq);
+    w.field("bytes", s.bytes);
+    w.field("status", static_cast<std::uint64_t>(s.status));
+    w.field("annot", s.annot);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("state").begin_object();
+  for (const auto& [name, rendered] : states) {
+    w.key(name).raw(rendered);
+  }
+  w.end_object();
+
+  w.end_object();
+}
+
+namespace {
+
+std::string fmt(const char* format, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), format, v);
+  return buf;
+}
+
+const json::Value* incidents_of(const json::Value& v) {
+  const json::Value* inc = v.get("incidents");
+  return inc != nullptr && inc->is_array() ? inc : nullptr;
+}
+
+std::string trigger_line(const json::Value& inc) {
+  const json::Value* t = inc.get("trigger");
+  if (t == nullptr) return "(no trigger)";
+  std::string line = t->string_or("source", "?");
+  line += " \"" + t->string_or("name", "?") + "\" at t=";
+  line += fmt("%.3f", t->number_or("time", 0.0));
+  line += " (observed " + fmt("%g", t->number_or("observed", 0.0)) + ")";
+  return line;
+}
+
+std::size_t array_size(const json::Value& inc, const char* key) {
+  const json::Value* a = inc.get(key);
+  return a != nullptr && a->is_array() ? a->items.size() : 0;
+}
+
+}  // namespace
+
+std::string summarize_bundle_file(const json::Value& v) {
+  std::string out;
+  out += "bench: " + v.string_or("bench", "?") + "\n";
+  out += "schema: " + v.string_or("schema", "?") + "\n";
+  const json::Value* inc = incidents_of(v);
+  const std::size_t n = inc != nullptr ? inc->items.size() : 0;
+  out += "incidents: " + std::to_string(n) + "\n";
+  for (std::size_t i = 0; i < n; ++i) {
+    const json::Value& b = inc->items[i];
+    out += "\nincident " + std::to_string(i) + ": " + trigger_line(b) + "\n";
+    const json::Value* trig = b.get("trigger");
+    if (trig != nullptr) {
+      const std::string detail = trig->string_or("detail", "");
+      if (!detail.empty()) out += "  detail: " + detail + "\n";
+    }
+    out += "  journal tail: " + std::to_string(array_size(b, "journal_tail")) +
+           " events (total " +
+           fmt("%.0f", b.number_or("journal_total", 0.0)) + "), spans: " +
+           std::to_string(array_size(b, "spans")) + "\n";
+    const json::Value* st = b.get("state");
+    if (st != nullptr && st->is_object()) {
+      out += "  state dumps:";
+      for (const auto& [name, dump] : st->fields) out += " " + name;
+      out += "\n";
+    }
+    // Largest short-window movers, most movement first.
+    const json::Value* ms = b.get("metrics");
+    if (ms != nullptr && ms->is_array()) {
+      std::vector<std::pair<double, const json::Value*>> movers;
+      for (const json::Value& m : ms->items) {
+        const json::Value* d = m.get("delta_short");
+        if (d != nullptr && d->is_number() && d->number != 0.0) {
+          movers.emplace_back(std::fabs(d->number), &m);
+        }
+      }
+      std::sort(movers.begin(), movers.end(),
+                [](const auto& a, const auto& b) { return a.first > b.first; });
+      const std::size_t top = std::min<std::size_t>(movers.size(), 5);
+      if (top > 0) {
+        out += "  top short-window movers:\n";
+        for (std::size_t k = 0; k < top; ++k) {
+          const json::Value& m = *movers[k].second;
+          const double delta = m.get("delta_short")->number;
+          out += "    " + m.string_or("name", "?") + " " +
+                 (delta >= 0 ? "+" : "") + fmt("%g", delta) + " (now " +
+                 fmt("%g", m.number_or("value", 0.0)) + ")\n";
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::string timeline_table(const json::Value& v) {
+  struct Row {
+    double time;
+    double seq;  // tiebreak within an incident's journal tail
+    std::string incident;
+    std::string kind;
+    std::string who;
+    std::string detail;
+  };
+  std::vector<Row> rows;
+  const json::Value* inc = incidents_of(v);
+  const std::size_t n = inc != nullptr ? inc->items.size() : 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const json::Value& b = inc->items[i];
+    const json::Value* t = b.get("trigger");
+    if (t != nullptr) {
+      rows.push_back(Row{t->number_or("time", 0.0),
+                         1e18,  // trigger sorts after same-time journal events
+                         std::to_string(i), "TRIGGER",
+                         t->string_or("source", "?") + ":" +
+                             t->string_or("name", "?"),
+                         t->string_or("detail", "")});
+    }
+    const json::Value* tail = b.get("journal_tail");
+    if (tail != nullptr && tail->is_array()) {
+      for (const json::Value& e : tail->items) {
+        rows.push_back(Row{e.number_or("time", 0.0), e.number_or("seq", 0.0),
+                           std::to_string(i), e.string_or("kind", "?"),
+                           e.string_or("component", "?"),
+                           e.string_or("detail", "")});
+      }
+    }
+  }
+  std::stable_sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  });
+  std::string out = "time      inc  kind               who                 detail\n";
+  for (const Row& r : rows) {
+    char line[256];
+    std::snprintf(line, sizeof(line), "%-9.3f %-4s %-18s %-19s %s\n", r.time,
+                  r.incident.c_str(), r.kind.c_str(), r.who.c_str(),
+                  r.detail.c_str());
+    out += line;
+  }
+  return out;
+}
+
+bool diff_bundle_files(const json::Value& a, const json::Value& b,
+                       std::string* out) {
+  bool differ = false;
+  std::string& o = *out;
+  const auto note = [&](const std::string& line) {
+    differ = true;
+    o += line + "\n";
+  };
+
+  if (a.string_or("bench", "") != b.string_or("bench", "")) {
+    note("bench: " + a.string_or("bench", "?") + " vs " +
+         b.string_or("bench", "?"));
+  }
+  const json::Value* ia = incidents_of(a);
+  const json::Value* ib = incidents_of(b);
+  const std::size_t na = ia != nullptr ? ia->items.size() : 0;
+  const std::size_t nb = ib != nullptr ? ib->items.size() : 0;
+  if (na != nb) {
+    note("incident count: " + std::to_string(na) + " vs " +
+         std::to_string(nb));
+  }
+  const std::size_t n = std::min(na, nb);
+  for (std::size_t i = 0; i < n; ++i) {
+    const json::Value& x = ia->items[i];
+    const json::Value& y = ib->items[i];
+    const std::string where = "incident " + std::to_string(i) + ": ";
+    if (trigger_line(x) != trigger_line(y)) {
+      note(where + "trigger " + trigger_line(x) + " vs " + trigger_line(y));
+    }
+    // Metric values by name (first file's order; names only in one side are
+    // reported as missing).
+    const json::Value* mx = x.get("metrics");
+    const json::Value* my = y.get("metrics");
+    if (mx != nullptr && mx->is_array() && my != nullptr && my->is_array()) {
+      for (const json::Value& m : mx->items) {
+        const std::string name = m.string_or("name", "?");
+        const json::Value* other = nullptr;
+        for (const json::Value& cand : my->items) {
+          if (cand.string_or("name", "") == name) {
+            other = &cand;
+            break;
+          }
+        }
+        if (other == nullptr) {
+          note(where + "metric " + name + " only in first");
+          continue;
+        }
+        const double va = m.number_or("value", 0.0);
+        const double vb = other->number_or("value", 0.0);
+        if (va != vb) {
+          note(where + "metric " + name + " " + fmt("%g", va) + " vs " +
+               fmt("%g", vb));
+        }
+      }
+      for (const json::Value& m : my->items) {
+        const std::string name = m.string_or("name", "?");
+        bool found = false;
+        for (const json::Value& cand : mx->items) {
+          if (cand.string_or("name", "") == name) {
+            found = true;
+            break;
+          }
+        }
+        if (!found) note(where + "metric " + name + " only in second");
+      }
+    }
+    for (const char* key : {"journal_tail", "spans"}) {
+      const std::size_t sa = array_size(x, key);
+      const std::size_t sb = array_size(y, key);
+      if (sa != sb) {
+        note(where + std::string(key) + " size " + std::to_string(sa) +
+             " vs " + std::to_string(sb));
+      }
+    }
+    // State dumps: byte-for-byte via re-serialization of the parsed values
+    // is lossy for doubles, so compare the dumps structurally by field
+    // presence and scalar rendering — flag by name.
+    const json::Value* sx = x.get("state");
+    const json::Value* sy = y.get("state");
+    if (sx != nullptr && sx->is_object() && sy != nullptr &&
+        sy->is_object()) {
+      for (const auto& [name, dump] : sx->fields) {
+        const json::Value* other = sy->get(name);
+        if (other == nullptr) {
+          note(where + "state " + name + " only in first");
+          continue;
+        }
+        // Compare the scheme + top-level scalar fields cheaply.
+        for (const auto& [fname, fval] : dump.fields) {
+          const json::Value* oval = other->get(fname);
+          if (oval == nullptr) {
+            note(where + "state " + name + "." + fname + " only in first");
+          } else if (fval.kind == json::Value::kNumber &&
+                     oval->kind == json::Value::kNumber &&
+                     fval.number != oval->number) {
+            note(where + "state " + name + "." + fname + " " +
+                 fmt("%g", fval.number) + " vs " + fmt("%g", oval->number));
+          } else if (fval.kind == json::Value::kString &&
+                     oval->kind == json::Value::kString &&
+                     fval.str != oval->str) {
+            note(where + "state " + name + "." + fname + " \"" + fval.str +
+                 "\" vs \"" + oval->str + "\"");
+          }
+        }
+      }
+      for (const auto& [name, dump] : sy->fields) {
+        if (sx->get(name) == nullptr) {
+          note(where + "state " + name + " only in second");
+        }
+      }
+    }
+  }
+  if (!differ) o += "identical\n";
+  return differ;
+}
+
+}  // namespace floc::telemetry

@@ -1,0 +1,91 @@
+// Incident bundle: the self-contained capture a FlightRecorder writes when
+// something fires — the trigger, short/long-window metric deltas, the journal
+// tail, the last-N trace spans, and full structured state dumps of every
+// registered component.
+//
+// The model lives apart from the recorder so the reader side (the
+// floc_inspect CLI) can load, summarize, diff, and timeline bundles through
+// the same unit-tested helpers, over the json::Value the util/json parser
+// produces. Bundle content is gated by the --jobs determinism contract:
+// everything in it derives from simulated time and sorted-key state dumps —
+// no wall clock, no hash iteration order.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "telemetry/event_journal.h"
+#include "telemetry/tracing.h"
+#include "util/units.h"
+
+namespace floc::json {
+class JsonWriter;
+struct Value;
+}
+
+namespace floc::telemetry {
+
+// What fired. `name` is the alert rule / monitor check / bench gate;
+// `observed` is the measurement that crossed (ratio, occupancy, gate value).
+struct IncidentTrigger {
+  enum class Source : std::uint8_t { kAlert, kInvariant, kGate, kManual };
+  Source source = Source::kManual;
+  TimeSec time = 0.0;
+  std::string name;
+  std::string detail;
+  double observed = 0.0;
+};
+
+const char* to_string(IncidentTrigger::Source s);
+
+// One metric at capture time, with its change over the recorder's short and
+// long pre-incident windows (have_* false when the ring held no sample to
+// bracket against).
+struct MetricDelta {
+  std::string name;
+  double value = 0.0;
+  bool have_short = false;
+  double delta_short = 0.0;
+  bool have_long = false;
+  double delta_long = 0.0;
+};
+
+struct IncidentBundle {
+  IncidentTrigger trigger;
+  // Oldest ring-sample times the deltas are measured against (< 0 = none).
+  TimeSec short_since = -1.0;
+  TimeSec long_since = -1.0;
+  std::vector<MetricDelta> metrics;
+  std::vector<DefenseEvent> journal_tail;
+  std::uint64_t journal_total = 0;  // events ever recorded (tail may clip)
+  std::vector<Span> spans;
+  // Component state dumps: (name, pre-rendered JSON object), in registration
+  // order (fixed by the bench wiring, so deterministic).
+  std::vector<std::pair<std::string, std::string>> states;
+
+  // Emit this bundle as one JSON object into `w`.
+  void to_json(json::JsonWriter& w) const;
+};
+
+// --- Reader-side helpers (floc_inspect) ------------------------------------
+// All operate on a parsed bundle *file* ({"schema": "floc-incident-v1",
+// "bench": ..., "incidents": [...]}) and tolerate missing fields, so a
+// foreign or truncated file degrades to empty sections, not a crash.
+
+// Human summary: per incident, the trigger line, section sizes, and the
+// largest short-window metric movements.
+std::string summarize_bundle_file(const json::Value& v);
+
+// Chronological table (time, source, kind, component/name, detail) merging
+// each incident's trigger with its journal tail.
+std::string timeline_table(const json::Value& v);
+
+// Renders a field-level diff of two bundle files into *out; returns true
+// when they differ materially (triggers, metric values, state dumps, or
+// section sizes), false when equivalent.
+bool diff_bundle_files(const json::Value& a, const json::Value& b,
+                       std::string* out);
+
+}  // namespace floc::telemetry

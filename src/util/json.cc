@@ -1,6 +1,7 @@
 #include "util/json.h"
 
 #include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
@@ -216,7 +217,171 @@ class Parser {
 }  // namespace
 
 bool parse(const std::string& text, Value* out, std::string* err) {
+  // Reset the output first: parsing into a reused Value must not merge with
+  // its previous contents (the first-wins fields map would keep stale keys).
+  *out = Value{};
   return Parser(text).parse(out, err);
+}
+
+std::string JsonWriter::escaped(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        // The parser has no \uXXXX escape, so remaining control bytes are
+        // replaced; no emitter in this repo produces them.
+        out += static_cast<unsigned char>(c) < 0x20 ? '?' : c;
+    }
+  }
+  return out;
+}
+
+void JsonWriter::before_value() {
+  if (stack_.empty()) {
+    // Top level: only one value is allowed; a second is a structural error
+    // but still emitted (the parser will reject trailing garbage).
+    if (!out_.empty() && !key_pending_) ok_ = false;
+    return;
+  }
+  if (stack_.back() == Frame::kObject) {
+    if (!key_pending_) ok_ = false;  // object member without a key
+    key_pending_ = false;
+    return;
+  }
+  if (key_pending_) ok_ = false;  // key() inside an array
+  key_pending_ = false;
+  if (has_items_.back()) out_ += ',';
+  has_items_.back() = true;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  out_ += '{';
+  stack_.push_back(Frame::kObject);
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  if (stack_.empty() || stack_.back() != Frame::kObject || key_pending_) {
+    ok_ = false;
+  }
+  if (!stack_.empty()) {
+    stack_.pop_back();
+    has_items_.pop_back();
+  }
+  key_pending_ = false;
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  out_ += '[';
+  stack_.push_back(Frame::kArray);
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  if (stack_.empty() || stack_.back() != Frame::kArray || key_pending_) {
+    ok_ = false;
+  }
+  if (!stack_.empty()) {
+    stack_.pop_back();
+    has_items_.pop_back();
+  }
+  key_pending_ = false;
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& k) {
+  if (stack_.empty() || stack_.back() != Frame::kObject || key_pending_) {
+    ok_ = false;
+  }
+  if (!stack_.empty() && has_items_.back()) out_ += ',';
+  if (!stack_.empty()) has_items_.back() = true;
+  out_ += '"';
+  out_ += escaped(k);
+  out_ += "\":";
+  key_pending_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& s) {
+  before_value();
+  out_ += '"';
+  out_ += escaped(s);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* s) {
+  return value(std::string(s));
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  before_value();
+  if (!std::isfinite(v)) {
+    out_ += "null";
+    return *this;
+  }
+  // Integral doubles print as integers; the rest through one fixed format.
+  // One code path per value means identical doubles emit identical bytes —
+  // the --jobs byte-identity contract for every gated artifact.
+  if (v == static_cast<double>(static_cast<std::int64_t>(v)) &&
+      std::fabs(v) < 9.0e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(static_cast<std::int64_t>(v)));
+    out_ += buf;
+    return *this;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  before_value();
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  before_value();
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool b) {
+  before_value();
+  out_ += b ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value_null() {
+  before_value();
+  out_ += "null";
+  return *this;
+}
+
+JsonWriter& JsonWriter::raw(const std::string& json_text) {
+  before_value();
+  out_ += json_text;
+  return *this;
 }
 
 }  // namespace floc::json

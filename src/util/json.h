@@ -1,12 +1,19 @@
-// Minimal JSON value model + recursive-descent parser.
+// Minimal JSON value model + recursive-descent parser + streaming writer.
 //
 // The repo emits JSON from several places (run manifests, Chrome traces,
-// event journals, alert histories, BENCH_perf.json perf reports) and needs to
-// read it back in exactly two: the perf-regression gate (perf_compare loads
-// two BENCH_perf.json files) and the tests that validate emitted artifacts
-// are well-formed. This parser covers the JSON subset those emitters produce:
-// objects, arrays, strings with simple escapes, numbers, booleans, null.
-// It rejects trailing garbage and reports the byte offset of the first error.
+// event journals, alert histories, BENCH_perf.json perf reports, incident
+// bundles) and reads it back in a few: the perf-regression gate (perf_compare
+// loads two BENCH_perf.json files), the floc_inspect incident-bundle CLI, and
+// the tests that validate emitted artifacts are well-formed. The parser
+// covers the JSON subset those emitters produce: objects, arrays, strings
+// with simple escapes, numbers, booleans, null. It rejects trailing garbage
+// and reports the byte offset of the first error.
+//
+// JsonWriter is the emitting counterpart: a push-style writer producing
+// compact output that this parser always accepts. Number formatting is
+// deterministic (integers print as integers, doubles through one fixed
+// format), so two structurally identical emissions are byte-identical — the
+// property the --jobs determinism contract needs from every gated artifact.
 //
 // Not a general-purpose JSON library: no \uXXXX escapes (no emitter in this
 // repo produces them), no duplicate-key policy beyond first-wins, and numbers
@@ -14,6 +21,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
@@ -51,5 +59,71 @@ struct Value {
 // and, when `err` is non-null, fills it with "offset N: <what went wrong>".
 // The whole input must be one JSON value (trailing garbage is an error).
 bool parse(const std::string& text, Value* out, std::string* err = nullptr);
+
+// Streaming writer for the same JSON subset the parser accepts.
+//
+//   JsonWriter w;
+//   w.begin_object();
+//   w.key("mode").value("flooding");
+//   w.key("tokens").value(1234.5);
+//   w.key("members").begin_array().value(std::uint64_t{7}).end_array();
+//   w.end_object();
+//   write_text_file(path, w.str());
+//
+// Commas and the key/value colon are inserted automatically. Structural
+// misuse (a value where a key is due, unbalanced end_*) is clamped to a
+// well-formed-but-wrong document rather than UB; ok() reports whether the
+// sequence of calls was valid, and tests pin emitted artifacts by parsing
+// them back. Non-finite doubles emit null (JSON has no NaN/Inf).
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  // Object member key; must be followed by exactly one value or container.
+  JsonWriter& key(const std::string& k);
+
+  JsonWriter& value(const std::string& s);
+  JsonWriter& value(const char* s);
+  JsonWriter& value(double v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(unsigned v) { return value(static_cast<std::uint64_t>(v)); }
+  JsonWriter& value(bool b);
+  JsonWriter& value_null();
+
+  // key(k).value(v) in one call, for flat state dumps.
+  template <typename T>
+  JsonWriter& field(const std::string& k, T&& v) {
+    key(k);
+    return value(std::forward<T>(v));
+  }
+
+  // Splice a pre-rendered JSON value verbatim (already-emitted sub-document).
+  JsonWriter& raw(const std::string& json_text);
+
+  // True while every call so far was structurally valid and all containers
+  // opened have been closed at the point of asking.
+  bool ok() const { return ok_ && depth() == 0; }
+  std::size_t depth() const { return stack_.size(); }
+
+  const std::string& str() const { return out_; }
+
+  // Escape `s` for embedding in a JSON string literal (no quotes added).
+  static std::string escaped(const std::string& s);
+
+ private:
+  enum class Frame : std::uint8_t { kObject, kArray };
+  void before_value();
+
+  std::string out_;
+  std::vector<Frame> stack_;
+  std::vector<bool> has_items_;  // parallel to stack_
+  bool key_pending_ = false;     // key() emitted, value due
+  bool ok_ = true;
+};
 
 }  // namespace floc::json

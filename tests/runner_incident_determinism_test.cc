@@ -1,0 +1,123 @@
+// Incident-bundle determinism (the flight-recorder --jobs contract).
+//
+// Runs a shrunk fig06-style attack case per sweep slot — each with its own
+// world, Telemetry, FlightRecorder and a threshold alert wired for one fire
+// edge — and serializes the recorder with to_json(). The parallel sweep
+// (--jobs 8) must produce byte-identical bundle text to the serial one
+// (--jobs 1): every bundle field derives from simulated time, registration
+// order, or sorted-key state dumps, never wall clock or hash iteration
+// order.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runner/scenario_runner.h"
+#include "telemetry/alerts.h"
+#include "telemetry/flight_recorder.h"
+#include "telemetry/telemetry.h"
+#include "topology/tree_scenario.h"
+#include "util/json.h"
+#include "util/seed.h"
+
+namespace floc {
+namespace {
+
+constexpr std::uint64_t kMaster = 42;
+
+struct CaseBundle {
+  std::uint64_t seed = 0;
+  std::string bundle;  // FlightRecorder::to_json()
+};
+
+CaseBundle run_case(AttackType attack, std::uint64_t seed) {
+  TreeScenarioConfig cfg;
+  cfg.scale = 0.05;
+  cfg.duration = 12.0;
+  cfg.measure_start = 6.0;
+  cfg.measure_end = 12.0;
+  cfg.scheme = DefenseScheme::kFloc;
+  cfg.attack = attack;
+  cfg.attack_rate = mbps(2.0);
+  cfg.seed = seed;
+  TreeScenario s(cfg);
+
+  telemetry::Telemetry tel;
+  tel.journal.set_enabled(telemetry::EventKind::kDrop, false);
+  s.floc_queue()->attach_telemetry(&tel);
+
+  telemetry::FlightRecorder recorder(&tel.registry);
+  recorder.set_journal(&tel.journal);
+  recorder.set_bench("incident_determinism");
+  recorder.add_queue("floc-bottleneck", s.floc_queue());
+  recorder.attach(&s.sim(), 0.5, cfg.duration);
+
+  telemetry::AlertEngine alerts(&tel.registry);
+  telemetry::AlertRule rule;
+  rule.name = "floc_drops_seen";
+  rule.metric = "floc.drops.total";
+  rule.kind = telemetry::AlertKind::kThreshold;
+  rule.threshold = 1.0;
+  rule.clear_threshold = 0.0;  // never clears: one fire edge, one capture
+  alerts.add_rule(rule);
+  alerts.set_flight_recorder(&recorder);
+  for (TimeSec t = 0.5; t < cfg.duration; t += 0.5) {
+    s.sim().schedule_at(t, [&alerts, &s] { alerts.sample(s.sim().now()); });
+  }
+
+  s.run();
+
+  CaseBundle c;
+  c.seed = seed;
+  c.bundle = recorder.to_json();
+  return c;
+}
+
+std::vector<CaseBundle> sweep(int jobs) {
+  const AttackType attacks[] = {AttackType::kTcpPopulation, AttackType::kCbr};
+  return runner::run_indexed<CaseBundle>(jobs, 2, [&](std::size_t i) {
+    return run_case(attacks[i],
+                    derive_seed(kMaster, i, kSeedStreamTreeScenario));
+  });
+}
+
+TEST(IncidentDeterminism, ParallelBundlesMatchSerialByteForByte) {
+  const auto serial = sweep(1);
+  const auto parallel = sweep(8);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].seed, parallel[i].seed) << "case " << i;
+    EXPECT_EQ(serial[i].bundle, parallel[i].bundle)
+        << "case " << i << ": incident bundle diverged across --jobs";
+  }
+}
+
+TEST(IncidentDeterminism, BundlesCaptureTheAlertAndTheQueueState) {
+  const auto runs = sweep(1);
+  for (const CaseBundle& c : runs) {
+    json::Value v;
+    std::string err;
+    ASSERT_TRUE(json::parse(c.bundle, &v, &err)) << err;
+    EXPECT_EQ(v.string_or("schema", ""), "floc-incident-v1");
+    EXPECT_GE(v.number_or("captured_total", 0.0), 1.0)
+        << "the drops-threshold alert never fired";
+    const json::Value* incidents = v.get("incidents");
+    ASSERT_NE(incidents, nullptr);
+    ASSERT_FALSE(incidents->items.empty());
+    const json::Value& inc = incidents->items[0];
+    const json::Value* trig = inc.get("trigger");
+    ASSERT_NE(trig, nullptr);
+    EXPECT_EQ(trig->string_or("source", ""), "alert");
+    EXPECT_EQ(trig->string_or("name", ""), "floc_drops_seen");
+    const json::Value* state = inc.get("state");
+    ASSERT_NE(state, nullptr);
+    const json::Value* q = state->get("floc-bottleneck");
+    ASSERT_NE(q, nullptr);
+    EXPECT_EQ(q->string_or("scheme", ""), "floc");
+    EXPECT_NE(q->get("state_budget"), nullptr);
+  }
+}
+
+}  // namespace
+}  // namespace floc

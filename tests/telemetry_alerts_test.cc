@@ -234,10 +234,11 @@ TEST(Alerts, PrometheusExpositionGrammar) {
       const std::string type = rest.substr(sp + 1);
       EXPECT_TRUE(type == "counter" || type == "gauge") << line;
     } else if (!line.empty()) {
-      // Sample line: legal metric name, space, value.
+      // Sample line: legal metric name, optional {labels}, space, value.
       const size_t sp = line.find(' ');
       ASSERT_NE(sp, std::string::npos) << line;
-      const std::string name = line.substr(0, sp);
+      const size_t brace = line.find('{');
+      const std::string name = line.substr(0, brace < sp ? brace : sp);
       ASSERT_FALSE(name.empty());
       auto legal_first = [](char c) {
         return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
@@ -256,6 +257,69 @@ TEST(Alerts, PrometheusExpositionGrammar) {
       << text;
   EXPECT_NE(text.find("# HELP floc_window_size"), std::string::npos);
   EXPECT_NE(text.find("# HELP floc_verify_ns_p99"), std::string::npos);
+}
+
+// Label values in the exposition format admit any UTF-8 as long as
+// backslash, double-quote and newline are escaped (\\, \", \n). Alert rule
+// names flow into floc_alert_firing{alert="..."} verbatim, so hostile names
+// must come out escaped and every sample must stay on one line.
+TEST(Alerts, PrometheusLabelValuesEscapeHostileRuleNames) {
+  MetricRegistry reg;
+  reg.counter("floc.drops")->add(1);
+  AlertEngine eng(&reg);
+  const char* hostile[] = {
+      "quote\"inject",         // " would close the label value
+      "back\\slash",           // \ would start a bogus escape
+      "line\nbreak",           // a raw newline would split the sample line
+      "tab\tpass",             // tabs are legal raw inside label values
+  };
+  for (const char* name : hostile) {
+    AlertRule r;
+    r.name = name;
+    r.metric = "floc.drops";
+    r.kind = AlertKind::kThreshold;
+    r.threshold = 1000.0;
+    eng.add_rule(r);
+  }
+
+  const std::string text = eng.render_prometheus_with_alerts();
+  EXPECT_NE(text.find("floc_alert_firing{alert=\"quote\\\"inject\"} 0"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("floc_alert_firing{alert=\"back\\\\slash\"} 0"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("floc_alert_firing{alert=\"line\\nbreak\"} 0"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("floc_alert_firing{alert=\"tab\tpass\"} 0"),
+            std::string::npos)
+      << text;
+
+  // No label value may smuggle a raw newline, an unescaped quote, or a lone
+  // backslash: every non-comment line must still parse as name{...} value.
+  std::istringstream in(text);
+  std::string line;
+  std::size_t alert_lines = 0;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const size_t brace = line.find('{');
+    if (brace == std::string::npos) continue;
+    ++alert_lines;
+    // The line still ends with `"} <value>` — nothing broke out of the
+    // quoted label value.
+    EXPECT_NE(line.find("\"} "), std::string::npos) << line;
+    // Any quote inside the value is preceded by a backslash.
+    const size_t open = line.find('"', brace);
+    const size_t close = line.rfind('"');
+    ASSERT_NE(open, std::string::npos) << line;
+    for (size_t i = open + 1; i < close; ++i) {
+      if (line[i] == '"') {
+        EXPECT_EQ(line[i - 1], '\\') << line;
+      }
+    }
+  }
+  EXPECT_EQ(alert_lines, 4u) << "a hostile name split or dropped a sample";
 }
 
 TEST(Alerts, KindNamesExist) {

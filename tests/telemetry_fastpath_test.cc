@@ -22,6 +22,7 @@
 
 #include "core/floc_queue.h"
 #include "telemetry/alloc_counter.h"
+#include "telemetry/flight_recorder.h"
 #include "telemetry/profiler.h"
 #include "telemetry/telemetry.h"
 #include "telemetry/tracing.h"
@@ -205,6 +206,37 @@ TEST(ScopedAllocCount, GuardItselfAllocatesNothing) {
   }
   EXPECT_EQ(outer.allocs(), 0u);
   EXPECT_EQ(outer.frees(), 0u);
+}
+
+TEST(TelemetryFastPath, IdleFlightRecorderAddsNoPacketPathAllocations) {
+  // A FlightRecorder is pure control plane: it polls the registry from
+  // sample()/capture() and the queue never sees it. With a recorder fully
+  // wired (registry, journal, queue state dump registered) but not sampling,
+  // the packet path must allocate exactly like the telemetry-attached
+  // steady-state baseline.
+  constexpr int kPackets = 50000;
+
+  FlocQueue plain(bench_cfg());
+  telemetry::Telemetry plain_tel;
+  run_workload(plain, kPackets);
+  plain.attach_telemetry(&plain_tel);
+  ScopedAllocCount guard;
+  run_workload(plain, kPackets);
+  const std::uint64_t plain_steady = guard.allocs();
+
+  FlocQueue recorded(bench_cfg());
+  telemetry::Telemetry tel;
+  run_workload(recorded, kPackets);
+  recorded.attach_telemetry(&tel);
+  telemetry::FlightRecorder rec(&tel.registry);
+  rec.set_journal(&tel.journal);
+  rec.add_queue("floc", &recorded);
+  guard.reset();
+  run_workload(recorded, kPackets);
+  const std::uint64_t recorded_steady = guard.allocs();
+
+  EXPECT_EQ(rec.ring_rows(), 0u) << "no sample() ran on the packet path";
+  EXPECT_EQ(recorded_steady, plain_steady);
 }
 
 TEST(TelemetryFastPath, PerPacketCostStaysBounded) {

@@ -95,6 +95,68 @@ TEST(TraceExport, HandBuiltSpansExportValidChromeJson) {
   EXPECT_TRUE(saw_drop_annot);
 }
 
+TEST(TraceExport, EmptyTracerExportsHeaderOnlyCsvAndValidJson) {
+  // A tracer that never recorded a span (the detached/idle case every bench
+  // hits with tracing off) must still export well-formed artifacts: the CSV
+  // is exactly its header line and the Chrome trace parses with an empty
+  // traceEvents array.
+  Tracer tr;
+  ASSERT_EQ(tr.spans().size(), 0u);
+
+  const std::string csv = spans_csv(tr);
+  EXPECT_EQ(csv, "trace,span,parent,kind,pid,tid,begin,end,seq,bytes,status,"
+                 "annot\n");
+
+  const std::string out = chrome_trace_json(tr);
+  json::Value root;
+  std::string err;
+  ASSERT_TRUE(json::parse(out, &root, &err)) << err << "\n" << out;
+  const json::Value* events = root.get("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->kind, json::Value::kArray);
+  EXPECT_EQ(events->items.size(), 0u);
+
+  // Metadata-only export (process names but no spans) is also valid.
+  TraceExportOptions opts;
+  opts.process_names.emplace_back(1, "router");
+  const std::string named = chrome_trace_json(tr, opts);
+  json::Value named_root;
+  ASSERT_TRUE(json::parse(named, &named_root, &err)) << err;
+  ASSERT_EQ(named_root.get("traceEvents")->items.size(), 1u);
+  EXPECT_EQ(named_root.get("traceEvents")->items[0].string_or("ph", ""), "M");
+}
+
+TEST(TraceExport, ExportSurvivesRingEviction) {
+  // A saturated span ring (capacity 4, 10 closed spans pushed through) must
+  // export only the survivors, still with balanced async pairs and a CSV
+  // row per kept span.
+  Tracer tr(4);
+  for (int i = 0; i < 10; ++i) {
+    const SpanId id = tr.begin(static_cast<double>(i), 1, 0, SpanKind::kQueue,
+                               1, 0);
+    tr.end(id, static_cast<double>(i) + 0.5);
+  }
+  ASSERT_EQ(tr.spans().size(), 4u);
+
+  const std::string csv = spans_csv(tr);
+  std::size_t rows = 0;
+  for (char c : csv) rows += c == '\n' ? 1 : 0;
+  EXPECT_EQ(rows, 5u);  // header + the 4 surviving spans
+
+  const std::string out = chrome_trace_json(tr);
+  json::Value root;
+  std::string err;
+  ASSERT_TRUE(json::parse(out, &root, &err)) << err;
+  int begins = 0, ends = 0;
+  for (const json::Value& ev : root.get("traceEvents")->items) {
+    check_event_schema(ev);
+    if (ev.get("ph")->str == "b") ++begins;
+    if (ev.get("ph")->str == "e") ++ends;
+  }
+  EXPECT_EQ(begins, 4);
+  EXPECT_EQ(begins, ends);
+}
+
 TEST(TraceExport, Fig06ScenarioProducesFullSpanChain) {
   // Shrunk fig06(b): CBR flood over the FLoc-defended target link, long
   // enough for handshakes, data, ACKs, and congestion drops.

@@ -3,6 +3,8 @@
 // with simple escapes, numbers, booleans, null), the typed accessors, and
 // the rejection behavior (trailing garbage, truncation, bad escapes) with
 // byte-offset error messages.
+#include <cstdint>
+#include <limits>
 #include <string>
 
 #include <gtest/gtest.h>
@@ -76,6 +78,114 @@ TEST(Json, FirstKeyWinsOnDuplicates) {
   Value v;
   ASSERT_TRUE(parse(R"({"k": 1, "k": 2})", &v));
   EXPECT_DOUBLE_EQ(v.get("k")->number, 1.0);
+}
+
+TEST(JsonWriter, EmitsCompactDocumentTheParserAccepts) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("mode").value("flooding");
+  w.key("tokens").value(1234.5);
+  w.key("drops").value(std::uint64_t{42});
+  w.key("latched").value(true);
+  w.key("none").value_null();
+  w.key("members").begin_array().value(7).value(9).end_array();
+  w.key("nested").begin_object().field("depth", 2).end_object();
+  w.end_object();
+  EXPECT_TRUE(w.ok());
+  EXPECT_EQ(w.str(),
+            R"({"mode":"flooding","tokens":1234.5,"drops":42,"latched":true,)"
+            R"("none":null,"members":[7,9],"nested":{"depth":2}})");
+  Value v;
+  std::string err;
+  ASSERT_TRUE(parse(w.str(), &v, &err)) << err;
+  EXPECT_EQ(v.string_or("mode", ""), "flooding");
+  EXPECT_DOUBLE_EQ(v.number_or("tokens", 0), 1234.5);
+  ASSERT_EQ(v.get("members")->items.size(), 2u);
+}
+
+TEST(JsonWriter, EscapesExactlyWhatTheParserUnescapes) {
+  JsonWriter w;
+  w.begin_object().field("k", std::string("a\"b\\c\nd\te\rf")).end_object();
+  EXPECT_TRUE(w.ok());
+  Value v;
+  std::string err;
+  ASSERT_TRUE(parse(w.str(), &v, &err)) << err;
+  EXPECT_EQ(v.get("k")->str, "a\"b\\c\nd\te\rf");
+}
+
+TEST(JsonWriter, NumberFormattingIsDeterministic) {
+  // Integral doubles and u64/i64 print as integers; the rest through one
+  // fixed format. Two structurally identical emissions are byte-identical —
+  // the property the --jobs determinism contract leans on.
+  JsonWriter a;
+  a.begin_array()
+      .value(0.0)
+      .value(-3.0)
+      .value(1e6)
+      .value(0.125)
+      .value(std::uint64_t{18446744073709551615ULL})
+      .value(std::int64_t{-9000000000LL})
+      .end_array();
+  EXPECT_EQ(a.str(), "[0,-3,1000000,0.125,18446744073709551615,-9000000000]");
+  JsonWriter b;
+  b.begin_array()
+      .value(0.0)
+      .value(-3.0)
+      .value(1e6)
+      .value(0.125)
+      .value(std::uint64_t{18446744073709551615ULL})
+      .value(std::int64_t{-9000000000LL})
+      .end_array();
+  EXPECT_EQ(a.str(), b.str());
+}
+
+TEST(JsonWriter, NonFiniteDoublesEmitNull) {
+  JsonWriter w;
+  w.begin_array()
+      .value(std::numeric_limits<double>::infinity())
+      .value(std::numeric_limits<double>::quiet_NaN())
+      .end_array();
+  EXPECT_EQ(w.str(), "[null,null]");
+  EXPECT_TRUE(w.ok());
+}
+
+TEST(JsonWriter, RawSplicesPrerenderedSubdocument) {
+  JsonWriter inner;
+  inner.begin_object().field("x", 1).end_object();
+  JsonWriter w;
+  w.begin_object().key("sub").raw(inner.str()).end_object();
+  EXPECT_TRUE(w.ok());
+  Value v;
+  ASSERT_TRUE(parse(w.str(), &v));
+  EXPECT_DOUBLE_EQ(v.get("sub")->number_or("x", 0), 1.0);
+}
+
+TEST(JsonWriter, StructuralMisuseClearsOkButStaysWellFormed) {
+  {
+    JsonWriter w;  // value in object without key
+    w.begin_object().value(1).end_object();
+    EXPECT_FALSE(w.ok());
+  }
+  {
+    JsonWriter w;  // mismatched close
+    w.begin_array().end_object();
+    EXPECT_FALSE(w.ok());
+  }
+  {
+    JsonWriter w;  // unclosed container at the point of asking
+    w.begin_object();
+    EXPECT_FALSE(w.ok());
+    EXPECT_EQ(w.depth(), 1u);
+    w.end_object();
+    EXPECT_TRUE(w.ok());
+  }
+  {
+    JsonWriter w;  // two top-level values
+    w.value(1);
+    EXPECT_TRUE(w.ok());
+    w.value(2);
+    EXPECT_FALSE(w.ok());
+  }
 }
 
 }  // namespace
