@@ -40,6 +40,7 @@
 #include "core/drop_filter.h"
 #include "core/model.h"
 #include "core/token_bucket.h"
+#include "netsim/simulator.h"
 #include "telemetry/alloc_counter.h"
 #include "telemetry/perf_baseline.h"
 #include "topology/defense_factory.h"
@@ -204,6 +205,59 @@ double ns_token_bucket(int iters) {
   return static_cast<double>(t1 - t0) / iters;
 }
 
+// --- scheduler dispatch micro (engine matrix) --------------------------------
+
+// Self-rescheduling inline-capture functor: each firing schedules the next,
+// so the measured loop is exactly one schedule_in + one dispatch per event —
+// the Simulator's steady-state hot path with no queue-discipline work mixed
+// in. 64 concurrent chains at staggered periods keep several wheel levels
+// (and a realistically deep heap) live.
+struct DispatchTicker {
+  Simulator* sim;
+  TimeSec dt;
+  std::uint64_t* fuel;
+  void operator()() const {
+    if (*fuel == 0) return;
+    --*fuel;
+    sim->schedule_in(dt, DispatchTicker{*this});
+  }
+};
+static_assert(Simulator::Callback::fits_inline<DispatchTicker>());
+
+void seed_dispatch_chains(Simulator& sim, std::uint64_t* fuel) {
+  for (int i = 0; i < 64; ++i) {
+    sim.schedule_in(1e-6 * (i + 1),
+                    DispatchTicker{&sim, 1e-5 + 1.7e-7 * i, fuel});
+  }
+}
+
+double sim_dispatch_ns(SimEngine engine, int events) {
+  Simulator sim(engine);
+  auto fuel = static_cast<std::uint64_t>(events);
+  seed_dispatch_chains(sim, &fuel);
+  sim.run_until(0.002);  // warm: arena chunks, engine vectors at high-water
+  const std::uint64_t before = sim.events_processed();
+  const std::uint64_t t0 = telemetry::clock_ns();
+  sim.run();
+  const std::uint64_t t1 = telemetry::clock_ns();
+  const std::uint64_t done = sim.events_processed() - before;
+  g_sink += done;
+  return static_cast<double>(t1 - t0) / static_cast<double>(done);
+}
+
+double sim_dispatch_allocs_per_kevent(SimEngine engine, int events) {
+  Simulator sim(engine);
+  auto fuel = static_cast<std::uint64_t>(events);
+  seed_dispatch_chains(sim, &fuel);
+  sim.run_until(0.002);
+  const std::uint64_t before = sim.events_processed();
+  telemetry::ScopedAllocCount guard;
+  sim.run();
+  const std::uint64_t done = sim.events_processed() - before;
+  return static_cast<double>(guard.allocs()) * 1000.0 /
+         static_cast<double>(done);
+}
+
 // --- queue-discipline matrix ------------------------------------------------
 
 enum class Load { kSteady, kCbr, kShrew };
@@ -303,7 +357,8 @@ double queue_workload_ns(QueueDisc& q, Load load, int packets) {
 // --- macro: shrunk fig06 sweep ---------------------------------------------
 
 TreeScenarioConfig macro_config(AttackType attack, std::uint64_t seed,
-                                bool quick) {
+                                bool quick,
+                                SimEngine engine = Simulator::default_engine()) {
   TreeScenarioConfig cfg;
   cfg.tree_degree = 3;
   cfg.tree_height = 2;  // 9 leaves
@@ -323,6 +378,7 @@ TreeScenarioConfig macro_config(AttackType attack, std::uint64_t seed,
   cfg.measure_start = 2.0;
   cfg.measure_end = cfg.duration;
   cfg.seed = seed;
+  cfg.engine = engine;
   if (attack == AttackType::kShrew) {
     cfg.shrew_period = 0.05;
     cfg.shrew_duty = 0.25;
@@ -342,7 +398,8 @@ struct SweepResult {
 };
 
 SweepResult run_macro_sweep(const SuiteArgs& a, int jobs,
-                            std::uint64_t sweep_salt) {
+                            std::uint64_t sweep_salt,
+                            SimEngine engine = Simulator::default_engine()) {
   const AttackType attacks[] = {AttackType::kTcpPopulation, AttackType::kCbr,
                                 AttackType::kShrew};
   struct CaseOut {
@@ -356,7 +413,7 @@ SweepResult run_macro_sweep(const SuiteArgs& a, int jobs,
           TreeScenario s(macro_config(
               attacks[i],
               derive_seed(a.seed, i + sweep_salt, kSeedStreamTreeScenario),
-              a.quick));
+              a.quick, engine));
           telemetry::Profiler prof;
           if (s.floc_queue() != nullptr) s.floc_queue()->set_profiler(&prof);
           s.target_link()->set_profiler(prof.section("link.enqueue"),
@@ -432,6 +489,53 @@ int run_suite(const SuiteArgs& a) {
                 100.0 * r.noise);
   }
 
+  // Scheduler dispatch matrix: pure schedule->fire throughput per engine.
+  // The gated metric is the machine-portable wheel/heap speed ratio; the
+  // absolute events/sec rows track the trajectory (ISSUE 10 target: >= 3x
+  // the seed engine's dispatch rate, which the wheel row shows directly
+  // against pre-PR baselines).
+  const int dispatch_events = a.quick ? 300'000 : 1'000'000;
+  {
+    double heap_ns = 0.0, heap_noise = 0.0;
+    double wheel_ns = 0.0, wheel_noise = 0.0;
+    for (const SimEngine engine : {SimEngine::kHeap, SimEngine::kWheel}) {
+      const RepeatResult r =
+          repeat(a.repeats, /*higher_is_better=*/false,
+                 [&] { return sim_dispatch_ns(engine, dispatch_events); });
+      if (engine == SimEngine::kHeap) {
+        heap_ns = r.best;
+        heap_noise = r.noise;
+      } else {
+        wheel_ns = r.best;
+        wheel_noise = r.noise;
+      }
+      char name[96];
+      std::snprintf(name, sizeof(name), "sim.dispatch.%s.events_per_sec",
+                    to_string(engine));
+      report.add(name, 1e9 / r.best, "events/s", r.noise,
+                 /*higher_is_better=*/true, /*gate=*/false);
+      std::printf("%-38s %10.0f events/s (noise %.1f%%)\n", name, 1e9 / r.best,
+                  100.0 * r.noise);
+
+      const RepeatResult alloc =
+          repeat(a.repeats, /*higher_is_better=*/false, [&] {
+            return sim_dispatch_allocs_per_kevent(engine, dispatch_events / 4);
+          });
+      std::snprintf(name, sizeof(name),
+                    "alloc.sim_dispatch.%s.allocs_per_kevent",
+                    to_string(engine));
+      report.add(name, alloc.best, "allocs/kevent", alloc.noise, false,
+                 /*gate=*/true);
+      std::printf("%-38s %10.2f allocs/kevent (noise %.1f%%)\n", name,
+                  alloc.best, 100.0 * alloc.noise);
+    }
+    report.add("ratio.sim_dispatch.wheel_vs_heap", heap_ns / wheel_ns, "x",
+               heap_noise + wheel_noise, /*higher_is_better=*/true,
+               /*gate=*/true);
+    std::printf("%-38s %10.2f x\n", "ratio.sim_dispatch.wheel_vs_heap",
+                heap_ns / wheel_ns);
+  }
+
   // Queue matrix: 7 disciplines x 3 load shapes. FLoc timings take the
   // handicap; the gated metric is the machine-portable floc/droptail ratio.
   for (const Load load : kLoads) {
@@ -490,13 +594,19 @@ int run_suite(const SuiteArgs& a) {
                 100.0 * r.noise);
   }
 
-  // Macro: shrunk fig06 sweep — events/sec, section breakdown, speedup.
+  // Macro: shrunk fig06 sweep — events/sec, section breakdown, speedup, and
+  // the whole-scenario engine ratio (same derived seeds on both engines, so
+  // identical simulated worlds; the wall-clock ratio is the end-to-end win).
   std::vector<double> serial_walls, parallel_walls, events_per_sec;
+  std::vector<double> heap_walls;
   SweepResult best_serial;
   for (int rep = 0; rep < a.macro_repeats; ++rep) {
     const std::uint64_t salt = static_cast<std::uint64_t>(rep) * 1000;
-    SweepResult serial = run_macro_sweep(a, 1, salt);
-    const SweepResult parallel = run_macro_sweep(a, a.jobs, salt);
+    SweepResult serial = run_macro_sweep(a, 1, salt, SimEngine::kWheel);
+    const SweepResult parallel = run_macro_sweep(a, a.jobs, salt,
+                                                 SimEngine::kWheel);
+    heap_walls.push_back(
+        run_macro_sweep(a, 1, salt, SimEngine::kHeap).wall_seconds);
     serial_walls.push_back(serial.wall_seconds);
     parallel_walls.push_back(parallel.wall_seconds);
     events_per_sec.push_back(static_cast<double>(serial.events) /
@@ -525,6 +635,15 @@ int run_suite(const SuiteArgs& a) {
                 "macro.fig06.events_per_sec", best_eps, 100.0 * noise);
     std::printf("%-38s %10.2f x (--jobs %d)\n", "sweep.fig06.speedup", speedup,
                 a.jobs);
+    // Gated so a change that makes the wheel slower than the heap engine on
+    // real scenario workloads (not just the dispatch micro) fails the perf
+    // leg even if both absolute rates drifted.
+    const double engine_ratio =
+        median_of(heap_walls) / median_of(serial_walls);
+    report.add("ratio.fig06.wheel_vs_heap_events", engine_ratio, "x",
+               2.0 * noise, /*higher_is_better=*/true, /*gate=*/true);
+    std::printf("%-38s %10.2f x\n", "ratio.fig06.wheel_vs_heap_events",
+                engine_ratio);
   }
   for (const auto& [sec, st] : best_serial.sections) {
     if (st.calls == 0) continue;

@@ -1,0 +1,136 @@
+#include "netsim/event_queue.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace floc {
+
+namespace {
+
+constexpr std::uint64_t level_mask(int level) {
+  // Low bits covered by levels [0, level): e.g. level 1 -> 0x3F.
+  return (std::uint64_t{1} << (WheelEventQueue::kSlotBits * level)) - 1;
+}
+
+}  // namespace
+
+void WheelEventQueue::push(EventNode* n) {
+  ++count_;
+  if (!ready_.empty() && n->tick <= ready_tick_) {
+    // Reentrant schedule into (or behind) the tick currently firing: merge
+    // into the ready heap so (time, seq) order holds against events
+    // already drawn out of the slot. "Behind" happens when a bounded
+    // run_until peeked ahead of the Simulator clock; no queued event can
+    // lie between such a tick and the firing tick (the wheel only ever
+    // advances to its minimum), so merging preserves global order.
+    ready_.push_back(n);
+    std::push_heap(ready_.begin(), ready_.end(), ReadyLater{});
+    return;
+  }
+  place(n);
+}
+
+void WheelEventQueue::place(EventNode* n) {
+  // Clamp behind-clock ticks onto the clock's own slot: the wheel has
+  // already advanced past them (peeking for an event beyond a run_until
+  // limit), and since every queued event's tick is >= cur_tick_, firing
+  // them with the cur_tick_ batch keeps exact (time, seq) order — the
+  // ready heap sorts by the un-quantized timestamp.
+  const std::uint64_t eff = n->tick > cur_tick_ ? n->tick : cur_tick_;
+  const std::uint64_t diff = eff ^ cur_tick_;
+  if ((diff >> (kSlotBits * kLevels)) != 0) {
+    calendar_[eff >> (kSlotBits * kLevels)].append(n);
+    return;
+  }
+  // The level of the highest 6-bit group where tick and the clock differ.
+  const int level =
+      diff == 0 ? 0 : (63 - std::countl_zero(diff)) / kSlotBits;
+  const int slot =
+      static_cast<int>((eff >> (kSlotBits * level)) & (kSlots - 1));
+  slots_[level][slot].append(n);
+  occupied_[level] |= std::uint64_t{1} << slot;
+}
+
+bool WheelEventQueue::prepare_ready() {
+  if (!ready_.empty()) return true;
+  for (;;) {
+    // Invariant: every queued node sits at or ahead of cur_tick_, and any
+    // level-0 node precedes any node at a higher level, so the lowest
+    // occupied level's lowest slot is the global minimum tick (or its
+    // enclosing block, for levels > 0).
+    int level = -1;
+    for (int l = 0; l < kLevels; ++l) {
+      if (occupied_[l] != 0) {
+        level = l;
+        break;
+      }
+    }
+    if (level < 0) {
+      if (calendar_.empty()) return false;
+      const auto it = calendar_.begin();
+      SlotList list = it->second;
+      cur_tick_ = it->first << (kSlotBits * kLevels);
+      calendar_.erase(it);
+      for (EventNode* n = list.head; n != nullptr;) {
+        EventNode* next = n->next;
+        place(n);
+        n = next;
+      }
+      continue;
+    }
+    const int slot = std::countr_zero(occupied_[level]);
+    SlotList list = slots_[level][slot];
+    slots_[level][slot] = SlotList{};
+    occupied_[level] &= ~(std::uint64_t{1} << slot);
+    if (level == 0) {
+      // A level-0 slot holds exactly one tick's events (plus any clamped
+      // behind-clock stragglers): this is the earliest pending tick.
+      // Drain it through the ready heap.
+      cur_tick_ = (cur_tick_ & ~level_mask(1)) |
+                  static_cast<std::uint64_t>(slot);
+      ready_tick_ = cur_tick_;
+      for (EventNode* n = list.head; n != nullptr;) {
+        EventNode* next = n->next;
+        ready_.push_back(n);
+        n = next;
+      }
+      std::make_heap(ready_.begin(), ready_.end(), ReadyLater{});
+      return true;
+    }
+    // Cascade: advance the clock to the slot's base tick and redistribute
+    // its events one level (or more) down. Each event cascades at most
+    // kLevels times over its lifetime, so the fire path stays O(1)
+    // amortized.
+    cur_tick_ = (cur_tick_ & ~level_mask(level + 1)) |
+                (static_cast<std::uint64_t>(slot) << (kSlotBits * level));
+    for (EventNode* n = list.head; n != nullptr;) {
+      EventNode* next = n->next;
+      place(n);
+      n = next;
+    }
+  }
+}
+
+EventNode* WheelEventQueue::take_ready() {
+  std::pop_heap(ready_.begin(), ready_.end(), ReadyLater{});
+  EventNode* n = ready_.back();
+  ready_.pop_back();
+  --count_;
+  return n;
+}
+
+EventNode* WheelEventQueue::pop_if_at_or_before(TimeSec limit) {
+  if (!prepare_ready()) return nullptr;
+  // Tick granularity is coarser than a double timestamp: the earliest
+  // event of the earliest tick can still lie beyond `limit`, in which case
+  // it stays in the ready heap for a later run_until slice.
+  if (ready_.front()->time > limit) return nullptr;
+  return take_ready();
+}
+
+EventNode* WheelEventQueue::pop_any() {
+  if (!prepare_ready()) return nullptr;
+  return take_ready();
+}
+
+}  // namespace floc

@@ -85,9 +85,15 @@ void Link::try_transmit() {
     busy_ = false;
     try_transmit();
   });
-  sim_->schedule_in(tx + delay_, [this, p = std::move(*pkt)]() mutable {
+  auto deliver = [this, p = std::move(*pkt)]() mutable {
     to_->receive(std::move(p));
-  });
+  };
+  // The delivery lambda (this + a Packet by value) is the repo's largest
+  // per-packet capture; it must stay on the scheduler's zero-alloc inline
+  // path. If Packet grows past the inline budget, grow
+  // kSimCallbackInlineBytes with it.
+  static_assert(Simulator::Callback::fits_inline<decltype(deliver)>());
+  sim_->schedule_in(tx + delay_, std::move(deliver));
 }
 
 void Link::trace_transmit(Packet& p, TimeSec tx) {

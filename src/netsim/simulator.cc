@@ -1,17 +1,86 @@
 #include "netsim/simulator.h"
 
+#include <atomic>
 #include <chrono>
+#include <cstdlib>
+#include <cstring>
 
 namespace floc {
 
-void Simulator::schedule_at(TimeSec t, Callback cb) {
+namespace {
+
+// 0 = unset (consult FLOC_SIM_ENGINE / fall back to kWheel), else 1 + enum.
+std::atomic<int> g_default_engine{0};
+
+SimEngine engine_from_env() {
+  const char* v = std::getenv("FLOC_SIM_ENGINE");
+  if (v != nullptr && std::strcmp(v, "heap") == 0) return SimEngine::kHeap;
+  return SimEngine::kWheel;
+}
+
+}  // namespace
+
+const char* to_string(SimEngine e) {
+  switch (e) {
+    case SimEngine::kHeap:
+      return "heap";
+    case SimEngine::kWheel:
+      return "wheel";
+  }
+  return "?";
+}
+
+SimEngine Simulator::default_engine() {
+  const int v = g_default_engine.load(std::memory_order_relaxed);
+  if (v != 0) return static_cast<SimEngine>(v - 1);
+  return engine_from_env();
+}
+
+void Simulator::set_default_engine(SimEngine engine) {
+  g_default_engine.store(1 + static_cast<int>(engine),
+                         std::memory_order_relaxed);
+}
+
+Simulator::Simulator(SimEngine engine) : engine_kind_(engine) {
+  if (engine == SimEngine::kHeap) {
+    queue_ = std::make_unique<HeapEventQueue>();
+  } else {
+    queue_ = std::make_unique<WheelEventQueue>();
+  }
+}
+
+Simulator::TimerHandle Simulator::schedule_node(TimeSec t, EventNode* n) {
   if (t < now_) {
     // In release builds the old assert compiled away and the event ran
     // "before" already-processed time, corrupting causality; clamp instead.
     ++late_;
     t = now_;
   }
-  queue_.push(Event{t, next_seq_++, std::move(cb)});
+  n->tick = WheelEventQueue::tick_of(t);
+  n->time = t;
+  n->seq = next_seq_++;
+  n->cancelled = false;
+  ++live_;
+  queue_->push(n);
+  return TimerHandle{n, n->gen};
+}
+
+bool Simulator::cancel(TimerHandle h) {
+  if (h.node == nullptr || h.node->gen != h.gen || h.node->cancelled) {
+    return false;
+  }
+  // Flag only: the node stays queued and is discarded when popped, so the
+  // surviving events' relative order is untouched in both engines.
+  h.node->cancelled = true;
+  ++cancelled_;
+  --live_;
+  return true;
+}
+
+void Simulator::release_node(EventNode* n) {
+  n->cb.reset();
+  ++n->gen;  // invalidate any TimerHandle still pointing here
+  arena_.release(n);
 }
 
 void Simulator::dispatch(Callback& cb) {
@@ -29,25 +98,37 @@ void Simulator::dispatch(Callback& cb) {
 }
 
 void Simulator::run_until(TimeSec t_end) {
-  while (!queue_.empty() && queue_.top().time <= t_end) {
-    // priority_queue::top() is const; move out via const_cast is UB-adjacent,
-    // so copy the callback handle (std::function copy) then pop.
-    Event ev = queue_.top();
-    queue_.pop();
-    now_ = ev.time;
+  while (EventNode* n = queue_->pop_if_at_or_before(t_end)) {
+    if (n->cancelled) {
+      // Cancelled events neither advance the clock nor count as processed.
+      release_node(n);
+      continue;
+    }
+    now_ = n->time;
+    --live_;
     ++processed_;
-    dispatch(ev.cb);
+    // Move the callback out and recycle the node BEFORE dispatching: the
+    // callback may schedule (acquiring nodes) reentrantly, and this keeps
+    // steady-state arena occupancy at exactly the pending-event count.
+    Callback cb = std::move(n->cb);
+    release_node(n);
+    dispatch(cb);
   }
-  if (queue_.empty() && now_ < t_end) now_ = t_end;
+  if (live_ == 0 && now_ < t_end) now_ = t_end;
 }
 
 void Simulator::run() {
-  while (!queue_.empty()) {
-    Event ev = queue_.top();
-    queue_.pop();
-    now_ = ev.time;
+  while (EventNode* n = queue_->pop_any()) {
+    if (n->cancelled) {
+      release_node(n);
+      continue;
+    }
+    now_ = n->time;
+    --live_;
     ++processed_;
-    dispatch(ev.cb);
+    Callback cb = std::move(n->cb);
+    release_node(n);
+    dispatch(cb);
   }
 }
 
@@ -57,6 +138,8 @@ void Simulator::register_metrics(telemetry::MetricRegistry& reg,
                [this] { return static_cast<double>(events_processed()); });
   reg.gauge_fn(prefix + ".late_events",
                [this] { return static_cast<double>(late_events()); });
+  reg.gauge_fn(prefix + ".cancelled_events",
+               [this] { return static_cast<double>(cancelled_events()); });
   reg.gauge_fn(prefix + ".pending_events",
                [this] { return static_cast<double>(pending_events()); });
 }

@@ -3,6 +3,14 @@
 // Events are arbitrary callbacks. Ties are broken by insertion order so runs
 // are fully deterministic.
 //
+// Engines: the queue behind the clock is pluggable (SimEngine). The default
+// is a hierarchical timer wheel whose steady-state schedule->fire path does
+// zero heap allocations (arena-recycled intrusive nodes + small-buffer
+// inline callbacks); the seed binary heap survives as the reference engine,
+// and the differential harness proves the two produce identical event
+// orderings. Select per-instance via the constructor, process-wide via
+// set_default_engine(), or externally via FLOC_SIM_ENGINE=heap|wheel.
+//
 // Observability: set_profiler() attaches a steady-clock hook that records the
 // wall-clock nanoseconds spent inside each event callback into a telemetry
 // histogram (p50/p99 per-event processing cost); register_metrics() publishes
@@ -11,29 +19,80 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <vector>
+#include <memory>
+#include <type_traits>
+#include <utility>
 
+#include "netsim/event_queue.h"
 #include "telemetry/metrics.h"
 #include "telemetry/profiler.h"
+#include "util/arena.h"
 #include "util/units.h"
 
 namespace floc {
 
+enum class SimEngine {
+  kHeap,   // seed std::priority_queue engine (reference implementation)
+  kWheel,  // hierarchical timer wheel + calendar fallback (default)
+};
+const char* to_string(SimEngine e);
+
 class Simulator {
  public:
-  using Callback = std::function<void()>;
+  using Callback = SimCallback;
+
+  // Cancellation handle for a scheduled event. Valid only against the
+  // Simulator that issued it; a handle goes stale once its event fires,
+  // is cancelled, or the node is recycled (generation-checked, so stale
+  // cancels are safe no-ops).
+  struct TimerHandle {
+    EventNode* node = nullptr;
+    std::uint64_t gen = 0;
+    explicit operator bool() const { return node != nullptr; }
+  };
+
+  explicit Simulator(SimEngine engine = default_engine());
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimEngine engine() const { return engine_kind_; }
+
+  // Engine used by default-constructed Simulators (TreeScenario worlds,
+  // benches, tests). Resolution order: set_default_engine() if called,
+  // else FLOC_SIM_ENGINE=heap|wheel from the environment, else kWheel.
+  static SimEngine default_engine();
+  static void set_default_engine(SimEngine engine);
 
   TimeSec now() const { return now_; }
 
   // Schedule `cb` at absolute time `t`. A `t` in the past (possible when a
   // callback computes a fire time from stale state) is clamped to `now` and
   // counted in `late_events()` instead of silently reordering time.
-  void schedule_at(TimeSec t, Callback cb);
+  // The callable is emplaced directly into an arena node: one move of the
+  // capture, zero heap allocations when it fits the inline buffer.
+  template <typename F>
+  TimerHandle schedule_at(TimeSec t, F&& cb) {
+    EventNode* n = arena_.acquire();
+    if constexpr (std::is_same_v<std::decay_t<F>, Callback>) {
+      n->cb = std::forward<F>(cb);
+    } else {
+      n->cb.assign(std::forward<F>(cb));
+    }
+    return schedule_node(t, n);
+  }
 
   // Schedule `cb` after a delay of `dt` seconds.
-  void schedule_in(TimeSec dt, Callback cb) { schedule_at(now_ + dt, std::move(cb)); }
+  template <typename F>
+  TimerHandle schedule_in(TimeSec dt, F&& cb) {
+    return schedule_at(now_ + dt, std::forward<F>(cb));
+  }
+
+  // Cancel a scheduled event. True if the event was still pending (it will
+  // never fire); false for stale/foreign/already-cancelled handles. O(1):
+  // the node is flagged and discarded when the queue reaches it, which
+  // keeps both engines' pop order — and therefore golden traces —
+  // identical.
+  bool cancel(TimerHandle h);
 
   // Run until the event queue drains or the clock passes `t_end`.
   void run_until(TimeSec t_end);
@@ -44,8 +103,11 @@ class Simulator {
   std::uint64_t events_processed() const { return processed_; }
   // Events whose requested time was already in the past (clamped to now).
   std::uint64_t late_events() const { return late_; }
-  bool empty() const { return queue_.empty(); }
-  std::size_t pending_events() const { return queue_.size(); }
+  // Events cancelled before firing.
+  std::uint64_t cancelled_events() const { return cancelled_; }
+  bool empty() const { return live_ == 0; }
+  // Pending (scheduled, not yet fired, not cancelled) events.
+  std::size_t pending_events() const { return live_; }
 
   // Record wall-clock nanoseconds per event callback into `event_ns`
   // (steady clock; measurement only — simulated time is unaffected).
@@ -59,32 +121,34 @@ class Simulator {
   }
 
   // Publish scheduler counters as polled gauges: <prefix>.events_processed,
-  // <prefix>.late_events, <prefix>.pending_events.
+  // <prefix>.late_events, <prefix>.cancelled_events, <prefix>.pending_events.
   void register_metrics(telemetry::MetricRegistry& reg,
                         const std::string& prefix = "sim") const;
 
- private:
-  void dispatch(Callback& cb);
+  // Event nodes currently held by the queue, including lazily-cancelled
+  // ones awaiting discard (introspection for the arena-accounting tests).
+  std::size_t queued_nodes() const { return queue_->nodes(); }
+  std::size_t arena_nodes_in_use() const { return arena_.in_use(); }
 
-  struct Event {
-    TimeSec time;
-    std::uint64_t seq;  // FIFO among same-time events
-    Callback cb;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
-  };
+ private:
+  TimerHandle schedule_node(TimeSec t, EventNode* n);
+  void release_node(EventNode* n);
+  void dispatch(Callback& cb);
 
   TimeSec now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;
   std::uint64_t late_ = 0;
+  std::uint64_t cancelled_ = 0;
+  std::size_t live_ = 0;
   telemetry::LogHistogram* profile_ns_ = nullptr;
   telemetry::Profiler::Section* profile_section_ = nullptr;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  SimEngine engine_kind_;
+  // The arena outlives the queue member below only by declaration order;
+  // neither touches the other on destruction (pending callbacks are
+  // destroyed by the arena's chunks).
+  NodeArena<EventNode> arena_;
+  std::unique_ptr<EventQueue> queue_;
 };
 
 }  // namespace floc

@@ -102,6 +102,9 @@ struct TreeScenarioConfig {
   bool record_path_series = false;
   TimeSec path_series_bucket = 1.0;
   std::uint64_t seed = 1;
+  // Event-queue engine for the scenario's Simulator (golden-trace identity
+  // across engines is pinned by the runner determinism tests).
+  SimEngine engine = Simulator::default_engine();
 };
 
 class TreeScenario {

@@ -1,0 +1,67 @@
+// Chunked freelist arena for intrusive nodes.
+//
+// The event engine allocates one node per scheduled event; at millions of
+// events per second a malloc per node is the dominant cost (and what the
+// perf suite's alloc.* gates police). The arena mallocs in chunks of
+// `ChunkNodes` and recycles released nodes through an intrusive freelist
+// threaded over each node's `next` pointer, so the steady-state
+// acquire->release cycle touches the heap zero times.
+//
+// T must be default-constructible and expose a public `T* next` that the
+// arena may overwrite while the node is free. Nodes are constructed once
+// per chunk and REUSED, not destroyed per release — callers that hold
+// owning state in a node (e.g. a captured callback) must clear it before
+// release(). Whatever is still alive inside pending nodes is destroyed
+// when the arena itself is (the chunks own the nodes), so early-exit paths
+// cannot leak.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace floc {
+
+template <typename T, std::size_t ChunkNodes = 256>
+class NodeArena {
+ public:
+  NodeArena() = default;
+  NodeArena(const NodeArena&) = delete;
+  NodeArena& operator=(const NodeArena&) = delete;
+
+  T* acquire() {
+    if (free_ == nullptr) grow();
+    T* n = free_;
+    free_ = n->next;
+    ++in_use_;
+    return n;
+  }
+
+  void release(T* n) {
+    n->next = free_;
+    free_ = n;
+    --in_use_;
+  }
+
+  // Nodes currently acquired and not yet released. With the event engine
+  // this equals the number of events physically held by the queue
+  // (pending + cancelled-but-unpopped); the leak tests pin it.
+  std::size_t in_use() const { return in_use_; }
+  std::size_t capacity() const { return chunks_.size() * ChunkNodes; }
+
+ private:
+  void grow() {
+    chunks_.push_back(std::make_unique<T[]>(ChunkNodes));
+    T* chunk = chunks_.back().get();
+    for (std::size_t i = ChunkNodes; i-- > 0;) {
+      chunk[i].next = free_;
+      free_ = &chunk[i];
+    }
+  }
+
+  std::vector<std::unique_ptr<T[]>> chunks_;
+  T* free_ = nullptr;
+  std::size_t in_use_ = 0;
+};
+
+}  // namespace floc

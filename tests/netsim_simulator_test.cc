@@ -2,13 +2,23 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <utility>
 #include <vector>
 
 namespace floc {
 namespace {
 
-TEST(Simulator, RunsEventsInTimeOrder) {
-  Simulator sim;
+// The core contract tests run against BOTH engines: the heap reference and
+// the shipping timer wheel must be observationally identical.
+class SimulatorContract : public ::testing::TestWithParam<SimEngine> {
+ protected:
+  Simulator sim{GetParam()};
+};
+
+TEST_P(SimulatorContract, RunsEventsInTimeOrder) {
   std::vector<int> order;
   sim.schedule_at(3.0, [&] { order.push_back(3); });
   sim.schedule_at(1.0, [&] { order.push_back(1); });
@@ -18,8 +28,7 @@ TEST(Simulator, RunsEventsInTimeOrder) {
   EXPECT_DOUBLE_EQ(sim.now(), 3.0);
 }
 
-TEST(Simulator, FifoAmongSameTimeEvents) {
-  Simulator sim;
+TEST_P(SimulatorContract, FifoAmongSameTimeEvents) {
   std::vector<int> order;
   for (int i = 0; i < 10; ++i) {
     sim.schedule_at(1.0, [&order, i] { order.push_back(i); });
@@ -28,8 +37,7 @@ TEST(Simulator, FifoAmongSameTimeEvents) {
   for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
 }
 
-TEST(Simulator, ScheduleInIsRelative) {
-  Simulator sim;
+TEST_P(SimulatorContract, ScheduleInIsRelative) {
   double fired_at = -1.0;
   sim.schedule_at(5.0, [&] {
     sim.schedule_in(2.5, [&] { fired_at = sim.now(); });
@@ -38,8 +46,7 @@ TEST(Simulator, ScheduleInIsRelative) {
   EXPECT_DOUBLE_EQ(fired_at, 7.5);
 }
 
-TEST(Simulator, RunUntilStopsAtBoundary) {
-  Simulator sim;
+TEST_P(SimulatorContract, RunUntilStopsAtBoundary) {
   int count = 0;
   for (int i = 1; i <= 10; ++i) {
     sim.schedule_at(static_cast<double>(i), [&] { ++count; });
@@ -51,15 +58,13 @@ TEST(Simulator, RunUntilStopsAtBoundary) {
   EXPECT_EQ(count, 10);
 }
 
-TEST(Simulator, RunUntilAdvancesClockWhenIdle) {
-  Simulator sim;
+TEST_P(SimulatorContract, RunUntilAdvancesClockWhenIdle) {
   sim.run_until(42.0);
   EXPECT_DOUBLE_EQ(sim.now(), 42.0);
   EXPECT_EQ(sim.events_processed(), 0u);
 }
 
-TEST(Simulator, PastEventsClampToNowAndAreCounted) {
-  Simulator sim;
+TEST_P(SimulatorContract, PastEventsClampToNowAndAreCounted) {
   std::vector<double> fired_at;
   sim.schedule_at(5.0, [&] {
     // A fault handler computing an absolute time from stale state may land
@@ -74,16 +79,14 @@ TEST(Simulator, PastEventsClampToNowAndAreCounted) {
   EXPECT_EQ(sim.late_events(), 1u);
 }
 
-TEST(Simulator, OnTimeEventsAreNotLate) {
-  Simulator sim;
+TEST_P(SimulatorContract, OnTimeEventsAreNotLate) {
   sim.schedule_at(1.0, [] {});
   sim.schedule_at(2.0, [] {});
   sim.run();
   EXPECT_EQ(sim.late_events(), 0u);
 }
 
-TEST(Simulator, EventsCanCascade) {
-  Simulator sim;
+TEST_P(SimulatorContract, EventsCanCascade) {
   int depth = 0;
   std::function<void()> recurse = [&] {
     if (++depth < 100) sim.schedule_in(0.001, recurse);
@@ -92,6 +95,126 @@ TEST(Simulator, EventsCanCascade) {
   sim.run();
   EXPECT_EQ(depth, 100);
   EXPECT_EQ(sim.events_processed(), 100u);
+}
+
+TEST_P(SimulatorContract, MoveOnlyCapturesAreFirstClass) {
+  // The seed engine's std::function required copyable callables, forcing
+  // shared_ptr workarounds for owned state. InlineFunction is move-only by
+  // design: a unique_ptr capture schedules directly.
+  auto owned = std::make_unique<int>(7);
+  int got = 0;
+  sim.schedule_at(1.0, [&got, p = std::move(owned)] { got = *p; });
+  sim.run();
+  EXPECT_EQ(got, 7);
+}
+
+// Counts copies/moves of its capture state through the scheduler. The seed
+// engine copied the std::function out of priority_queue::top() on EVERY
+// dispatch (top() is const, so pop-by-move was impossible); the node-based
+// engines must never copy — one move into the event node at schedule time,
+// one move out at dispatch, zero copies.
+struct CopyCounter {
+  int* copies;
+  int* moves;
+  CopyCounter(int* c, int* m) : copies(c), moves(m) {}
+  CopyCounter(const CopyCounter& o) : copies(o.copies), moves(o.moves) {
+    ++*copies;
+  }
+  CopyCounter(CopyCounter&& o) noexcept : copies(o.copies), moves(o.moves) {
+    ++*moves;
+  }
+  void operator()() const {}
+};
+
+TEST_P(SimulatorContract, DispatchNeverCopiesTheCallback) {
+  int copies = 0;
+  int moves = 0;
+  sim.schedule_at(1.0, CopyCounter(&copies, &moves));
+  sim.schedule_at(2.0, CopyCounter(&copies, &moves));
+  sim.run();
+  EXPECT_EQ(sim.events_processed(), 2u);
+  EXPECT_EQ(copies, 0) << "dispatch copied a callback (seed-engine "
+                          "priority_queue::top() regression)";
+  // Exactly two moves per event: into the arena node, out at dispatch.
+  EXPECT_EQ(moves, 2 * 2);
+}
+
+TEST_P(SimulatorContract, CancelPreventsFiringAndIsCounted) {
+  int fired = 0;
+  auto h1 = sim.schedule_at(1.0, [&] { ++fired; });
+  auto h2 = sim.schedule_at(2.0, [&] { ++fired; });
+  EXPECT_TRUE(static_cast<bool>(h1));
+  EXPECT_EQ(sim.pending_events(), 2u);
+  EXPECT_TRUE(sim.cancel(h1));
+  EXPECT_EQ(sim.pending_events(), 1u);
+  EXPECT_FALSE(sim.cancel(h1)) << "double cancel must be a no-op";
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.events_processed(), 1u);
+  EXPECT_EQ(sim.cancelled_events(), 1u);
+  EXPECT_FALSE(sim.cancel(h2)) << "handle to a fired event is stale";
+  // A cancelled event neither advances the clock to its own time nor runs.
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+}
+
+TEST_P(SimulatorContract, StaleHandleToRecycledNodeIsRejected) {
+  int fired = 0;
+  auto h = sim.schedule_at(1.0, [&] { ++fired; });
+  sim.run();  // fires; the node returns to the arena freelist
+  // The next schedule typically reuses the same node; the old handle's
+  // generation no longer matches and must not cancel the new event.
+  auto h2 = sim.schedule_at(2.0, [&] { ++fired; });
+  EXPECT_FALSE(sim.cancel(h));
+  EXPECT_TRUE(static_cast<bool>(h2));
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST_P(SimulatorContract, PendingCallbacksReleaseOwnedStateOnDestruction) {
+  // run_until early exit leaves events queued; destroying the Simulator
+  // must destroy their captured state (the arena's chunks own the nodes).
+  auto tracked = std::make_shared<int>(1);
+  ASSERT_EQ(tracked.use_count(), 1);
+  {
+    Simulator inner(GetParam());
+    inner.schedule_at(100.0, [keep = tracked] { (void)*keep; });
+    inner.schedule_at(200.0, [keep = tracked] { (void)*keep; });
+    inner.run_until(1.0);  // early exit: both events still pending
+    EXPECT_EQ(tracked.use_count(), 3);
+  }
+  EXPECT_EQ(tracked.use_count(), 1) << "queued callback leaked its capture";
+}
+
+TEST_P(SimulatorContract, CancelledCallbackStateIsReleasedWhenDiscarded) {
+  auto tracked = std::make_shared<int>(1);
+  auto h = sim.schedule_at(1.0, [keep = tracked] { (void)*keep; });
+  EXPECT_TRUE(sim.cancel(h));
+  EXPECT_EQ(tracked.use_count(), 2) << "lazy cancel keeps the node queued";
+  sim.run_until(2.0);  // pops and discards the cancelled node
+  EXPECT_EQ(tracked.use_count(), 1);
+  EXPECT_EQ(sim.events_processed(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, SimulatorContract,
+                         ::testing::Values(SimEngine::kHeap,
+                                           SimEngine::kWheel),
+                         [](const ::testing::TestParamInfo<SimEngine>& info) {
+                           return to_string(info.param);
+                         });
+
+TEST(SimEngineSelection, DefaultIsWheelAndEnvAndSetterOverride) {
+  // Note: FLOC_SIM_ENGINE is consulted only when no programmatic default is
+  // set; tests restore the programmatic default to wheel when done.
+  EXPECT_EQ(std::string(to_string(SimEngine::kHeap)), "heap");
+  EXPECT_EQ(std::string(to_string(SimEngine::kWheel)), "wheel");
+  Simulator def;
+  EXPECT_EQ(def.engine(), Simulator::default_engine());
+  Simulator::set_default_engine(SimEngine::kHeap);
+  EXPECT_EQ(Simulator::default_engine(), SimEngine::kHeap);
+  Simulator heap_default;
+  EXPECT_EQ(heap_default.engine(), SimEngine::kHeap);
+  Simulator::set_default_engine(SimEngine::kWheel);
+  EXPECT_EQ(Simulator::default_engine(), SimEngine::kWheel);
 }
 
 }  // namespace

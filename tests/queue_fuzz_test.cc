@@ -11,8 +11,10 @@
 //     mode-transition chain is checked for validity.
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <string>
 
+#include "netsim/simulator.h"
 #include "telemetry/telemetry.h"
 #include "topology/defense_factory.h"
 #include "util/rng.h"
@@ -434,6 +436,125 @@ TEST_P(QueueFuzz, StateChurnBoundedTables) {
   }
   EXPECT_TRUE(q->empty());
   EXPECT_EQ(q->byte_count(), 0u);
+}
+
+// Engine-lockstep phase (ISSUE 10, satellite 5): the same phase-structured
+// mode-transition workload, but driven THROUGH a Simulator by a
+// self-rescheduling driver event — once on the heap engine, once on the
+// wheel — with scheduler ops (timer schedules, cancels, quiet-gap jumps,
+// mid-stream FLoc faults, forced control passes) mixed into the packet
+// stream. The per-engine Rng streams are seeded identically, so every
+// observable (conservation counters, final clock, events processed and
+// cancelled, and for FLoc the byte-exact defense-event journal) must match
+// across engines; any divergence in event ordering desynchronizes the Rng
+// draw sequence and shows up in the comparison.
+struct EngineRun {
+  std::uint64_t offered = 0, admitted = 0, serviced = 0;
+  std::uint64_t admitted_bytes = 0, serviced_bytes = 0;
+  std::uint64_t flushed = 0, flushed_bytes = 0;  // wiped by reboot()
+  std::uint64_t processed = 0, cancelled = 0, late = 0;
+  double end_time = 0.0;
+  std::string journal;
+};
+
+EngineRun run_mode_transition_world(const FuzzCase& fc, SimEngine engine) {
+  DefenseFactoryConfig cfg;
+  cfg.link_bandwidth = mbps(10);
+  cfg.buffer_packets = 64;
+  cfg.seed = fc.seed;
+  cfg.floc.control_interval = 0.05;
+  auto q = make_defense_queue(fc.scheme, std::move(cfg));
+  auto* fq = dynamic_cast<FlocQueue*>(q.get());
+
+  telemetry::Telemetry tel;
+  if (fq != nullptr) fq->attach_telemetry(&tel);
+
+  Simulator sim(engine);
+  Rng rng(derive_seed(fc.seed, 0, /*salt=*/0xF025));
+  EngineRun r;
+  int steps = 0;
+  constexpr int kSteps = 12000;
+
+  std::function<void()> step = [&] {
+    if (steps >= kSteps) return;
+    ++steps;
+    const double t = sim.now();
+    if (fq != nullptr && rng.uniform() < 0.005) {
+      if (rng.uniform() < 0.5) {
+        r.flushed += q->packet_count();
+        r.flushed_bytes += q->byte_count();
+        fq->reboot(t);
+      } else {
+        fq->rotate_secret(rng.next_u64(), t);
+      }
+    }
+    if (fq != nullptr && rng.uniform() < 0.02) fq->run_control(t);
+    if (rng.uniform() < 0.65) {
+      Packet p = random_packet(rng);
+      ++r.offered;
+      const int bytes = p.size_bytes;
+      if (q->enqueue(std::move(p), t)) {
+        ++r.admitted;
+        r.admitted_bytes += static_cast<std::uint64_t>(bytes);
+      }
+    } else {
+      auto out = q->dequeue(t);
+      if (out.has_value()) {
+        ++r.serviced;
+        r.serviced_bytes += static_cast<std::uint64_t>(out->size_bytes);
+      }
+    }
+    // Mix raw scheduler traffic into the packet stream: decoy timers at
+    // random horizons, half of them cancelled again immediately.
+    if (rng.uniform() < 0.05) {
+      auto h = sim.schedule_in(rng.uniform() * 0.01, [] {});
+      if (rng.uniform() < 0.5) sim.cancel(h);
+    }
+    // Mostly packet-paced gaps; occasionally a quiet jump across several
+    // control intervals (mode-release territory).
+    const double dt =
+        rng.uniform() < 0.01 ? rng.uniform() * 0.3 : rng.exponential(2e-4);
+    sim.schedule_in(dt, step);
+  };
+  sim.schedule_at(0.0, step);
+  sim.run();
+
+  EXPECT_EQ(steps, kSteps);
+  std::string why;
+  EXPECT_TRUE(q->audit(sim.now(), &why)) << why;
+  while (auto out = q->dequeue(sim.now())) {
+    ++r.serviced;
+    r.serviced_bytes += static_cast<std::uint64_t>(out->size_bytes);
+  }
+  EXPECT_TRUE(q->empty());
+  EXPECT_EQ(r.offered, r.admitted + q->drops());
+  EXPECT_EQ(r.admitted_bytes, r.serviced_bytes + r.flushed_bytes);
+  r.processed = sim.events_processed();
+  r.cancelled = sim.cancelled_events();
+  r.late = sim.late_events();
+  r.end_time = sim.now();
+  r.journal = tel.journal.dump();
+  return r;
+}
+
+TEST_P(QueueFuzz, EngineLockstepModeTransitions) {
+  const EngineRun heap = run_mode_transition_world(GetParam(), SimEngine::kHeap);
+  const EngineRun wheel =
+      run_mode_transition_world(GetParam(), SimEngine::kWheel);
+  EXPECT_EQ(heap.offered, wheel.offered);
+  EXPECT_EQ(heap.admitted, wheel.admitted);
+  EXPECT_EQ(heap.serviced, wheel.serviced);
+  EXPECT_EQ(heap.admitted_bytes, wheel.admitted_bytes);
+  EXPECT_EQ(heap.serviced_bytes, wheel.serviced_bytes);
+  EXPECT_EQ(heap.flushed, wheel.flushed);
+  EXPECT_EQ(heap.flushed_bytes, wheel.flushed_bytes);
+  EXPECT_EQ(heap.processed, wheel.processed);
+  EXPECT_EQ(heap.cancelled, wheel.cancelled);
+  EXPECT_EQ(heap.late, wheel.late);
+  EXPECT_EQ(heap.end_time, wheel.end_time);
+  EXPECT_EQ(heap.journal, wheel.journal)
+      << "defense-event journal diverged across engines";
+  EXPECT_GT(heap.processed, 12000u);
 }
 
 std::vector<FuzzCase> all_cases() {
